@@ -1,0 +1,54 @@
+// Figure 7: the top layers of the Metis+Pensieve decision tree.
+//
+// Paper claim: the tree's top splits are on the last chunk bitrate r_t
+// (new knowledge), with deeper splits on buffer occupancy and predicted
+// throughput (capturing the classic heuristics).
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "metis/tree/tree_io.h"
+
+using namespace metis;
+
+int main() {
+  benchx::print_header(
+      "Figure 7 — decision tree of Metis+Pensieve (top 4 layers)",
+      "expected shape: top splits on r_t; deeper splits on B / theta_t / Tt");
+
+  auto scenario = benchx::make_pensieve();
+  auto distilled = benchx::distill_pensieve(scenario);
+
+  std::cout << "collected " << distilled.samples_collected
+            << " states; tree has " << distilled.tree.leaf_count()
+            << " leaves; fidelity to the DNN "
+            << Table::pct(distilled.fidelity) << "\n\n";
+
+  tree::PrintOptions opts;
+  opts.max_depth = 4;
+  opts.class_labels = benchx::bitrate_labels();
+  tree::print_tree(distilled.tree, std::cout, opts);
+
+  // Which variables dominate the top two layers?
+  std::map<std::string, int> top_splits;
+  const tree::TreeNode* root = distilled.tree.root();
+  auto record = [&](const tree::TreeNode* n) {
+    if (n != nullptr && !n->is_leaf()) {
+      top_splits[abr::tree_feature_names()[static_cast<std::size_t>(
+          n->feature)]]++;
+    }
+  };
+  record(root);
+  if (!root->is_leaf()) {
+    record(root->left.get());
+    record(root->right.get());
+  }
+  std::cout << "\nsplit variables in the top two layers:\n";
+  for (const auto& [name, count] : top_splits) {
+    std::cout << "  " << name << ": " << count << "\n";
+  }
+  std::cout << "\npaper: the top-2 layers of Fig. 7 split exclusively on "
+               "r_t;\nany r_t-dominated top is a reproduction of that "
+               "observation.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 12 (§6.3): bitrate selection frequencies.
+//
+// Paper claims: (a)(b) Metis+Pensieve reproduces Pensieve's selection
+// distribution almost exactly on HSDPA and FCC traces, and Pensieve
+// rarely selects the median bitrates (1200/2850 kbps); (c) the median
+// bitrates stay unpopular even on fixed-bandwidth links matched to them.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace metis;
+
+namespace {
+
+std::vector<double> frequencies(abr::AbrPolicy& policy,
+                                const abr::Video& video,
+                                const std::vector<abr::NetworkTrace>& corpus) {
+  std::vector<double> freq(abr::kLevels, 0.0);
+  double total = 0.0;
+  for (const auto& trace : corpus) {
+    auto result = abr::run_abr_episode(video, trace, policy);
+    for (const auto& c : result.chunks) {
+      freq[c.level] += 1.0;
+      total += 1.0;
+    }
+  }
+  for (double& f : freq) f /= total;
+  return freq;
+}
+
+void print_freq_table(const std::string& title,
+                      const std::vector<std::pair<std::string,
+                                                  std::vector<double>>>& rows) {
+  std::cout << title << "\n";
+  std::vector<std::string> headers = {"policy"};
+  for (const auto& l : benchx::bitrate_labels()) headers.push_back(l);
+  Table table(headers);
+  for (const auto& [name, freq] : rows) {
+    std::vector<std::string> cells = {name};
+    for (double f : freq) cells.push_back(Table::pct(f, 1));
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_header(
+      "Figure 12 — bitrate selection frequencies",
+      "expected: tree mimics DNN; median bitrates under-selected by the DNN");
+
+  auto scenario = benchx::make_pensieve();
+  auto distilled = benchx::distill_pensieve(scenario);
+  abr::DnnAbrPolicy dnn(scenario.agent.get(), &scenario.video);
+  abr::TreeAbrPolicy tree_policy(distilled.tree);
+
+  // (a)(b): trace corpora.
+  for (auto* corpus : {&scenario.hsdpa_test, &scenario.fcc_test}) {
+    const std::string name =
+        corpus == &scenario.hsdpa_test ? "(a) HSDPA-like traces"
+                                       : "(b) FCC-like traces";
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    for (auto& baseline : abr::standard_baselines()) {
+      rows.emplace_back(baseline->name(),
+                        frequencies(*baseline, scenario.video, *corpus));
+    }
+    rows.emplace_back("Metis+Pensieve",
+                      frequencies(tree_policy, scenario.video, *corpus));
+    rows.emplace_back("Pensieve",
+                      frequencies(dnn, scenario.video, *corpus));
+    print_freq_table(name, rows);
+  }
+
+  // (c): fixed-bandwidth sweep with a long video (the paper's 1000 s).
+  std::cout << "(c) Pensieve on fixed-bandwidth links (1000 s video):\n";
+  abr::Video long_video(250, 7);
+  std::vector<std::string> headers = {"bandwidth"};
+  for (const auto& l : benchx::bitrate_labels()) headers.push_back(l);
+  Table table(headers);
+  for (double bw : {300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0}) {
+    abr::NetworkTrace link = abr::fixed_trace(bw * 1.05, 40000.0);
+    auto result = abr::run_abr_episode(long_video, link, dnn);
+    auto freq = result.level_frequencies(abr::kLevels);
+    std::vector<std::string> cells = {Table::num(bw, 0) + "kbps"};
+    for (double f : freq) cells.push_back(Table::pct(f, 1));
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: 1200kbps / 2850kbps stay rare even on matched "
+               "links (local optimum of the RL policy).\n";
+  return 0;
+}

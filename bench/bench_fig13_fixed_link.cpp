@@ -1,0 +1,94 @@
+// Figure 13 + Table 5 + Appendix D (Figs. 24-26): fixed-link behaviour.
+//
+// Paper claims: on a fixed 3000 kbps link, heuristics converge to
+// 2850 kbps while Pensieve (and its faithful tree mimic) oscillates
+// between 1850 and 4300 kbps, losing QoE; the DNN's probability of the
+// optimal bitrate stays low; on 1300 kbps the same story plays at
+// 1200 kbps (Table 5 reports per-policy QoE).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace metis;
+
+namespace {
+
+struct LinkReport {
+  double qoe = 0.0;
+  double optimal_share = 0.0;   // fraction of chunks at the optimal level
+  std::size_t distinct_levels = 0;
+  double mean_buffer = 0.0;
+};
+
+LinkReport run_on_link(abr::AbrPolicy& policy, const abr::Video& video,
+                       double bw_kbps, std::size_t optimal_level) {
+  abr::NetworkTrace link = abr::fixed_trace(bw_kbps, 60000.0);
+  auto result = abr::run_abr_episode(video, link, policy);
+  LinkReport rep;
+  rep.qoe = result.mean_qoe();
+  auto freq = result.level_frequencies(abr::kLevels);
+  rep.optimal_share = freq[optimal_level];
+  for (double f : freq) rep.distinct_levels += f > 0.02;
+  double buf = 0.0;
+  for (const auto& c : result.chunks) buf += c.buffer_after;
+  rep.mean_buffer = buf / static_cast<double>(result.chunks.size());
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_header(
+      "Figure 13 / Table 5 — fixed-bandwidth links (3000 / 1300 kbps)",
+      "expected: heuristics converge to the sustainable bitrate; the RL "
+      "policy oscillates");
+
+  auto scenario = benchx::make_pensieve();
+  auto distilled = benchx::distill_pensieve(scenario);
+  abr::DnnAbrPolicy dnn(scenario.agent.get(), &scenario.video);
+  abr::TreeAbrPolicy tree_policy(distilled.tree);
+  abr::Video long_video(250, 7);  // the 1000 s replacement video
+
+  struct Case {
+    double bw;
+    std::size_t optimal;  // ladder index of the sustainable bitrate
+  };
+  for (const Case c : {Case{3000.0, 4}, Case{1300.0, 2}}) {
+    std::cout << "\n--- link fixed at " << c.bw << " kbps (optimal "
+              << benchx::bitrate_labels()[c.optimal] << ") ---\n";
+    Table table({"policy", "mean QoE", "share at optimal",
+                 "levels used", "mean buffer (s)"});
+    auto add = [&](const std::string& name, const LinkReport& r) {
+      table.add_row({name, Table::num(r.qoe, 3), Table::pct(r.optimal_share, 1),
+                     std::to_string(r.distinct_levels),
+                     Table::num(r.mean_buffer, 1)});
+    };
+    for (auto& baseline : abr::standard_baselines()) {
+      add(baseline->name(),
+          run_on_link(*baseline, long_video, c.bw, c.optimal));
+    }
+    add("Metis+Pensieve", run_on_link(tree_policy, long_video, c.bw,
+                                      c.optimal));
+    add("Pensieve", run_on_link(dnn, long_video, c.bw, c.optimal));
+    table.print(std::cout);
+  }
+
+  // Appendix D / Figure 25: DNN confidence at the optimal bitrate on the
+  // 3000 kbps link.
+  std::cout << "\nFigure 25 — Pensieve's probability of picking 2850 kbps "
+               "on the 3000 kbps link (sampled along the session):\n";
+  abr::NetworkTrace link = abr::fixed_trace(3000.0, 60000.0);
+  abr::AbrSession session(&long_video, &link, 0.0);
+  std::vector<double> probs;
+  while (!session.done()) {
+    auto obs = session.observe();
+    probs.push_back(
+        scenario.agent->action_probs(obs, long_video)[4]);  // 2850 kbps
+    session.step(scenario.agent->act(obs, long_video));
+  }
+  std::cout << "  mean P(2850kbps) = " << Table::pct(metis::mean(probs), 1)
+            << ", max = " << Table::pct(
+                   *std::max_element(probs.begin(), probs.end()), 1)
+            << "   (paper: surprisingly low probability of the optimum)\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 14 (§6.3): debugging Pensieve via dataset oversampling.
+//
+// The conversion exposes the training set; oversampling the starved
+// median bitrates (to ~1% frequency) yields Metis+Pensieve-O. Paper
+// claim: the oversampled tree outperforms the original DNN by ~1% on
+// average and up to 4% at the 75th percentile on HSDPA traces.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace metis;
+
+int main() {
+  benchx::print_header(
+      "Figure 14 — oversampling the missing bitrates (Metis+Pensieve-O)",
+      "expected: the oversampled tree matches or beats the DNN on average");
+
+  auto scenario = benchx::make_pensieve();
+  // The debugging workflow operates on the raw (uniform) dataset view:
+  // Eq.-1 weighting already patches rare-state behaviour on its own (see
+  // Fig. 20), which would mask the effect being demonstrated here.
+  auto distilled = benchx::distill_pensieve(scenario, 200,
+                                            /*resample=*/false);
+
+  // Identify starved classes in the collected dataset (the §6.3 diagnosis).
+  const auto freq = distilled.train_data.class_frequencies();
+  std::cout << "training-set action frequencies:\n";
+  std::vector<std::size_t> starved;
+  for (std::size_t c = 0; c < freq.size(); ++c) {
+    std::cout << "  " << benchx::bitrate_labels()[c] << ": "
+              << Table::pct(freq[c], 2) << (freq[c] < 0.01 ? "  <- starved" : "")
+              << "\n";
+    if (freq[c] > 0.0 && freq[c] < 0.01) starved.push_back(c);
+  }
+
+  core::DistillConfig dc;
+  dc.max_leaves = 200;
+  dc.feature_names = abr::tree_feature_names();
+  // 5% rather than the paper's ~1%: our CCP prunes at a tighter leaf
+  // budget, and a 1% class does not survive it.
+  tree::DecisionTree oversampled =
+      core::refit_with_oversampling(distilled, starved, 0.05, dc);
+
+  abr::DnnAbrPolicy dnn(scenario.agent.get(), &scenario.video);
+  abr::TreeAbrPolicy plain_tree(distilled.tree, "Metis+Pensieve");
+  abr::TreeAbrPolicy over_tree(oversampled, "Metis+Pensieve-O");
+
+  // The starved bitrates only matter on links that can sustain them, so
+  // evaluate on a high-bandwidth corpus too (the §6.3 diagnosis: the RL
+  // policy under-serves exactly those links).
+  abr::TraceGenConfig high;
+  high.family = abr::TraceFamily::kFcc;
+  high.duration_seconds = 1000.0;
+  std::vector<abr::NetworkTrace> high_bw =
+      abr::generate_corpus(high, 16, 902);
+  for (auto& trace : high_bw) {
+    for (double& kbps : trace.bandwidth_kbps) kbps *= 2.2;
+  }
+
+  for (auto* corpus : {&scenario.hsdpa_test, &scenario.fcc_test, &high_bw}) {
+    const std::string name = corpus == &scenario.hsdpa_test ? "HSDPA-like"
+                             : corpus == &scenario.fcc_test
+                                 ? "FCC-like"
+                                 : "high-bandwidth (2.2x FCC)";
+    auto q_dnn = benchx::qoes_over(dnn, scenario.video, *corpus);
+    auto q_tree = benchx::qoes_over(plain_tree, scenario.video, *corpus);
+    auto q_over = benchx::qoes_over(over_tree, scenario.video, *corpus);
+    const double base = metis::mean(q_dnn);
+
+    std::cout << "\n" << name
+              << " traces — QoE normalized by Pensieve (DNN):\n";
+    Table table({"policy", "p25", "avg", "p75"});
+    auto add = [&](const std::string& label, std::vector<double>& qs) {
+      table.add_row({label,
+                     Table::pct(metis::percentile(qs, 25) /
+                                    metis::percentile(q_dnn, 25)),
+                     Table::pct(metis::mean(qs) / base),
+                     Table::pct(metis::percentile(qs, 75) /
+                                    metis::percentile(q_dnn, 75))});
+    };
+    add("Pensieve (DNN)", q_dnn);
+    add("Metis+Pensieve", q_tree);
+    add("Metis+Pensieve-O", q_over);
+    table.print(std::cout);
+  }
+  // Targeted verification: a fixed link matched to each starved bitrate,
+  // where selecting it is optimal (the §6.3 deep-dive protocol).
+  std::cout << "\nfixed links matched to the starved bitrates:\n";
+  Table fixed_table({"link", "DNN", "Metis+Pensieve", "Metis+Pensieve-O"});
+  for (std::size_t c : starved) {
+    const double kbps = abr::bitrate_ladder_kbps()[c] * 1.05 + 150.0;
+    abr::NetworkTrace link = abr::fixed_trace(kbps, 800.0);
+    fixed_table.add_row(
+        {std::to_string(static_cast<int>(kbps)) + " kbps",
+         Table::num(abr::run_abr_episode(scenario.video, link, dnn)
+                        .mean_qoe()),
+         Table::num(abr::run_abr_episode(scenario.video, link, plain_tree)
+                        .mean_qoe()),
+         Table::num(abr::run_abr_episode(scenario.video, link, over_tree)
+                        .mean_qoe())});
+  }
+  fixed_table.print(std::cout);
+
+  std::cout << "\npaper: Metis+Pensieve-O gains ~1% avg / ~4% p75 over the "
+               "DNN on HSDPA.\n";
+  return 0;
+}

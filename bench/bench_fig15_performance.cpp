@@ -1,0 +1,99 @@
+// Figure 15 (§6.4): performance maintenance of the distilled trees.
+//
+// Paper claims: (a) Metis+Pensieve is within ±0.6% of the Pensieve DNN's
+// average QoE on both trace families (and both beat the heuristics);
+// (b) Metis+AuTO stays within 2% of AuTO's FCT on both workloads.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metis/flowsched/auto_agents.h"
+#include "metis/flowsched/fabric_sim.h"
+#include "metis/flowsched/tree_scheduler.h"
+#include "metis/tree/prune.h"
+
+using namespace metis;
+
+namespace {
+
+void pensieve_part() {
+  std::cout << "(a) Metis over Pensieve — mean QoE/chunk:\n";
+  auto scenario = benchx::make_pensieve();
+  auto distilled = benchx::distill_pensieve(scenario);
+  abr::DnnAbrPolicy dnn(scenario.agent.get(), &scenario.video);
+  abr::TreeAbrPolicy tree_policy(distilled.tree);
+
+  Table table({"policy", "HSDPA", "FCC"});
+  for (auto& baseline : abr::standard_baselines()) {
+    table.add_row(
+        {baseline->name(),
+         Table::num(benchx::mean_qoe_over(*baseline, scenario.video,
+                                          scenario.hsdpa_test)),
+         Table::num(benchx::mean_qoe_over(*baseline, scenario.video,
+                                          scenario.fcc_test))});
+  }
+  const double dnn_h =
+      benchx::mean_qoe_over(dnn, scenario.video, scenario.hsdpa_test);
+  const double dnn_f =
+      benchx::mean_qoe_over(dnn, scenario.video, scenario.fcc_test);
+  const double tree_h =
+      benchx::mean_qoe_over(tree_policy, scenario.video, scenario.hsdpa_test);
+  const double tree_f =
+      benchx::mean_qoe_over(tree_policy, scenario.video, scenario.fcc_test);
+  table.add_row({"Metis+Pensieve", Table::num(tree_h), Table::num(tree_f)});
+  table.add_row({"Pensieve", Table::num(dnn_h), Table::num(dnn_f)});
+  table.print(std::cout);
+  std::cout << "tree-vs-DNN gap: HSDPA "
+            << Table::pct((tree_h - dnn_h) / std::abs(dnn_h), 2) << ", FCC "
+            << Table::pct((tree_f - dnn_f) / std::abs(dnn_f), 2)
+            << "   (paper: +0.1% / -0.6%)\n\n";
+}
+
+void auto_part() {
+  std::cout << "(b) Metis over AuTO — normalized FCT slowdown "
+               "(lower is better):\n";
+  using namespace metis::flowsched;
+  for (auto family : {WorkloadFamily::kWebSearch,
+                      WorkloadFamily::kDataMining}) {
+    const std::string fam_name =
+        family == WorkloadFamily::kWebSearch ? "WS" : "DM";
+    auto s = benchx::make_lrla(family);
+    FlowGenConfig gen;
+    gen.family = family;
+    gen.load = 0.45;
+    gen.duration_s = 0.35;
+    auto test = generate_workload(gen, 999);
+
+    // Same latency on both sides: isolate policy fidelity (Fig. 16
+    // separately measures the latency benefit).
+    LrlaScheduler dnn_sched(
+        [&](const Flow& f, double sent) {
+          return s.agent->priority_for(f, sent);
+        },
+        kDnnDecisionLatency);
+    TreeLrlaScheduler tree_sched(s.tree, s.fabric.mlfq.queue_count(),
+                                 kDnnDecisionLatency);
+    FabricSim sim(s.fabric);
+    auto dnn_res = sim.run(test, &dnn_sched);
+    auto tree_res = sim.run(test, &tree_sched);
+    const FctStats f_dnn = fct_stats(dnn_res, s.fabric.link_bps);
+    const FctStats f_tree = fct_stats(tree_res, s.fabric.link_bps);
+
+    Table table({"scheduler (" + fam_name + ")", "avg", "p99"});
+    table.add_row({"AuTO (DNN)", Table::pct(1.0), Table::pct(1.0)});
+    table.add_row({"Metis+AuTO", Table::pct(f_tree.avg / f_dnn.avg),
+                   Table::pct(f_tree.p99 / f_dnn.p99)});
+    table.print(std::cout);
+  }
+  std::cout << "paper: Metis+AuTO stays within 2% of AuTO (avg and p99).\n";
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_header(
+      "Figure 15 — performance maintenance of distilled trees",
+      "expected: tree within ~2% of its DNN teacher on both systems");
+  pensieve_part();
+  auto_part();
+  return 0;
+}

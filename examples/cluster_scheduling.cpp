@@ -1,0 +1,56 @@
+// Appendix B.3 walkthrough: interpret a cluster DAG scheduler with the
+// hypergraph formulation.
+//
+// A Spark-style job is a layered DAG of stages; each data dependency is a
+// hyperedge over the child stage and its parents. The §4.2 search tells
+// the operator which dependencies actually steer the executor allocation
+// — the critical path — and which are slack.
+//
+// Run:  ./examples/cluster_scheduling
+#include <iostream>
+
+#include "metis/core/hypergraph_interpreter.h"
+#include "metis/scenarios/cluster.h"
+#include "metis/util/table.h"
+
+int main() {
+  using namespace metis;
+
+  // A 4-layer, 3-wide job; one heavy dependency per layer.
+  scenarios::ClusterJob job = scenarios::random_job(4, 3, 2026);
+  scenarios::ClusterSchedulingModel model(job);
+  const auto& graph = model.graph();
+
+  std::cout << "job: " << job.stages << " stages, " << job.deps.size()
+            << " dependencies, " << graph.connection_count()
+            << " hypergraph connections\n\n";
+
+  std::cout << "dependency data volumes:\n";
+  for (std::size_t e = 0; e < job.deps.size(); ++e) {
+    std::cout << "  " << graph.edge_names[e] << "  parents={";
+    for (std::size_t i = 0; i < job.deps[e].parents.size(); ++i) {
+      std::cout << (i ? "," : "") << job.deps[e].parents[i];
+    }
+    std::cout << "}  data=" << job.deps[e].data << "\n";
+  }
+
+  core::InterpretConfig cfg;  // Table-4 defaults
+  cfg.steps = 300;
+  const auto interp = core::find_critical_connections(model, cfg);
+
+  std::cout << "\ncritical (dependency, stage) connections:\n";
+  Table table({"#", "dependency", "stage", "mask W_ev"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(6, interp.ranked.size());
+       ++i) {
+    const auto& c = interp.ranked[i];
+    table.add_row({std::to_string(i + 1), graph.edge_names[c.edge],
+                   graph.vertex_names[c.vertex], Table::num(c.mask)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading the result: connections that survive with masks "
+               "near 1 are the\ndependencies the allocator's decisions "
+               "hinge on (the heavy, critical-path\nedges); suppressed "
+               "connections could be descheduled or co-located freely.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Deployment walkthrough for AuTO (the paper's §6.4 storyline): train the
+// lRLA flow-scheduling agent, distill it into a decision tree, and show
+// how the ~27x shorter decision latency enlarges per-flow coverage and
+// improves flow completion times.
+//
+// Run:  ./examples/lightweight_scheduler
+#include <iomanip>
+#include <iostream>
+
+#include "metis/core/distill.h"
+#include "metis/flowsched/auto_agents.h"
+#include "metis/flowsched/fabric_sim.h"
+#include "metis/flowsched/flow_gen.h"
+#include "metis/flowsched/tree_scheduler.h"
+#include "metis/tree/prune.h"
+#include "metis/tree/tree_io.h"
+#include "metis/util/table.h"
+
+int main() {
+  using namespace metis;
+  using namespace metis::flowsched;
+
+  std::cout << "=== Step 1: workloads and teacher training ===\n";
+  FlowGenConfig gen;
+  gen.family = WorkloadFamily::kDataMining;
+  gen.load = 0.45;
+  gen.duration_s = 0.4;
+  std::vector<std::vector<Flow>> train_workloads;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    train_workloads.push_back(generate_workload(gen, 100 + s));
+  }
+  FabricConfig fabric;
+  LrlaAgent agent(fabric.mlfq.queue_count(), 7);
+  CemConfig cem;
+  cem.iterations = 5;
+  cem.population = 8;
+  agent.train(train_workloads, fabric, cem);
+  std::cout << "lRLA teacher trained on " << train_workloads.size()
+            << " workloads\n\n";
+
+  std::cout << "=== Step 2: distill the scheduler into a tree ===\n";
+  // Collect (features, priority) decisions by replaying the teacher.
+  LrlaScheduler dnn_sched(
+      [&](const Flow& f, double sent) { return agent.priority_for(f, sent); },
+      kDnnDecisionLatency);
+  FabricSim sim(fabric);
+  for (const auto& wl : train_workloads) (void)sim.run(wl, &dnn_sched);
+
+  tree::Dataset data;
+  data.feature_names = {"log_size", "log_sent", "frac_sent"};
+  for (const auto& d : dnn_sched.decisions()) {
+    data.add(d.features, static_cast<double>(d.priority));
+  }
+  tree::FitConfig fit;
+  fit.min_samples_leaf = 4;
+  tree::DecisionTree t = tree::DecisionTree::fit(data, fit);
+  if (t.leaf_count() > 50) tree::prune_to_leaf_count(t, 50);
+  std::cout << "tree: " << t.leaf_count() << " leaves, fidelity "
+            << std::fixed << std::setprecision(1) << t.accuracy(data) * 100.0
+            << "%\n\nScheduling policy (top layers):\n";
+  tree::PrintOptions opts;
+  opts.max_depth = 2;
+  tree::print_tree(t, std::cout, opts);
+
+  std::cout << "\n=== Step 3: coverage and FCT on a fresh workload ===\n";
+  auto test = generate_workload(gen, 999);
+  TreeLrlaScheduler tree_sched(t, fabric.mlfq.queue_count());
+  auto dnn_results = sim.run(test, &dnn_sched);
+  auto tree_results = sim.run(test, &tree_sched);
+
+  const Coverage c_dnn = coverage_of(dnn_results);
+  const Coverage c_tree = coverage_of(tree_results);
+  const FctStats f_dnn = fct_stats(dnn_results, fabric.link_bps);
+  const FctStats f_tree = fct_stats(tree_results, fabric.link_bps);
+
+  Table table({"scheduler", "decision latency", "flows covered",
+               "bytes covered", "avg FCT slowdown"});
+  table.add_row({"AuTO (DNN)", "61.6 ms", Table::pct(c_dnn.flow_fraction),
+                 Table::pct(c_dnn.byte_fraction), Table::num(f_dnn.avg, 2)});
+  table.add_row({"Metis+AuTO (tree)", "2.3 ms",
+                 Table::pct(c_tree.flow_fraction),
+                 Table::pct(c_tree.byte_fraction), Table::num(f_tree.avg, 2)});
+  table.print(std::cout);
+
+  std::cout << "\n=== Step 4: data-plane offload (SmartNIC, §6.4) ===\n";
+  // The tree compiles to branching clauses only — the form the paper
+  // ported to a Netronome NFP-4000 in ~1000 LoC.
+  tree::DecisionTree small = t.clone();
+  tree::prune_to_leaf_count(small, 6);
+  tree::collapse_redundant_splits(small);
+  const std::string c_src = tree::emit_c_source(small, "lrla_priority");
+  std::cout << c_src
+            << "(emitted " << small.leaf_count()
+            << "-leaf policy; the full tree emits the same way)\n";
+  return 0;
+}

@@ -1,0 +1,192 @@
+#include "metis/abr/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "metis/util/check.h"
+
+namespace metis::abr {
+
+double harmonic_mean_recent(const std::vector<double>& xs,
+                            std::size_t window) {
+  MET_CHECK(window > 0);
+  if (xs.empty()) return 0.0;
+  const std::size_t n = std::min(window, xs.size());
+  double denom = 0.0;
+  for (std::size_t i = xs.size() - n; i < xs.size(); ++i) {
+    MET_CHECK(xs[i] > 0.0);
+    denom += 1.0 / xs[i];
+  }
+  return static_cast<double>(n) / denom;
+}
+
+namespace {
+
+// Highest ladder level whose bitrate is <= budget_kbps (level 0 if none).
+std::size_t highest_level_below(double budget_kbps) {
+  const auto& ladder = bitrate_ladder_kbps();
+  std::size_t level = 0;
+  for (std::size_t l = 0; l < ladder.size(); ++l) {
+    if (ladder[l] <= budget_kbps) level = l;
+  }
+  return level;
+}
+
+}  // namespace
+
+BufferBasedPolicy::BufferBasedPolicy(double reservoir_seconds,
+                                     double cushion_seconds)
+    : reservoir_(reservoir_seconds), cushion_(cushion_seconds) {
+  MET_CHECK(reservoir_ > 0.0 && cushion_ > 0.0);
+}
+
+std::size_t BufferBasedPolicy::decide(const AbrObservation& obs) {
+  const std::size_t top = kLevels - 1;
+  if (obs.buffer_seconds <= reservoir_) return 0;
+  if (obs.buffer_seconds >= reservoir_ + cushion_) return top;
+  const double frac = (obs.buffer_seconds - reservoir_) / cushion_;
+  return static_cast<std::size_t>(frac * static_cast<double>(top) + 0.5);
+}
+
+RateBasedPolicy::RateBasedPolicy(std::size_t window) : window_(window) {
+  MET_CHECK(window_ > 0);
+}
+
+std::size_t RateBasedPolicy::decide(const AbrObservation& obs) {
+  const double pred = harmonic_mean_recent(obs.throughput_kbps, window_);
+  if (pred <= 0.0) return 0;  // nothing observed yet: start safe
+  return highest_level_below(pred);
+}
+
+FestivePolicy::FestivePolicy(double efficiency, std::size_t patience,
+                             std::size_t window)
+    : efficiency_(efficiency), patience_(patience), window_(window) {
+  MET_CHECK(efficiency_ > 0.0 && efficiency_ <= 1.0);
+  MET_CHECK(patience_ > 0);
+}
+
+void FestivePolicy::begin_episode() { up_streak_ = 0; }
+
+std::size_t FestivePolicy::decide(const AbrObservation& obs) {
+  const double pred = harmonic_mean_recent(obs.throughput_kbps, window_);
+  if (pred <= 0.0) {
+    up_streak_ = 0;
+    return 0;
+  }
+  const std::size_t target = highest_level_below(efficiency_ * pred);
+  const std::size_t current = obs.last_level;
+  if (target > current) {
+    ++up_streak_;
+    if (up_streak_ >= patience_) {
+      up_streak_ = 0;
+      return current + 1;  // gradual single-step increase
+    }
+    return current;
+  }
+  up_streak_ = 0;
+  if (target < current) return current - 1;  // step down gently
+  return current;
+}
+
+BolaPolicy::BolaPolicy(double gamma_p) : gamma_p_(gamma_p) {
+  MET_CHECK(gamma_p_ > 0.0);
+}
+
+std::size_t BolaPolicy::decide(const AbrObservation& obs) {
+  // BOLA-basic over chunk-normalized buffer Q and log utilities.
+  const auto& ladder = bitrate_ladder_kbps();
+  const double q_chunks = obs.buffer_seconds / kChunkSeconds;
+  const double q_max = kBufferCapSeconds / kChunkSeconds;
+  const double v_top = std::log(ladder.back() / ladder.front());
+  const double control_v = (q_max - 1.0) / (v_top + gamma_p_);
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::size_t best_level = 0;
+  for (std::size_t m = 0; m < ladder.size(); ++m) {
+    const double utility = std::log(ladder[m] / ladder.front());
+    const double rel_size = ladder[m] / ladder.front();
+    const double score =
+        (control_v * (utility + gamma_p_) - q_chunks) / rel_size;
+    if (score > best_score) {
+      best_score = score;
+      best_level = m;
+    }
+  }
+  // When every score is negative the buffer is ample; BOLA coasts at the
+  // level whose score is maximal anyway (matches BOLA-basic behaviour).
+  return best_level;
+}
+
+RobustMpcPolicy::RobustMpcPolicy(std::size_t horizon, std::size_t window)
+    : horizon_(horizon), window_(window) {
+  MET_CHECK(horizon_ >= 1 && horizon_ <= 6);
+}
+
+std::size_t RobustMpcPolicy::decide(const AbrObservation& obs) {
+  const auto& ladder = bitrate_ladder_kbps();
+  // Robust prediction: harmonic mean discounted by the recent maximum
+  // relative prediction error.
+  const double hm = harmonic_mean_recent(obs.throughput_kbps, window_);
+  if (hm <= 0.0) return 0;
+  double max_err = 0.0;
+  const std::size_t n = obs.throughput_kbps.size();
+  const std::size_t w = std::min(window_, n);
+  for (std::size_t i = n - w; i < n; ++i) {
+    const double err = std::abs(obs.throughput_kbps[i] - hm) /
+                       std::max(obs.throughput_kbps[i], 1e-9);
+    max_err = std::max(max_err, err);
+  }
+  const double pred = hm / (1.0 + max_err);
+
+  const std::size_t steps =
+      std::min<std::size_t>(horizon_, std::max<std::size_t>(
+                                          obs.chunks_remaining, 1));
+  const double chunk_kbits_per_level = kChunkSeconds;  // times bitrate below
+
+  // Exhaustive enumeration of bitrate sequences over the horizon,
+  // simulating buffer evolution under the constant predicted throughput.
+  double best_qoe = -std::numeric_limits<double>::infinity();
+  std::size_t best_first = 0;
+  std::vector<std::size_t> seq(steps, 0);
+  const std::size_t total =
+      static_cast<std::size_t>(std::pow(double(ladder.size()), double(steps)));
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    for (std::size_t i = 0; i < steps; ++i) {
+      seq[i] = c % ladder.size();
+      c /= ladder.size();
+    }
+    double buffer = obs.buffer_seconds;
+    double prev_rate =
+        obs.last_bitrate_kbps > 0.0 ? obs.last_bitrate_kbps : ladder[seq[0]];
+    double qoe = 0.0;
+    for (std::size_t i = 0; i < steps; ++i) {
+      const double rate = ladder[seq[i]];
+      const double dl = rate * chunk_kbits_per_level / pred;
+      const double rebuffer = std::max(dl - buffer, 0.0);
+      buffer = std::max(buffer - dl, 0.0) + kChunkSeconds;
+      qoe += chunk_qoe(rate, prev_rate, rebuffer);
+      prev_rate = rate;
+    }
+    if (qoe > best_qoe) {
+      best_qoe = qoe;
+      best_first = seq[0];
+    }
+  }
+  return best_first;
+}
+
+std::size_t FixedLowestPolicy::decide(const AbrObservation&) { return 0; }
+
+std::vector<std::unique_ptr<AbrPolicy>> standard_baselines() {
+  std::vector<std::unique_ptr<AbrPolicy>> ps;
+  ps.push_back(std::make_unique<BufferBasedPolicy>());
+  ps.push_back(std::make_unique<RateBasedPolicy>());
+  ps.push_back(std::make_unique<FestivePolicy>());
+  ps.push_back(std::make_unique<BolaPolicy>());
+  ps.push_back(std::make_unique<RobustMpcPolicy>());
+  return ps;
+}
+
+}  // namespace metis::abr

@@ -1,0 +1,98 @@
+// Heuristic ABR baselines used throughout the paper's Pensieve experiments
+// (§5, Figures 12-15): BB, RB, FESTIVE, BOLA, robust MPC, plus the
+// lowest-bitrate "Fixed" control used in the Figure-17b resource study.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metis/abr/env.h"
+
+namespace metis::abr {
+
+// Buffer-based (Huang et al., SIGCOMM'14): map the buffer level linearly
+// onto the ladder between a reservoir and a cushion.
+class BufferBasedPolicy final : public AbrPolicy {
+ public:
+  explicit BufferBasedPolicy(double reservoir_seconds = 5.0,
+                             double cushion_seconds = 10.0);
+  [[nodiscard]] std::size_t decide(const AbrObservation& obs) override;
+  [[nodiscard]] std::string name() const override { return "BB"; }
+
+ private:
+  double reservoir_;
+  double cushion_;
+};
+
+// Rate-based: highest bitrate below the harmonic mean of recent
+// throughput.
+class RateBasedPolicy final : public AbrPolicy {
+ public:
+  explicit RateBasedPolicy(std::size_t window = 5);
+  [[nodiscard]] std::size_t decide(const AbrObservation& obs) override;
+  [[nodiscard]] std::string name() const override { return "RB"; }
+
+ private:
+  std::size_t window_;
+};
+
+// FESTIVE (Jiang et al., CoNEXT'12), simplified to its rate-estimation and
+// gradual-switching core: target = efficiency * harmonic-mean throughput;
+// step up one level only after `patience` consecutive chunks wanting it.
+class FestivePolicy final : public AbrPolicy {
+ public:
+  FestivePolicy(double efficiency = 0.85, std::size_t patience = 3,
+                std::size_t window = 5);
+  [[nodiscard]] std::size_t decide(const AbrObservation& obs) override;
+  void begin_episode() override;
+  [[nodiscard]] std::string name() const override { return "FESTIVE"; }
+
+ private:
+  double efficiency_;
+  std::size_t patience_;
+  std::size_t window_;
+  std::size_t up_streak_ = 0;
+};
+
+// BOLA (Spiteri et al., INFOCOM'16): Lyapunov-based utility maximization on
+// buffer level only.
+class BolaPolicy final : public AbrPolicy {
+ public:
+  explicit BolaPolicy(double gamma_p = 5.0);
+  [[nodiscard]] std::size_t decide(const AbrObservation& obs) override;
+  [[nodiscard]] std::string name() const override { return "BOLA"; }
+
+ private:
+  double gamma_p_;
+};
+
+// Robust MPC (Yin et al., SIGCOMM'15): exhaustive lookahead over the QoE
+// objective with a conservatively discounted throughput prediction.
+class RobustMpcPolicy final : public AbrPolicy {
+ public:
+  RobustMpcPolicy(std::size_t horizon = 5, std::size_t window = 5);
+  [[nodiscard]] std::size_t decide(const AbrObservation& obs) override;
+  [[nodiscard]] std::string name() const override { return "rMPC"; }
+
+ private:
+  std::size_t horizon_;
+  std::size_t window_;
+};
+
+// Always the lowest level — the "Fixed" control of Figure 17b.
+class FixedLowestPolicy final : public AbrPolicy {
+ public:
+  [[nodiscard]] std::size_t decide(const AbrObservation& obs) override;
+  [[nodiscard]] std::string name() const override { return "Fixed"; }
+};
+
+// Harmonic mean of the last `window` entries of xs (most recent last);
+// returns 0 when xs is empty. Shared by RB / FESTIVE / rMPC.
+[[nodiscard]] double harmonic_mean_recent(const std::vector<double>& xs,
+                                          std::size_t window);
+
+// The five heuristics of the paper's comparison, in presentation order.
+[[nodiscard]] std::vector<std::unique_ptr<AbrPolicy>> standard_baselines();
+
+}  // namespace metis::abr

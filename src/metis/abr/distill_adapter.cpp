@@ -1,0 +1,39 @@
+#include "metis/abr/distill_adapter.h"
+
+#include "metis/util/check.h"
+
+namespace metis::abr {
+
+AbrRolloutEnv::AbrRolloutEnv(AbrEnv* env) : env_(env) {
+  MET_CHECK(env != nullptr);
+}
+
+std::size_t AbrRolloutEnv::action_count() const {
+  return env_->action_count();
+}
+
+std::vector<double> AbrRolloutEnv::reset(std::size_t episode) {
+  return env_->reset(episode);
+}
+
+nn::StepResult AbrRolloutEnv::step(std::size_t action) {
+  return env_->step(action);
+}
+
+std::vector<double> AbrRolloutEnv::interpretable_features() const {
+  return tree_features(env_->current_observation());
+}
+
+std::vector<double> AbrRolloutEnv::q_values(const core::Teacher& teacher,
+                                            double gamma) const {
+  // Model-based bootstrap: Q(s,a) = r(s,a) + γ·V(s') with s' from the
+  // deterministic session simulator (Appendix A, Eq. 11).
+  std::vector<double> qs(env_->action_count());
+  for (std::size_t a = 0; a < qs.size(); ++a) {
+    auto [reward, next_state] = env_->peek_step(a);
+    qs[a] = reward + gamma * teacher.value(next_state);
+  }
+  return qs;
+}
+
+}  // namespace metis::abr

@@ -1,0 +1,26 @@
+// Adapter exposing the ABR environment to Metis' distillation pipeline:
+// full DNN state for the teacher, Figure-7 decision variables for the
+// student tree, and model-based Q(s,·) lookahead for Eq. 1.
+#pragma once
+
+#include "metis/abr/env.h"
+#include "metis/core/teacher.h"
+
+namespace metis::abr {
+
+class AbrRolloutEnv final : public core::RolloutEnv {
+ public:
+  explicit AbrRolloutEnv(AbrEnv* env);
+
+  [[nodiscard]] std::size_t action_count() const override;
+  std::vector<double> reset(std::size_t episode) override;
+  nn::StepResult step(std::size_t action) override;
+  [[nodiscard]] std::vector<double> interpretable_features() const override;
+  [[nodiscard]] std::vector<double> q_values(const core::Teacher& teacher,
+                                             double gamma) const override;
+
+ private:
+  AbrEnv* env_;
+};
+
+}  // namespace metis::abr

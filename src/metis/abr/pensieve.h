@@ -1,0 +1,92 @@
+// Pensieve re-implementation: an A2C-trained softmax policy over the ABR
+// environment (the DNN teacher that Metis distills in §3 / §6.1-6.4).
+//
+// The `modified_structure` flag reproduces the §6.2 redesign: the last
+// chunk bitrate r_t — the feature Metis' tree identified as dominant — is
+// concatenated directly onto the policy head (Figure 10b).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "metis/abr/env.h"
+#include "metis/abr/oracle.h"
+#include "metis/nn/a2c.h"
+#include "metis/nn/mlp.h"
+
+namespace metis::abr {
+
+struct PensieveConfig {
+  std::size_t hidden_dim = 64;
+  std::size_t hidden_layers = 2;
+  bool modified_structure = false;  // §6.2 Figure 10(b)
+  nn::A2cConfig train;
+  std::uint64_t seed = 1;
+
+  PensieveConfig() {
+    train.episodes = 400;
+    train.max_steps = 500;
+    train.gamma = 0.97;
+    train.actor_lr = 5e-4;
+    train.critic_lr = 2e-3;
+    train.entropy_bonus = 0.02;
+  }
+};
+
+class PensieveAgent {
+ public:
+  explicit PensieveAgent(const PensieveConfig& cfg);
+
+  // Behavior-clones the causal MPC expert over the environment's trace
+  // corpus, then runs DAgger rounds (roll out the clone, query the expert
+  // at the visited states, refit) to close the distribution-shift gap.
+  // Returns the final cross-entropy. Calling train() afterwards adds an
+  // A2C finetuning pass; the combination stands in for the paper's
+  // "finetuned model provided by [50]".
+  struct PretrainConfig {
+    nn::BcConfig bc;
+    CausalMpcConfig expert;
+    std::size_t offsets_per_trace = 2;  // expert episodes per corpus trace
+    std::size_t dagger_rounds = 2;
+    std::size_t dagger_offsets_per_trace = 1;
+
+    PretrainConfig() { bc.epochs = 600; }
+  };
+  double pretrain(const AbrEnv& env, const PretrainConfig& cfg);
+  double pretrain(const AbrEnv& env) { return pretrain(env, {}); }
+
+  // Trains on the environment; returns the learning curve.
+  nn::A2cResult train(AbrEnv& env);
+
+  [[nodiscard]] const nn::PolicyNet& net() const { return net_; }
+  [[nodiscard]] nn::PolicyNet& mutable_net() { return net_; }
+
+  // Greedy action for an environment observation.
+  [[nodiscard]] std::size_t act(const AbrObservation& obs,
+                                const Video& video) const;
+  [[nodiscard]] std::vector<double> action_probs(const AbrObservation& obs,
+                                                 const Video& video) const;
+  [[nodiscard]] double value(const AbrObservation& obs,
+                             const Video& video) const;
+
+ private:
+  PensieveConfig cfg_;
+  metis::Rng rng_;
+  nn::PolicyNet net_;
+};
+
+// AbrPolicy adapter so the DNN competes on the same footing as heuristics.
+class DnnAbrPolicy final : public AbrPolicy {
+ public:
+  DnnAbrPolicy(const PensieveAgent* agent, const Video* video,
+               std::string label = "Pensieve");
+  [[nodiscard]] std::size_t decide(const AbrObservation& obs) override;
+  [[nodiscard]] std::string name() const override { return label_; }
+
+ private:
+  const PensieveAgent* agent_;
+  const Video* video_;
+  std::string label_;
+};
+
+}  // namespace metis::abr

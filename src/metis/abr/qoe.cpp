@@ -1,0 +1,22 @@
+#include "metis/abr/qoe.h"
+
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis::abr {
+
+double quality(double bitrate_kbps) {
+  MET_CHECK(bitrate_kbps > 0.0);
+  return bitrate_kbps / 1000.0;
+}
+
+double chunk_qoe(double bitrate_kbps, double prev_bitrate_kbps,
+                 double rebuffer_seconds) {
+  MET_CHECK(rebuffer_seconds >= 0.0);
+  return quality(bitrate_kbps) - kRebufferPenalty * rebuffer_seconds -
+         kSmoothPenalty *
+             std::abs(quality(bitrate_kbps) - quality(prev_bitrate_kbps));
+}
+
+}  // namespace metis::abr

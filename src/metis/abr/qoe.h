@@ -1,0 +1,23 @@
+// Pensieve's linear QoE metric (§5): per-chunk
+//   QoE_t = q(R_t) − μ · rebuffer_t − |q(R_t) − q(R_{t−1})|
+// with q(R) = bitrate in Mbps and μ = 4.3 (the rebuffer penalty equal to
+// the top bitrate, as in the Pensieve paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace metis::abr {
+
+inline constexpr double kRebufferPenalty = 4.3;
+inline constexpr double kSmoothPenalty = 1.0;
+
+// Quality term q(R) for a bitrate in kbps.
+[[nodiscard]] double quality(double bitrate_kbps);
+
+// Per-chunk QoE given this chunk's bitrate, the previous chunk's bitrate,
+// and the rebuffering this chunk caused. First chunk: pass prev == current.
+[[nodiscard]] double chunk_qoe(double bitrate_kbps, double prev_bitrate_kbps,
+                               double rebuffer_seconds);
+
+}  // namespace metis::abr

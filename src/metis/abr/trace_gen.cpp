@@ -1,0 +1,101 @@
+#include "metis/abr/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metis/util/check.h"
+#include "metis/util/stats.h"
+
+namespace metis::abr {
+
+double NetworkTrace::bandwidth_at(double t) const {
+  MET_CHECK(!bandwidth_kbps.empty());
+  MET_CHECK(t >= 0.0);
+  const double dur = duration_seconds();
+  const double wrapped = std::fmod(t, dur);
+  auto idx = static_cast<std::size_t>(wrapped / step_seconds);
+  idx = std::min(idx, bandwidth_kbps.size() - 1);
+  return bandwidth_kbps[idx];
+}
+
+double NetworkTrace::mean_kbps() const {
+  return metis::mean(bandwidth_kbps);
+}
+
+namespace {
+
+// Mean-reverting log-bandwidth walk with regime shifts and fades.
+NetworkTrace markov_trace(std::uint64_t seed, double mean_kbps,
+                          double volatility, double fade_prob,
+                          double fade_depth, double duration,
+                          const std::string& prefix) {
+  metis::Rng rng(seed);
+  NetworkTrace trace;
+  trace.name = prefix + "-" + std::to_string(seed);
+  trace.step_seconds = 1.0;
+  const auto steps = static_cast<std::size_t>(duration);
+  trace.bandwidth_kbps.reserve(steps);
+
+  const double log_mean = std::log(mean_kbps);
+  double level = rng.normal(log_mean, volatility);
+  std::size_t fade_left = 0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    // Ornstein–Uhlenbeck-style mean reversion in log space.
+    level += 0.15 * (log_mean - level) + rng.normal(0.0, volatility * 0.35);
+    double bw = std::exp(level);
+    if (fade_left > 0) {
+      --fade_left;
+      bw *= fade_depth;
+    } else if (rng.bernoulli(fade_prob)) {
+      fade_left = 2 + rng.uniform_int(6);  // 2-7 s fade
+    }
+    trace.bandwidth_kbps.push_back(std::clamp(bw, 80.0, 12000.0));
+  }
+  return trace;
+}
+
+}  // namespace
+
+NetworkTrace generate_trace(const TraceGenConfig& cfg, std::uint64_t seed) {
+  MET_CHECK(cfg.duration_seconds >= 1.0);
+  switch (cfg.family) {
+    case TraceFamily::kHsdpa:
+      // 3G commute: ~1.2 Mbps mean, heavy-tailed variation, frequent fades.
+      return markov_trace(seed, 1200.0, 0.55, 0.02, 0.25,
+                          cfg.duration_seconds, "hsdpa");
+    case TraceFamily::kFcc:
+      // Broadband: ~2.2 Mbps mean, moderate variation, rare dips.
+      return markov_trace(seed, 2200.0, 0.35, 0.005, 0.5,
+                          cfg.duration_seconds, "fcc");
+    case TraceFamily::kFixed:
+      return fixed_trace(cfg.fixed_kbps, cfg.duration_seconds);
+  }
+  MET_CHECK_MSG(false, "unknown trace family");
+  return {};
+}
+
+std::vector<NetworkTrace> generate_corpus(const TraceGenConfig& cfg,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  MET_CHECK(count > 0);
+  metis::Rng rng(seed);
+  std::vector<NetworkTrace> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    corpus.push_back(generate_trace(cfg, rng.next_u64()));
+  }
+  return corpus;
+}
+
+NetworkTrace fixed_trace(double kbps, double duration_seconds) {
+  MET_CHECK(kbps > 0.0);
+  MET_CHECK(duration_seconds >= 1.0);
+  NetworkTrace trace;
+  trace.name = "fixed-" + std::to_string(static_cast<int>(kbps)) + "kbps";
+  trace.step_seconds = 1.0;
+  trace.bandwidth_kbps.assign(static_cast<std::size_t>(duration_seconds),
+                              kbps);
+  return trace;
+}
+
+}  // namespace metis::abr

@@ -1,0 +1,57 @@
+// Synthetic network traces standing in for the paper's HSDPA [65] and
+// FCC [1] datasets (see DESIGN.md substitution table).
+//
+// Both corpora are modelled as Markov-modulated bandwidth processes:
+//   * HSDPA-like: 3G commute traces — low mean (~1.2 Mbps), strong
+//     burstiness, occasional deep fades (tunnels/handover).
+//   * FCC-like: fixed broadband — higher mean (~2.2 Mbps), milder
+//     variation, rare congestion dips.
+// Figures 12-15 only rely on these qualitative regimes (which bitrates are
+// sustainable and how variable the channel is), not on exact packet logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metis/util/rng.h"
+
+namespace metis::abr {
+
+// Piecewise-constant bandwidth: bandwidth_kbps[i] holds during
+// [i * step_seconds, (i+1) * step_seconds).
+struct NetworkTrace {
+  std::string name;
+  double step_seconds = 1.0;
+  std::vector<double> bandwidth_kbps;
+
+  [[nodiscard]] double duration_seconds() const {
+    return step_seconds * static_cast<double>(bandwidth_kbps.size());
+  }
+  // Bandwidth at absolute time t (clamped into the trace; the trace loops
+  // to keep long sessions defined).
+  [[nodiscard]] double bandwidth_at(double t) const;
+  [[nodiscard]] double mean_kbps() const;
+};
+
+enum class TraceFamily { kHsdpa, kFcc, kFixed };
+
+struct TraceGenConfig {
+  TraceFamily family = TraceFamily::kHsdpa;
+  double duration_seconds = 2000.0;
+  double fixed_kbps = 3000.0;  // only for kFixed
+};
+
+// Generates one trace deterministically from the seed.
+[[nodiscard]] NetworkTrace generate_trace(const TraceGenConfig& cfg,
+                                          std::uint64_t seed);
+
+// Generates a corpus of `count` traces (seeded from `seed`, one split per
+// trace). Mirrors the paper's 250-trace HSDPA / 205-trace FCC corpora.
+[[nodiscard]] std::vector<NetworkTrace> generate_corpus(
+    const TraceGenConfig& cfg, std::size_t count, std::uint64_t seed);
+
+// Constant-bandwidth trace (Figures 13, 24-26 fixed-link experiments).
+[[nodiscard]] NetworkTrace fixed_trace(double kbps, double duration_seconds);
+
+}  // namespace metis::abr

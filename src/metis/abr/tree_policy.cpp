@@ -1,0 +1,20 @@
+#include "metis/abr/tree_policy.h"
+
+#include "metis/util/check.h"
+
+namespace metis::abr {
+
+TreeAbrPolicy::TreeAbrPolicy(const tree::DecisionTree& tree, std::string label)
+    : flat_(tree::FlatTree::compile(tree)), label_(std::move(label)) {
+  MET_CHECK_MSG(tree.task() == tree::Task::kClassification,
+                "ABR levels are discrete: expected a classification tree");
+}
+
+std::size_t TreeAbrPolicy::decide(const AbrObservation& obs) {
+  const double pred = flat_.predict(tree_features(obs));
+  const auto level = static_cast<std::size_t>(pred);
+  MET_CHECK(level < kLevels);
+  return level;
+}
+
+}  // namespace metis::abr

@@ -1,0 +1,31 @@
+// Decision-tree ABR policy: the deployable student produced by Metis
+// (§3.2 step 4). Acts on the four interpretable decision variables of
+// Figure 7 (r_t, theta_t, B, T_t).
+#pragma once
+
+#include <string>
+
+#include "metis/abr/env.h"
+#include "metis/tree/cart.h"
+#include "metis/tree/flat_tree.h"
+
+namespace metis::abr {
+
+class TreeAbrPolicy final : public AbrPolicy {
+ public:
+  // Takes a fitted classification tree over tree_features(). The tree is
+  // compiled to the flat deployment form internally (what §6.4 ships).
+  TreeAbrPolicy(const tree::DecisionTree& tree,
+                std::string label = "Metis+Pensieve");
+
+  [[nodiscard]] std::size_t decide(const AbrObservation& obs) override;
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  [[nodiscard]] const tree::FlatTree& flat() const { return flat_; }
+
+ private:
+  tree::FlatTree flat_;
+  std::string label_;
+};
+
+}  // namespace metis::abr

@@ -1,0 +1,49 @@
+#include "metis/abr/video.h"
+
+#include <algorithm>
+
+#include "metis/util/check.h"
+
+namespace metis::abr {
+
+const std::vector<double>& bitrate_ladder_kbps() {
+  static const std::vector<double> ladder = {300, 750, 1200, 1850, 2850, 4300};
+  return ladder;
+}
+
+Video::Video(std::size_t chunks, std::uint64_t seed) : chunk_count_(chunks) {
+  MET_CHECK(chunks > 0);
+  metis::Rng rng(seed);
+  size_kbits_.resize(chunks * kLevels);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Scene complexity is shared across levels of a chunk (a complex scene
+    // is larger at every bitrate), mimicking real VBR ladders.
+    const double complexity = std::clamp(rng.normal(1.0, 0.15), 0.6, 1.5);
+    for (std::size_t l = 0; l < kLevels; ++l) {
+      const double nominal = bitrate_ladder_kbps()[l] * kChunkSeconds;
+      size_kbits_[c * kLevels + l] = nominal * complexity;
+    }
+  }
+}
+
+double Video::bitrate_kbps(std::size_t level) const {
+  MET_CHECK(level < kLevels);
+  return bitrate_ladder_kbps()[level];
+}
+
+double Video::chunk_size_kbits(std::size_t chunk, std::size_t level) const {
+  MET_CHECK(chunk < chunk_count_);
+  MET_CHECK(level < kLevels);
+  return size_kbits_[chunk * kLevels + level];
+}
+
+std::vector<double> Video::next_chunk_sizes_kbits(std::size_t chunk) const {
+  MET_CHECK(chunk < chunk_count_);
+  std::vector<double> sizes(kLevels);
+  for (std::size_t l = 0; l < kLevels; ++l) {
+    sizes[l] = chunk_size_kbits(chunk, l);
+  }
+  return sizes;
+}
+
+}  // namespace metis::abr

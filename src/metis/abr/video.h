@@ -1,0 +1,51 @@
+// Chunked-video model for the ABR substrate (Pensieve's setting, §5).
+//
+// A video is a sequence of fixed-duration chunks, each encoded at every
+// bitrate of the ladder. Chunk sizes vary around bitrate * duration due to
+// variable-bitrate encoding; the generator reproduces that jitter
+// deterministically per (chunk, level).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metis/util/rng.h"
+
+namespace metis::abr {
+
+// The paper's ladder: {300, 750, 1200, 1850, 2850, 4300} kbps, 4 s chunks.
+inline constexpr double kChunkSeconds = 4.0;
+inline constexpr std::size_t kLevels = 6;
+const std::vector<double>& bitrate_ladder_kbps();
+
+class Video {
+ public:
+  // Builds a video of `chunks` chunks with VBR size jitter drawn from
+  // `seed`. Total play time is chunks * kChunkSeconds.
+  Video(std::size_t chunks, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t chunk_count() const { return chunk_count_; }
+  [[nodiscard]] std::size_t level_count() const { return kLevels; }
+  [[nodiscard]] double chunk_seconds() const { return kChunkSeconds; }
+  [[nodiscard]] double total_seconds() const {
+    return static_cast<double>(chunk_count_) * kChunkSeconds;
+  }
+
+  // Bitrate in kbps for a ladder level.
+  [[nodiscard]] double bitrate_kbps(std::size_t level) const;
+
+  // Encoded size in kilobits of one chunk at one level.
+  [[nodiscard]] double chunk_size_kbits(std::size_t chunk,
+                                        std::size_t level) const;
+
+  // Sizes of the next chunk across all levels (a Pensieve state feature).
+  [[nodiscard]] std::vector<double> next_chunk_sizes_kbits(
+      std::size_t chunk) const;
+
+ private:
+  std::size_t chunk_count_;
+  // size_[chunk * kLevels + level]
+  std::vector<double> size_kbits_;
+};
+
+}  // namespace metis::abr

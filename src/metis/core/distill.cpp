@@ -1,0 +1,103 @@
+#include "metis/core/distill.h"
+
+#include "metis/util/check.h"
+
+namespace metis::core {
+namespace {
+
+double fidelity_on(const tree::DecisionTree& tree,
+                   const std::vector<CollectedSample>& samples) {
+  MET_CHECK(!samples.empty());
+  std::size_t hit = 0;
+  for (const auto& s : samples) {
+    if (static_cast<std::size_t>(tree.predict(s.features)) == s.action) {
+      ++hit;
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(samples.size());
+}
+
+tree::DecisionTree fit_and_prune(const tree::Dataset& data,
+                                 const DistillConfig& cfg) {
+  tree::DecisionTree t = tree::DecisionTree::fit(data, cfg.fit);
+  if (t.leaf_count() > cfg.max_leaves) {
+    tree::prune_to_leaf_count(t, cfg.max_leaves);
+  }
+  return t;
+}
+
+}  // namespace
+
+DistillResult distill_policy(const Teacher& teacher, RolloutEnv& env,
+                             const DistillConfig& cfg) {
+  MET_CHECK(cfg.dagger_iterations >= 1);
+  metis::Rng rng(cfg.seed);
+
+  // Eq.-1 weights enter the fits only when the resampling step is on;
+  // with it off the ablation sees a genuinely uniform dataset.
+  CollectConfig collect = cfg.collect;
+  collect.weight_by_advantage = cfg.resample;
+  auto dataset_of = [&](const std::vector<CollectedSample>& samples) {
+    return to_dataset(samples, cfg.feature_names);
+  };
+
+  // Round 0: pure teacher trajectories.
+  std::vector<CollectedSample> all =
+      collect_traces(teacher, env, collect, nullptr, 0);
+
+  tree::DecisionTree student = fit_and_prune(dataset_of(all), cfg);
+
+  // DAgger rounds: the student drives (with teacher takeover), every
+  // visited state gets a teacher label, the dataset is aggregated, and the
+  // student is refit.
+  for (std::size_t iter = 1; iter < cfg.dagger_iterations; ++iter) {
+    StudentPolicy policy = [&student](std::span<const double> features) {
+      return static_cast<std::size_t>(student.predict(features));
+    };
+    auto round = collect_traces(teacher, env, collect, &policy,
+                                iter * cfg.collect.episodes);
+    all.insert(all.end(), round.begin(), round.end());
+    student = fit_and_prune(dataset_of(all), cfg);
+  }
+
+  // Final fit. With resampling on, the Eq.-1 probabilities act as CART
+  // sample weights — the deterministic, variance-free equivalent of the
+  // multinomial draw in [7] (resample_by_weight implements the literal
+  // procedure; cfg.resample_size > 0 opts into it).
+  tree::Dataset data = dataset_of(all);
+  if (cfg.resample && cfg.resample_size > 0) {
+    data = resample_by_weight(data, cfg.resample_size, rng);
+  }
+
+  DistillResult result;
+  result.tree = fit_and_prune(data, cfg);
+  result.train_data = std::move(data);
+  result.samples_collected = all.size();
+  result.fidelity = fidelity_on(result.tree, all);
+  return result;
+}
+
+tree::DecisionTree refit_with_oversampling(
+    const DistillResult& result, const std::vector<std::size_t>& classes,
+    double target_freq, const DistillConfig& cfg) {
+  tree::Dataset data = result.train_data;
+  // The paper oversamples the (uniformly) resampled dataset; with Eq.-1
+  // sample weights in play the equivalent is to give the duplicates the
+  // dataset's mean weight — they exist to teach the starved class's
+  // boundary, not to multiply the advantage mass of a few rare states.
+  double mean_weight = 1.0;
+  if (!data.weight.empty()) {
+    double sum = 0.0;
+    for (double w : data.weight) sum += w;
+    mean_weight = sum / static_cast<double>(data.weight.size());
+  }
+  for (std::size_t cls : classes) {
+    const auto freqs = data.class_frequencies();
+    MET_CHECK(cls < freqs.size());
+    if (freqs[cls] <= 0.0) continue;  // class never seen: nothing to copy
+    data = data.oversample_class(cls, target_freq, mean_weight);
+  }
+  return fit_and_prune(data, cfg);
+}
+
+}  // namespace metis::core

@@ -1,0 +1,59 @@
+// §3.2 — the full DNN → decision-tree conversion pipeline:
+//   step 1 trace collection (DAgger with teacher takeover)
+//   step 2 advantage-based resampling (Eq. 1)
+//   step 3 CART fitting + cost-complexity pruning
+//   step 4 the pruned tree is the deployable, interpretable policy
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metis/core/resampler.h"
+#include "metis/core/teacher.h"
+#include "metis/core/trace_collector.h"
+#include "metis/tree/cart.h"
+#include "metis/tree/prune.h"
+
+namespace metis::core {
+
+struct DistillConfig {
+  CollectConfig collect;
+  std::size_t dagger_iterations = 3;  // total collection rounds
+  std::size_t max_leaves = 200;       // Metis' Pensieve setting (Table 4)
+  bool resample = true;               // Eq. 1 step on/off (ablation)
+  // 0 (default): apply Eq. 1 as CART sample weights (the deterministic
+  // equivalent of the paper's multinomial resampling). > 0: draw that many
+  // samples with replacement instead (the literal procedure of [7]).
+  std::size_t resample_size = 0;
+  tree::FitConfig fit;                // leaf size, depth, ...
+  std::vector<std::string> feature_names;
+  std::uint64_t seed = 1;
+
+  DistillConfig() {
+    fit.task = tree::Task::kClassification;
+    fit.min_samples_leaf = 4;
+  }
+};
+
+struct DistillResult {
+  tree::DecisionTree tree;
+  tree::Dataset train_data;        // the dataset the final tree saw
+  std::size_t samples_collected = 0;
+  // Fraction of collected states where the tree reproduces the teacher's
+  // action (fidelity/accuracy in Appendix E's terms).
+  double fidelity = 0.0;
+};
+
+// Runs the full §3.2 pipeline against a teacher/environment pair.
+[[nodiscard]] DistillResult distill_policy(const Teacher& teacher,
+                                           RolloutEnv& env,
+                                           const DistillConfig& cfg);
+
+// Oversampling debug aid of §6.3 (Metis+Pensieve-O): re-fits the student
+// on the dataset with the named classes oversampled to at least
+// `target_freq` each, then prunes to the same leaf budget.
+[[nodiscard]] tree::DecisionTree refit_with_oversampling(
+    const DistillResult& result, const std::vector<std::size_t>& classes,
+    double target_freq, const DistillConfig& cfg);
+
+}  // namespace metis::core

@@ -1,0 +1,99 @@
+#include "metis/core/hypergraph_interpreter.h"
+
+#include <algorithm>
+
+#include "metis/nn/optim.h"
+#include "metis/util/check.h"
+
+namespace metis::core {
+
+std::vector<double> InterpretResult::mask_values() const {
+  std::vector<double> vs;
+  vs.reserve(ranked.size());
+  for (const auto& c : ranked) vs.push_back(c.mask);
+  return vs;
+}
+
+double InterpretResult::vertex_mask_sum(std::size_t vertex) const {
+  MET_CHECK(vertex < mask.cols());
+  double s = 0.0;
+  for (std::size_t e = 0; e < mask.rows(); ++e) s += mask(e, vertex);
+  return s;
+}
+
+InterpretResult find_critical_connections(const MaskableModel& model,
+                                          const InterpretConfig& cfg) {
+  MET_CHECK(cfg.steps > 0);
+  MET_CHECK(cfg.lambda1 >= 0.0 && cfg.lambda2 >= 0.0);
+
+  const hypergraph::Hypergraph& graph = model.graph();
+  graph.validate();
+  const nn::Tensor incidence = graph.incidence_matrix();
+  nn::Var incidence_const = nn::constant(incidence);
+
+  // Reference decisions Y_I with the unmasked incidence matrix, frozen as a
+  // constant target.
+  nn::Var y_ref = model.decisions(nn::constant(incidence));
+  nn::Var y_target = nn::constant(y_ref->value());
+
+  // Mask logits W' start at the entropy-neutral point sigmoid(0) = 0.5
+  // (+ tiny noise for symmetry breaking): from there the divergence term
+  // pulls critical connections towards 1 while λ1 pulls the rest towards 0,
+  // and the entropy term then locks each side in (the Fig. 9a bimodality).
+  metis::Rng rng(cfg.seed);
+  nn::Tensor logits0(incidence.rows(), incidence.cols());
+  for (double& v : logits0.data()) v = rng.normal(0.0, 0.05);
+  nn::Var logits = nn::parameter(std::move(logits0));
+  nn::Adam opt({logits}, cfg.lr);
+
+  auto masked = [&] {
+    // Gating (Eq. 9): W = I ∘ sigmoid(W') keeps 0 <= W_ev <= I_ev.
+    return nn::mul(incidence_const, nn::sigmoid(logits));
+  };
+
+  double last_div = 0.0, last_l1 = 0.0, last_entropy = 0.0;
+  for (std::size_t step = 0; step < cfg.steps; ++step) {
+    nn::Var w = masked();
+    nn::Var y = model.decisions(w);
+    nn::Var divergence = model.discrete_output()
+                             ? nn::kl_divergence_rows(y_target, y)
+                             : nn::mse_loss(y, y_target);
+    // ||W|| (Eq. 7). W >= 0 by construction, so |W| = W; normalize by the
+    // connection count to keep λ1 comparable across hypergraph sizes.
+    const double n_conn =
+        std::max<double>(1.0, static_cast<double>(graph.connection_count()));
+    nn::Var l1 = nn::scale(nn::sum_all(w), 1.0 / n_conn);
+    // H(W) (Eq. 8), restricted to real connections automatically since
+    // masked entries are exactly 0 outside the incidence support. Entries
+    // at 0 contribute 0 entropy.
+    nn::Var entropy = nn::scale(nn::binary_entropy_sum(w), 1.0 / n_conn);
+
+    nn::Var loss =
+        nn::add(divergence,
+                nn::add(nn::scale(l1, cfg.lambda1),
+                        nn::scale(entropy, cfg.lambda2)));
+    opt.zero_grad();
+    nn::backward(loss);
+    opt.step();
+
+    last_div = divergence->value()(0, 0);
+    last_l1 = l1->value()(0, 0);
+    last_entropy = entropy->value()(0, 0);
+  }
+
+  InterpretResult result;
+  result.mask = masked()->value();
+  result.divergence = last_div;
+  result.mask_l1 = last_l1;
+  result.entropy = last_entropy;
+  for (const auto& c : graph.connections()) {
+    result.ranked.push_back({c.edge, c.vertex, result.mask(c.edge, c.vertex)});
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const ScoredConnection& a, const ScoredConnection& b) {
+              return a.mask > b.mask;
+            });
+  return result;
+}
+
+}  // namespace metis::core

@@ -1,0 +1,72 @@
+// §4.2 — critical connection search over a hypergraph formulation.
+//
+// Given a global system whose decisions can be recomputed under a
+// fractional incidence mask W ∈ [0,1]^{|E|x|V|}, Metis solves (Fig. 6):
+//
+//     min_W  D(Y_W, Y_I) + λ1·||W|| + λ2·H(W)      0 ≤ W_ev ≤ I_ev
+//
+// where D is KL divergence (discrete decisions) or MSE (continuous),
+// ||W|| penalizes interpretation size, and the binary entropy H(W) forces
+// connections towards 0/1 (determinism). The box constraint is enforced by
+// the §5 gating trick: W = I ∘ sigmoid(W′), optimized with Adam on W′.
+// Connections whose mask stays ~1 are the ones the system's decisions
+// critically depend on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metis/hypergraph/hypergraph.h"
+#include "metis/nn/autodiff.h"
+#include "metis/util/rng.h"
+
+namespace metis::core {
+
+// A global system that can re-derive its decisions under a masked
+// incidence matrix. decisions() must build an autodiff expression so the
+// Figure-6 loss can backpropagate into the mask.
+class MaskableModel {
+ public:
+  virtual ~MaskableModel() = default;
+  [[nodiscard]] virtual const hypergraph::Hypergraph& graph() const = 0;
+  // Decision matrix for a given mask (rows = decision units; for discrete
+  // outputs each row must be a probability distribution).
+  [[nodiscard]] virtual nn::Var decisions(const nn::Var& mask) const = 0;
+  // Discrete decisions use KL divergence; continuous use MSE (Eq. 6).
+  [[nodiscard]] virtual bool discrete_output() const { return true; }
+};
+
+struct InterpretConfig {
+  double lambda1 = 0.25;  // conciseness weight (Table 4's RouteNet* value)
+  double lambda2 = 1.0;   // determinism weight
+  std::size_t steps = 400;
+  double lr = 0.05;
+  std::uint64_t seed = 3;
+};
+
+struct ScoredConnection {
+  std::size_t edge = 0;
+  std::size_t vertex = 0;
+  double mask = 0.0;
+};
+
+struct InterpretResult {
+  nn::Tensor mask;  // |E| x |V|, zero outside the hypergraph's connections
+  // All connections, sorted by descending mask value (Table 3's ranking).
+  std::vector<ScoredConnection> ranked;
+  // Final values of the three loss terms (Fig. 30's diagnostics).
+  double divergence = 0.0;
+  double mask_l1 = 0.0;
+  double entropy = 0.0;
+
+  // Mask values at the hypergraph's connections, in ranked order.
+  [[nodiscard]] std::vector<double> mask_values() const;
+  // Σ_e W_ve for one vertex — Figure 9(b)'s per-link criticality mass.
+  [[nodiscard]] double vertex_mask_sum(std::size_t vertex) const;
+};
+
+// Runs the Figure-6 optimization and returns the scored connections.
+[[nodiscard]] InterpretResult find_critical_connections(
+    const MaskableModel& model, const InterpretConfig& cfg);
+
+}  // namespace metis::core

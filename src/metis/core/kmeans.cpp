@@ -1,0 +1,103 @@
+#include "metis/core/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "metis/util/check.h"
+
+namespace metis::core {
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  MET_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::size_t nearest_centroid(
+    const std::vector<std::vector<double>>& centroids,
+    std::span<const double> x) {
+  MET_CHECK(!centroids.empty());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = sq_dist(centroids[c], x);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KmeansResult kmeans(const std::vector<std::vector<double>>& x, std::size_t k,
+                    metis::Rng& rng, std::size_t max_iters) {
+  MET_CHECK(!x.empty());
+  MET_CHECK(k > 0);
+  k = std::min(k, x.size());
+  const std::size_t dim = x.front().size();
+  for (const auto& row : x) MET_CHECK(row.size() == dim);
+
+  KmeansResult result;
+  // k-means++ seeding: spread initial centroids by squared distance.
+  result.centroids.push_back(x[rng.uniform_int(x.size())]);
+  while (result.centroids.size() < k) {
+    std::vector<double> d2(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      d2[i] = sq_dist(x[i],
+                      result.centroids[nearest_centroid(result.centroids,
+                                                        x[i])]);
+    }
+    double total = 0.0;
+    for (double d : d2) total += d;
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; duplicate one.
+      result.centroids.push_back(x[rng.uniform_int(x.size())]);
+    } else {
+      result.centroids.push_back(x[rng.categorical(d2)]);
+    }
+  }
+
+  result.assignment.assign(x.size(), 0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const std::size_t c = nearest_centroid(result.centroids, x[i]);
+      if (c != result.assignment[i]) {
+        result.assignment[i] = c;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(result.centroids.size(),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(result.centroids.size(), 0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += x[i][d];
+    }
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid for empty sets
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] =
+            sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    result.inertia += sq_dist(x[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace metis::core

@@ -1,0 +1,32 @@
+// k-means clustering (Lloyd's algorithm) — the sample-partitioning step of
+// the Appendix-E comparison protocol: LIME/LEMNA are local surrogate
+// methods, so inputs are clustered first and one surrogate is fitted per
+// cluster.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "metis/util/rng.h"
+
+namespace metis::core {
+
+struct KmeansResult {
+  std::vector<std::vector<double>> centroids;  // k rows
+  std::vector<std::size_t> assignment;         // per input row
+  double inertia = 0.0;                        // sum of squared distances
+};
+
+// Clusters X into k groups. k is clamped to X.size(). Deterministic given
+// the Rng state (k-means++ style seeding).
+[[nodiscard]] KmeansResult kmeans(const std::vector<std::vector<double>>& x,
+                                  std::size_t k, metis::Rng& rng,
+                                  std::size_t max_iters = 50);
+
+// Index of the nearest centroid to a point.
+[[nodiscard]] std::size_t nearest_centroid(
+    const std::vector<std::vector<double>>& centroids,
+    std::span<const double> x);
+
+}  // namespace metis::core

@@ -1,0 +1,96 @@
+#include "metis/core/linreg.h"
+
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis::core {
+
+std::vector<double> solve_linear(nn::Tensor a, std::vector<double> y) {
+  const std::size_t n = a.rows();
+  MET_CHECK(a.cols() == n);
+  MET_CHECK(y.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    MET_CHECK_MSG(std::abs(a(pivot, col)) > 1e-12,
+                  "singular system in solve_linear");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(y[col], y[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      y[r] -= f * y[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double s = y[r];
+    for (std::size_t c = r + 1; c < n; ++c) s -= a(r, c) * x[c];
+    x[r] = s / a(r, r);
+  }
+  return x;
+}
+
+nn::Tensor ridge_fit(const std::vector<std::vector<double>>& x,
+                     const nn::Tensor& targets, double l2,
+                     std::span<const double> weights) {
+  MET_CHECK(!x.empty());
+  MET_CHECK(targets.rows() == x.size());
+  MET_CHECK(l2 >= 0.0);
+  MET_CHECK(weights.empty() || weights.size() == x.size());
+  const std::size_t d = x.front().size() + 1;  // + bias
+  const std::size_t m = targets.cols();
+
+  // Normal equations: (X~ᵀ W X~ + l2 I) B = X~ᵀ W Y.
+  nn::Tensor xtx(d, d, 0.0);
+  nn::Tensor xty(d, m, 0.0);
+  std::vector<double> row(d, 1.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MET_CHECK(x[i].size() == d - 1);
+    const double w = weights.empty() ? 1.0 : weights[i];
+    MET_CHECK(w >= 0.0);
+    for (std::size_t j = 0; j + 1 < d; ++j) row[j] = x[i][j];
+    row[d - 1] = 1.0;
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        xtx(r, c) += w * row[r] * row[c];
+      }
+      for (std::size_t c = 0; c < m; ++c) {
+        xty(r, c) += w * row[r] * targets(i, c);
+      }
+    }
+  }
+  // A touch of ridge even when l2 == 0 keeps degenerate clusters solvable.
+  const double reg = std::max(l2, 1e-9);
+  for (std::size_t r = 0; r < d; ++r) xtx(r, r) += reg;
+
+  nn::Tensor coef(d, m, 0.0);
+  for (std::size_t c = 0; c < m; ++c) {
+    std::vector<double> rhs(d);
+    for (std::size_t r = 0; r < d; ++r) rhs[r] = xty(r, c);
+    const auto b = solve_linear(xtx, std::move(rhs));
+    for (std::size_t r = 0; r < d; ++r) coef(r, c) = b[r];
+  }
+  return coef;
+}
+
+std::vector<double> ridge_predict(const nn::Tensor& coef,
+                                  std::span<const double> x) {
+  MET_CHECK(coef.rows() == x.size() + 1);
+  std::vector<double> out(coef.cols(), 0.0);
+  for (std::size_t c = 0; c < coef.cols(); ++c) {
+    double s = coef(x.size(), c);  // bias
+    for (std::size_t j = 0; j < x.size(); ++j) s += coef(j, c) * x[j];
+    out[c] = s;
+  }
+  return out;
+}
+
+}  // namespace metis::core

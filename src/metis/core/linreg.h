@@ -1,0 +1,28 @@
+// Weighted ridge regression — the linear building block shared by the
+// LIME and LEMNA interpretation baselines (Appendix E).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "metis/nn/tensor.h"
+
+namespace metis::core {
+
+// Solves min Σ_i w_i ||[x_i 1]·B − y_i||² + l2·||B||² for the coefficient
+// matrix B ((d+1) x m, last row = bias). `targets` is n x m. Weights may be
+// empty (uniform) and must otherwise be non-negative with a positive sum.
+[[nodiscard]] nn::Tensor ridge_fit(const std::vector<std::vector<double>>& x,
+                                   const nn::Tensor& targets, double l2,
+                                   std::span<const double> weights = {});
+
+// Applies a fitted coefficient matrix to one input row: returns m outputs.
+[[nodiscard]] std::vector<double> ridge_predict(const nn::Tensor& coef,
+                                                std::span<const double> x);
+
+// Solves the symmetric positive-definite system A·b = y in place
+// (Gaussian elimination with partial pivoting). Exposed for testing.
+[[nodiscard]] std::vector<double> solve_linear(nn::Tensor a,
+                                               std::vector<double> y);
+
+}  // namespace metis::core

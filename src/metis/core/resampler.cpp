@@ -1,0 +1,36 @@
+#include "metis/core/resampler.h"
+
+#include "metis/util/check.h"
+
+namespace metis::core {
+
+tree::Dataset to_dataset(const std::vector<CollectedSample>& samples,
+                         std::vector<std::string> feature_names) {
+  MET_CHECK(!samples.empty());
+  tree::Dataset data;
+  data.feature_names = std::move(feature_names);
+  for (const auto& s : samples) {
+    data.add(s.features, static_cast<double>(s.action), s.weight);
+  }
+  data.validate();
+  return data;
+}
+
+tree::Dataset resample_by_weight(const tree::Dataset& data, std::size_t n_out,
+                                 metis::Rng& rng) {
+  data.validate();
+  MET_CHECK(data.size() > 0);
+  MET_CHECK(n_out > 0);
+  std::vector<double> weights(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) weights[i] = data.weight_of(i);
+
+  tree::Dataset out;
+  out.feature_names = data.feature_names;
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const std::size_t pick = rng.categorical(weights);
+    out.add(data.x[pick], data.y[pick]);
+  }
+  return out;
+}
+
+}  // namespace metis::core

@@ -1,0 +1,32 @@
+// §3.2 step 2 — advantage-based resampling (Eq. 1).
+//
+// Decision-tree algorithms optimize per-sample accuracy and treat every
+// (state, action) alike; RL policies care much more about some states
+// (e.g. low-buffer states in ABR where a wrong action stalls playback).
+// Resampling the dataset with p(s,a) ∝ V(s) − min_a' Q(s,a') focuses the
+// student on the states where acting well matters most (Appendix A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metis/core/trace_collector.h"
+#include "metis/tree/dataset.h"
+#include "metis/util/rng.h"
+
+namespace metis::core {
+
+// Converts collected samples into a tree dataset. Weights carry the Eq. 1
+// loss values (used either directly by weighted CART or by resampling).
+[[nodiscard]] tree::Dataset to_dataset(
+    const std::vector<CollectedSample>& samples,
+    std::vector<std::string> feature_names);
+
+// Draws `n_out` samples (with replacement) with probability proportional
+// to each sample's weight; the result has uniform weights. This is the
+// literal resampling procedure of [7] as reproduced in Eq. 1.
+[[nodiscard]] tree::Dataset resample_by_weight(const tree::Dataset& data,
+                                               std::size_t n_out,
+                                               metis::Rng& rng);
+
+}  // namespace metis::core

@@ -1,0 +1,28 @@
+#include "metis/core/teacher.h"
+
+#include "metis/util/check.h"
+
+namespace metis::core {
+
+PolicyNetTeacher::PolicyNetTeacher(const nn::PolicyNet* net) : net_(net) {
+  MET_CHECK(net != nullptr);
+}
+
+std::size_t PolicyNetTeacher::action_count() const {
+  return net_->action_count();
+}
+
+std::size_t PolicyNetTeacher::act(std::span<const double> state) const {
+  return net_->greedy_action(state);
+}
+
+double PolicyNetTeacher::value(std::span<const double> state) const {
+  return net_->value(state);
+}
+
+std::vector<double> PolicyNetTeacher::action_probs(
+    std::span<const double> state) const {
+  return net_->action_probs(state);
+}
+
+}  // namespace metis::core

@@ -1,0 +1,64 @@
+// Teacher abstractions for Metis' local-system interpretation (§3).
+//
+// A Teacher is the finetuned DNN policy being interpreted; a RolloutEnv is
+// the environment the teacher was trained on, extended with the
+// *interpretable feature view* that the student decision tree acts on
+// (e.g. Pensieve's 25-dim DNN state vs the 4 decision variables of Fig. 7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "metis/nn/a2c.h"
+#include "metis/nn/mlp.h"
+
+namespace metis::core {
+
+class Teacher {
+ public:
+  virtual ~Teacher() = default;
+  [[nodiscard]] virtual std::size_t action_count() const = 0;
+  // Greedy policy action for a full (DNN-view) state.
+  [[nodiscard]] virtual std::size_t act(
+      std::span<const double> state) const = 0;
+  // State value V(s) under the teacher policy.
+  [[nodiscard]] virtual double value(std::span<const double> state) const = 0;
+  // Action distribution π(·|s) — used by fidelity metrics and baselines.
+  [[nodiscard]] virtual std::vector<double> action_probs(
+      std::span<const double> state) const = 0;
+};
+
+// Teacher backed by an actor-critic PolicyNet (Pensieve, AuTO-lRLA).
+class PolicyNetTeacher final : public Teacher {
+ public:
+  explicit PolicyNetTeacher(const nn::PolicyNet* net);
+  [[nodiscard]] std::size_t action_count() const override;
+  [[nodiscard]] std::size_t act(std::span<const double> state) const override;
+  [[nodiscard]] double value(std::span<const double> state) const override;
+  [[nodiscard]] std::vector<double> action_probs(
+      std::span<const double> state) const override;
+
+ private:
+  const nn::PolicyNet* net_;
+};
+
+// Environment view used by the trace collector. Reset/step mirror
+// nn::DiscreteEnv; the extras expose (a) the interpretable features of the
+// current state and (b) model-based Q(s,·) estimates for Eq. 1.
+class RolloutEnv {
+ public:
+  virtual ~RolloutEnv() = default;
+  [[nodiscard]] virtual std::size_t action_count() const = 0;
+  virtual std::vector<double> reset(std::size_t episode) = 0;
+  virtual nn::StepResult step(std::size_t action) = 0;
+  // Interpretable features of the current (pre-action) state.
+  [[nodiscard]] virtual std::vector<double> interpretable_features()
+      const = 0;
+  // Q(s,a) ≈ r(s,a) + γ V_teacher(s') for every action at the current
+  // state. Returns empty if the environment cannot simulate lookahead
+  // (then Eq. 1 weighting degrades to uniform).
+  [[nodiscard]] virtual std::vector<double> q_values(const Teacher& teacher,
+                                                     double gamma) const = 0;
+};
+
+}  // namespace metis::core

@@ -1,0 +1,68 @@
+#include "metis/core/trace_collector.h"
+
+#include <algorithm>
+
+#include "metis/util/check.h"
+
+namespace metis::core {
+
+std::vector<CollectedSample> collect_traces(const Teacher& teacher,
+                                            RolloutEnv& env,
+                                            const CollectConfig& cfg,
+                                            const StudentPolicy* student,
+                                            std::size_t episode_offset) {
+  MET_CHECK(cfg.episodes > 0 && cfg.max_steps > 0);
+  MET_CHECK(teacher.action_count() == env.action_count());
+
+  std::vector<CollectedSample> samples;
+  for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
+    std::vector<double> state = env.reset(episode_offset + ep);
+    std::size_t deviations = 0;
+    std::size_t teacher_control_left = 0;
+
+    for (std::size_t t = 0; t < cfg.max_steps; ++t) {
+      const std::size_t teacher_action = teacher.act(state);
+
+      CollectedSample sample;
+      sample.features = env.interpretable_features();
+      sample.action = teacher_action;
+      if (cfg.weight_by_advantage) {
+        const auto qs = env.q_values(teacher, cfg.gamma);
+        if (!qs.empty()) {
+          MET_CHECK(qs.size() == teacher.action_count());
+          const double v = teacher.value(state);
+          const double min_q = *std::min_element(qs.begin(), qs.end());
+          // Eq. 1:  p(s,a) ∝ V(s) − min_a' Q(s,a').  Clamp at a small
+          // positive floor so no visited state is entirely discarded.
+          sample.weight = std::max(v - min_q, 1e-3);
+        }
+      }
+      samples.push_back(std::move(sample));
+
+      // Who drives this step?
+      std::size_t executed = teacher_action;
+      if (student != nullptr && teacher_control_left == 0) {
+        executed = (*student)(samples.back().features);
+        MET_CHECK(executed < env.action_count());
+        if (executed != teacher_action) {
+          if (++deviations >= cfg.deviation_limit) {
+            // §3.2: the DNN takes over on the deviated trajectory.
+            teacher_control_left = cfg.takeover_steps;
+            deviations = 0;
+          }
+        } else {
+          deviations = 0;
+        }
+      } else if (teacher_control_left > 0) {
+        --teacher_control_left;
+      }
+
+      nn::StepResult sr = env.step(executed);
+      if (sr.done) break;
+      state = std::move(sr.next_state);
+    }
+  }
+  return samples;
+}
+
+}  // namespace metis::core

@@ -1,0 +1,46 @@
+// §3.2 step 1 — trace collection.
+//
+// Follows the teacher DNN's trajectories to obtain (state, action) pairs
+// with the correct state distribution, then runs DAgger-style iterations:
+// the student tree acts, the teacher labels every visited state, and the
+// teacher *takes over control* when the student's trajectory deviates
+// (so the dataset keeps covering states the DNN policy would reach).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "metis/core/teacher.h"
+#include "metis/util/rng.h"
+
+namespace metis::core {
+
+struct CollectConfig {
+  std::size_t episodes = 32;      // per collection round
+  std::size_t max_steps = 1000;   // per-episode cap
+  double gamma = 0.99;            // Q bootstrap discount for Eq. 1
+  bool weight_by_advantage = true;
+  // Teacher takes control after this many consecutive student deviations…
+  std::size_t deviation_limit = 3;
+  // …and keeps it for this many steps before handing back.
+  std::size_t takeover_steps = 8;
+};
+
+struct CollectedSample {
+  std::vector<double> features;  // interpretable feature view
+  std::size_t action = 0;        // teacher label
+  double weight = 1.0;           // Eq. 1 loss  V(s) − min_a Q(s,a)  (≥ 0)
+};
+
+// Student policy over interpretable features (DAgger iterations >= 1).
+using StudentPolicy = std::function<std::size_t(std::span<const double>)>;
+
+// Runs `cfg.episodes` episodes. With student == nullptr the teacher drives
+// (round 0); otherwise the student drives with teacher takeover on
+// deviation. Episode indices start at `episode_offset` so successive
+// rounds see fresh traces.
+[[nodiscard]] std::vector<CollectedSample> collect_traces(
+    const Teacher& teacher, RolloutEnv& env, const CollectConfig& cfg,
+    const StudentPolicy* student, std::size_t episode_offset);
+
+}  // namespace metis::core

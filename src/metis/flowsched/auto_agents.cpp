@@ -1,0 +1,229 @@
+#include "metis/flowsched/auto_agents.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "metis/util/check.h"
+#include "metis/util/stats.h"
+
+namespace metis::flowsched {
+
+double cem_optimize(const std::vector<nn::Var>& params,
+                    const std::function<double()>& objective,
+                    const CemConfig& cfg, metis::Rng& rng) {
+  MET_CHECK(!params.empty());
+  MET_CHECK(cfg.population >= 2 && cfg.elites >= 1 &&
+            cfg.elites < cfg.population);
+
+  // Flatten current parameter values as the initial mean.
+  std::vector<double> mean;
+  for (const auto& p : params) {
+    for (double v : p->value().data()) mean.push_back(v);
+  }
+  std::vector<double> sigma(mean.size(), cfg.init_sigma);
+
+  auto install = [&](const std::vector<double>& flat) {
+    std::size_t k = 0;
+    for (const auto& p : params) {
+      for (double& v : p->value().data()) v = flat[k++];
+    }
+  };
+
+  std::vector<double> best = mean;
+  double best_score = -1e300;
+
+  for (std::size_t iter = 0; iter < cfg.iterations; ++iter) {
+    std::vector<std::vector<double>> pop(cfg.population);
+    std::vector<double> scores(cfg.population);
+    for (std::size_t i = 0; i < cfg.population; ++i) {
+      pop[i].resize(mean.size());
+      for (std::size_t j = 0; j < mean.size(); ++j) {
+        pop[i][j] = mean[j] + sigma[j] * rng.normal();
+      }
+      install(pop[i]);
+      scores[i] = objective();
+      if (scores[i] > best_score) {
+        best_score = scores[i];
+        best = pop[i];
+      }
+    }
+    // Elite refit.
+    std::vector<std::size_t> order(cfg.population);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return scores[a] > scores[b];
+              });
+    for (std::size_t j = 0; j < mean.size(); ++j) {
+      double m = 0.0;
+      for (std::size_t e = 0; e < cfg.elites; ++e) m += pop[order[e]][j];
+      m /= static_cast<double>(cfg.elites);
+      // Deviations are measured about the *previous* mean: while the mean is
+      // still travelling, this keeps sigma at the scale of the step just
+      // taken and prevents premature variance collapse.
+      double s2 = 0.0;
+      for (std::size_t e = 0; e < cfg.elites; ++e) {
+        const double d = pop[order[e]][j] - mean[j];
+        s2 += d * d;
+      }
+      mean[j] = m;
+      sigma[j] = std::max(std::sqrt(s2 / static_cast<double>(cfg.elites)),
+                          cfg.min_sigma);
+    }
+  }
+  install(best);
+  return best_score;
+}
+
+// ---- sRLA -------------------------------------------------------------------
+
+std::vector<double> srla_features(const std::vector<FlowResult>& window,
+                                  double link_bps) {
+  // {log10 size p10/p50/p90, completed count (log), mean slowdown (log),
+  //  short-flow fraction, byte volume (log)} — all finite for empty windows.
+  std::vector<double> f(kSrlaStateDim, 0.0);
+  if (window.empty()) return f;
+  std::vector<double> sizes;
+  std::vector<double> slows;
+  double bytes = 0.0, shorts = 0.0;
+  for (const auto& r : window) {
+    sizes.push_back(std::log10(r.flow.size_bytes));
+    slows.push_back(r.slowdown(link_bps));
+    bytes += r.flow.size_bytes;
+    shorts += classify_size(r.flow.size_bytes) == SizeClass::kShort;
+  }
+  f[0] = metis::percentile(sizes, 10);
+  f[1] = metis::percentile(sizes, 50);
+  f[2] = metis::percentile(sizes, 90);
+  f[3] = std::log10(static_cast<double>(window.size()) + 1.0);
+  f[4] = std::log10(metis::mean(slows) + 1.0);
+  f[5] = shorts / static_cast<double>(window.size());
+  f[6] = std::log10(bytes + 1.0);
+  return f;
+}
+
+SrlaAgent::SrlaAgent(std::uint64_t seed)
+    : rng_(seed),
+      net_({kSrlaStateDim, 32, kSrlaThresholds}, nn::Activation::kTanh,
+           rng_) {}
+
+std::vector<double> SrlaAgent::thresholds_for(
+    std::span<const double> state) const {
+  MET_CHECK(state.size() == kSrlaStateDim);
+  const auto out = net_.predict_row(state);
+  // Map raw outputs to byte thresholds on a log scale around the MLFQ
+  // sweet spot: out = 0 -> {50 KB, 1 MB, 20 MB} (the static default).
+  const double anchors[kSrlaThresholds] = {50e3, 1e6, 20e6};
+  std::vector<double> th(kSrlaThresholds);
+  for (std::size_t i = 0; i < kSrlaThresholds; ++i) {
+    th[i] = anchors[i] * std::pow(10.0, std::clamp(out[i], -2.0, 2.0));
+  }
+  return th;
+}
+
+Mlfq SrlaAgent::mlfq_for(std::span<const double> state) const {
+  return Mlfq::from_policy_output(thresholds_for(state));
+}
+
+double SrlaAgent::train(const std::vector<std::vector<Flow>>& workloads,
+                        const FabricConfig& fabric, const CemConfig& cem) {
+  MET_CHECK(!workloads.empty());
+  auto objective = [&]() {
+    double total = 0.0;
+    std::size_t flows = 0;
+    for (const auto& wl : workloads) {
+      SrlaController controller(
+          [this](std::span<const double> s) { return thresholds_for(s); },
+          fabric.link_bps);
+      FabricSim sim(fabric);
+      auto results = sim.run(wl, nullptr, &controller);
+      for (const auto& r : results) {
+        total += r.slowdown(fabric.link_bps);
+        ++flows;
+      }
+    }
+    return flows > 0 ? -total / static_cast<double>(flows) : -1e9;
+  };
+  return cem_optimize(net_.parameters(), objective, cem, rng_);
+}
+
+SrlaController::SrlaController(ThresholdFn fn, double link_bps,
+                               double interval_s)
+    : fn_(std::move(fn)), link_bps_(link_bps), interval_(interval_s) {
+  MET_CHECK(interval_ > 0.0);
+  MET_CHECK(fn_ != nullptr);
+}
+
+Mlfq SrlaController::update(const std::vector<FlowResult>& window, double) {
+  Decision d;
+  d.state = srla_features(window, link_bps_);
+  d.thresholds = fn_(d.state);
+  Mlfq mlfq = Mlfq::from_policy_output(d.thresholds);
+  decisions_.push_back(std::move(d));
+  return mlfq;
+}
+
+// ---- lRLA -------------------------------------------------------------------
+
+std::vector<double> lrla_features(const Flow& flow, double bytes_sent) {
+  // {log10 total size, log10 bytes already sent, fraction transmitted}.
+  return {std::log10(flow.size_bytes),
+          std::log10(bytes_sent + 1.0),
+          std::clamp(bytes_sent / flow.size_bytes, 0.0, 1.0)};
+}
+
+LrlaAgent::LrlaAgent(std::size_t queues, std::uint64_t seed)
+    : rng_(seed), net_(kLrlaStateDim, 32, 2, queues, rng_) {}
+
+std::size_t LrlaAgent::priority_for(const Flow& flow,
+                                    double bytes_sent) const {
+  return net_.greedy_action(lrla_features(flow, bytes_sent));
+}
+
+double LrlaAgent::train(const std::vector<std::vector<Flow>>& workloads,
+                        const FabricConfig& fabric, const CemConfig& cem,
+                        double train_latency_s) {
+  MET_CHECK(!workloads.empty());
+  auto objective = [&]() {
+    double total = 0.0;
+    std::size_t flows = 0;
+    for (const auto& wl : workloads) {
+      LrlaScheduler sched(
+          [this](const Flow& f, double sent) {
+            return priority_for(f, sent);
+          },
+          train_latency_s);
+      FabricSim sim(fabric);
+      auto results = sim.run(wl, &sched);
+      for (const auto& r : results) {
+        total += r.slowdown(fabric.link_bps);
+        ++flows;
+      }
+    }
+    return flows > 0 ? -total / static_cast<double>(flows) : -1e9;
+  };
+  return cem_optimize(net_.parameters(), objective, cem, rng_);
+}
+
+LrlaScheduler::LrlaScheduler(PriorityFn fn, double decision_latency_s,
+                             double min_flow_bytes)
+    : fn_(std::move(fn)),
+      latency_(decision_latency_s),
+      min_bytes_(min_flow_bytes) {
+  MET_CHECK(fn_ != nullptr);
+  MET_CHECK(latency_ >= 0.0);
+}
+
+int LrlaScheduler::assign_priority(const Flow& flow, double bytes_sent,
+                                   double) {
+  if (flow.size_bytes < min_bytes_) return -1;  // stays under MLFQ
+  Decision d;
+  d.features = lrla_features(flow, bytes_sent);
+  d.priority = fn_(flow, bytes_sent);
+  const int p = static_cast<int>(d.priority);
+  decisions_.push_back(std::move(d));
+  return p;
+}
+
+}  // namespace metis::flowsched

@@ -1,0 +1,169 @@
+// AuTO's two RL agents (§5), rebuilt on the fabric simulator:
+//  * sRLA — continuous control: maps traffic statistics to MLFQ demotion
+//    thresholds, refreshed every control interval (short flows never wait
+//    for a per-flow decision).
+//  * lRLA — discrete control: assigns a per-flow priority to long flows,
+//    paying the DNN decision latency (62 ms in the paper's testbed; here a
+//    configurable constant with the same role).
+//
+// Both are DNN policies trained with a cross-entropy-method (CEM) search
+// over network weights against simulated FCT — a deliberately simple,
+// reproducible stand-in for AuTO's DDPG/PG training (DESIGN.md); Metis
+// only needs finetuned teachers, not a faithful training pipeline.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "metis/flowsched/fabric_sim.h"
+#include "metis/nn/mlp.h"
+
+namespace metis::flowsched {
+
+// ---- generic CEM over nn parameters ----------------------------------------
+
+struct CemConfig {
+  std::size_t iterations = 8;
+  std::size_t population = 12;
+  std::size_t elites = 4;
+  double init_sigma = 0.5;
+  double min_sigma = 0.02;
+};
+
+// Maximizes `objective` over the flattened values of `params` (modified in
+// place; finishes holding the best parameters found). Returns the best
+// objective value.
+double cem_optimize(const std::vector<nn::Var>& params,
+                    const std::function<double()>& objective,
+                    const CemConfig& cfg, metis::Rng& rng);
+
+// ---- sRLA -------------------------------------------------------------------
+
+inline constexpr std::size_t kSrlaStateDim = 7;
+inline constexpr std::size_t kSrlaThresholds = 3;  // 4 queues
+
+// Traffic-statistics features from one control window's completed flows.
+[[nodiscard]] std::vector<double> srla_features(
+    const std::vector<FlowResult>& window, double link_bps);
+
+class SrlaAgent {
+ public:
+  explicit SrlaAgent(std::uint64_t seed);
+
+  // Thresholds (bytes) for a feature vector; always valid for Mlfq.
+  [[nodiscard]] std::vector<double> thresholds_for(
+      std::span<const double> state) const;
+  [[nodiscard]] Mlfq mlfq_for(std::span<const double> state) const;
+
+  // CEM-trains against the given workloads; returns best mean negative
+  // slowdown achieved.
+  double train(const std::vector<std::vector<Flow>>& workloads,
+               const FabricConfig& fabric, const CemConfig& cem);
+
+  [[nodiscard]] const nn::Mlp& net() const { return net_; }
+
+ private:
+  metis::Rng rng_;
+  nn::Mlp net_;
+};
+
+// ThresholdController driving a FabricSim from an SrlaAgent (or any
+// threshold function — used for both the DNN and its distilled trees).
+class SrlaController final : public ThresholdController {
+ public:
+  using ThresholdFn = std::function<std::vector<double>(
+      std::span<const double> state)>;
+
+  SrlaController(ThresholdFn fn, double link_bps, double interval_s = 0.05);
+
+  [[nodiscard]] double interval_s() const override { return interval_; }
+  [[nodiscard]] Mlfq update(const std::vector<FlowResult>& window,
+                            double now) override;
+
+  // (state, thresholds) pairs observed — the sRLA distillation dataset.
+  struct Decision {
+    std::vector<double> state;
+    std::vector<double> thresholds;
+  };
+  [[nodiscard]] const std::vector<Decision>& decisions() const {
+    return decisions_;
+  }
+
+ private:
+  ThresholdFn fn_;
+  double link_bps_;
+  double interval_;
+  std::vector<Decision> decisions_;
+};
+
+// ---- lRLA -------------------------------------------------------------------
+
+inline constexpr std::size_t kLrlaStateDim = 3;
+inline constexpr double kLongFlowBytes = 100e3;  // per-flow control cutoff
+inline constexpr double kDnnDecisionLatency = 0.0616;  // 61.6 ms (Fig. 16a)
+// Decision latency assumed while *training* the policy (the tree student's
+// 2.30 ms): fast enough that median-flow decisions take effect and shape
+// the objective.
+inline constexpr double kTreeTrainLatency = 0.0023;
+
+// Per-flow features at decision time.
+[[nodiscard]] std::vector<double> lrla_features(const Flow& flow,
+                                                double bytes_sent);
+
+class LrlaAgent {
+ public:
+  LrlaAgent(std::size_t queues, std::uint64_t seed);
+
+  [[nodiscard]] const nn::PolicyNet& net() const { return net_; }
+  [[nodiscard]] nn::PolicyNet& mutable_net() { return net_; }
+  [[nodiscard]] std::size_t priority_for(const Flow& flow,
+                                         double bytes_sent) const;
+
+  // CEM-trains against the given workloads (objective: mean negative
+  // slowdown of per-flow-controlled traffic). `train_latency_s` is the
+  // decision latency simulated during training: training at the tree's
+  // latency lets median-flow decisions land (and thus carry objective
+  // signal) even when the deployed DNN would be too slow for them.
+  double train(const std::vector<std::vector<Flow>>& workloads,
+               const FabricConfig& fabric, const CemConfig& cem,
+               double train_latency_s = kTreeTrainLatency);
+
+ private:
+  metis::Rng rng_;
+  nn::PolicyNet net_;
+};
+
+// FlowScheduler adapter: per-flow priorities for flows above
+// `min_flow_bytes`, with the given decision latency.
+class LrlaScheduler final : public FlowScheduler {
+ public:
+  using PriorityFn =
+      std::function<std::size_t(const Flow&, double bytes_sent)>;
+
+  LrlaScheduler(PriorityFn fn, double decision_latency_s,
+                double min_flow_bytes = kLongFlowBytes);
+
+  [[nodiscard]] int assign_priority(const Flow& flow, double bytes_sent,
+                                    double now) override;
+  [[nodiscard]] double decision_latency_s() const override {
+    return latency_;
+  }
+
+  // (features, priority) decisions observed — lRLA distillation dataset.
+  struct Decision {
+    std::vector<double> features;
+    std::size_t priority;
+  };
+  [[nodiscard]] const std::vector<Decision>& decisions() const {
+    return decisions_;
+  }
+
+ private:
+  PriorityFn fn_;
+  double latency_;
+  double min_bytes_;
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace metis::flowsched

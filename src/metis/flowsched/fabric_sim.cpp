@@ -1,0 +1,233 @@
+#include "metis/flowsched/fabric_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "metis/util/check.h"
+#include "metis/util/stats.h"
+
+namespace metis::flowsched {
+
+FctStats fct_stats(const std::vector<FlowResult>& results, double link_bps,
+                   std::optional<SizeClass> filter) {
+  std::vector<double> slowdowns;
+  for (const auto& r : results) {
+    if (filter && classify_size(r.flow.size_bytes) != *filter) continue;
+    slowdowns.push_back(r.slowdown(link_bps));
+  }
+  FctStats stats;
+  stats.count = slowdowns.size();
+  if (slowdowns.empty()) return stats;
+  stats.avg = metis::mean(slowdowns);
+  stats.p50 = metis::percentile(slowdowns, 50);
+  stats.p75 = metis::percentile(slowdowns, 75);
+  stats.p90 = metis::percentile(slowdowns, 90);
+  stats.p99 = metis::percentile(slowdowns, 99);
+  return stats;
+}
+
+Coverage coverage_of(const std::vector<FlowResult>& results) {
+  Coverage c;
+  if (results.empty()) return c;
+  double flows = 0.0, bytes = 0.0, cov_flows = 0.0, cov_bytes = 0.0;
+  for (const auto& r : results) {
+    flows += 1.0;
+    bytes += r.flow.size_bytes;
+    if (r.covered) {
+      cov_flows += 1.0;
+      cov_bytes += r.flow.size_bytes;
+    }
+  }
+  c.flow_fraction = cov_flows / flows;
+  c.byte_fraction = cov_bytes / bytes;
+  return c;
+}
+
+FabricSim::FabricSim(FabricConfig cfg) : cfg_(std::move(cfg)) {
+  MET_CHECK(cfg_.hosts >= 2);
+  MET_CHECK(cfg_.link_bps > 0.0);
+}
+
+namespace {
+
+struct ActiveFlow {
+  Flow flow;
+  double sent_bytes = 0.0;
+  double rate_bps = 0.0;
+  int pinned_priority = -1;   // -1: MLFQ governs
+  bool decision_pending = false;
+  bool covered = false;
+};
+
+}  // namespace
+
+std::vector<FlowResult> FabricSim::run(const std::vector<Flow>& flows,
+                                       FlowScheduler* scheduler,
+                                       ThresholdController* controller) {
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    MET_CHECK_MSG(flows[i].arrival_s >= flows[i - 1].arrival_s,
+                  "flows must be sorted by arrival time");
+  }
+  for (const auto& f : flows) {
+    MET_CHECK(f.src < cfg_.hosts && f.dst < cfg_.hosts && f.src != f.dst);
+    MET_CHECK(f.size_bytes > 0.0);
+  }
+
+  const std::size_t n_queues = cfg_.mlfq.queue_count();
+  const double latency =
+      scheduler != nullptr ? scheduler->decision_latency_s() : 0.0;
+
+  // The live MLFQ configuration (mutable when a controller is attached;
+  // controllers must keep the queue count fixed).
+  Mlfq mlfq = cfg_.mlfq;
+
+  std::vector<ActiveFlow> active;
+  std::vector<FlowResult> done;
+  std::size_t reported_to_controller = 0;
+  done.reserve(flows.size());
+  std::size_t next_arrival = 0;
+  double now = flows.empty() ? 0.0 : flows.front().arrival_s;
+  double next_control =
+      controller != nullptr ? now + controller->interval_s() : 0.0;
+
+  auto effective_priority = [&](const ActiveFlow& af) -> std::size_t {
+    if (af.pinned_priority >= 0) {
+      return static_cast<std::size_t>(af.pinned_priority);
+    }
+    return mlfq.priority_of(af.sent_bytes);
+  };
+
+  // Recomputes all active rates: strict priority per link, equal split
+  // within a level, flow rate = min(egress share, ingress share). Shares at
+  // a level are fixed from the capacity left by higher levels before any
+  // flow at the level is served, so contenders on a link split it equally.
+  auto recompute_rates = [&] {
+    std::vector<double> egress_cap(cfg_.hosts, cfg_.link_bps);
+    std::vector<double> ingress_cap(cfg_.hosts, cfg_.link_bps);
+    for (std::size_t level = 0; level < n_queues; ++level) {
+      // Count this level's contenders per link.
+      std::vector<std::size_t> egress_n(cfg_.hosts, 0);
+      std::vector<std::size_t> ingress_n(cfg_.hosts, 0);
+      for (const auto& af : active) {
+        if (effective_priority(af) != level) continue;
+        ++egress_n[af.flow.src];
+        ++ingress_n[af.flow.dst];
+      }
+      std::vector<double> egress_share(cfg_.hosts, 0.0);
+      std::vector<double> ingress_share(cfg_.hosts, 0.0);
+      for (std::size_t h = 0; h < cfg_.hosts; ++h) {
+        if (egress_n[h] > 0) {
+          egress_share[h] = egress_cap[h] / static_cast<double>(egress_n[h]);
+        }
+        if (ingress_n[h] > 0) {
+          ingress_share[h] = ingress_cap[h] / static_cast<double>(ingress_n[h]);
+        }
+      }
+      for (auto& af : active) {
+        if (effective_priority(af) != level) continue;
+        af.rate_bps =
+            std::min(egress_share[af.flow.src], ingress_share[af.flow.dst]);
+        egress_cap[af.flow.src] -= af.rate_bps;
+        ingress_cap[af.flow.dst] -= af.rate_bps;
+      }
+      for (std::size_t h = 0; h < cfg_.hosts; ++h) {
+        egress_cap[h] = std::max(egress_cap[h], 0.0);
+        ingress_cap[h] = std::max(ingress_cap[h], 0.0);
+      }
+    }
+  };
+
+  const double inf = std::numeric_limits<double>::infinity();
+  while (next_arrival < flows.size() || !active.empty()) {
+    recompute_rates();
+
+    // Time to the next event, relative to `now`. Working with the relative
+    // step (rather than absolute event timestamps) keeps byte progress
+    // exact: advancing a flow by rate*dt/8 lands it on the boundary that
+    // produced dt even when now + dt is not representable.
+    double dt = inf;
+    if (next_arrival < flows.size()) {
+      dt = std::min(dt, flows[next_arrival].arrival_s - now);
+    }
+    for (const auto& af : active) {
+      if (af.rate_bps > 0.0) {
+        const double remain = af.flow.size_bytes - af.sent_bytes;
+        dt = std::min(dt, remain * 8.0 / af.rate_bps);
+        if (af.pinned_priority < 0) {
+          const double to_demote = mlfq.bytes_to_demotion(af.sent_bytes);
+          if (to_demote > 0.0) {
+            dt = std::min(dt, to_demote * 8.0 / af.rate_bps);
+          }
+        }
+      }
+      if (af.decision_pending) {
+        dt = std::min(dt, af.flow.arrival_s + latency - now);
+      }
+    }
+    if (controller != nullptr && !active.empty()) {
+      dt = std::min(dt, next_control - now);
+    }
+    MET_CHECK_MSG(std::isfinite(dt), "simulator stalled (no events)");
+    dt = std::max(dt, 0.0);
+
+    // Advance transmission to the event instant.
+    for (auto& af : active) {
+      af.sent_bytes += af.rate_bps * dt / 8.0;
+      af.sent_bytes = std::min(af.sent_bytes, af.flow.size_bytes);
+    }
+    now += dt;
+
+    // Threshold-controller tick (sRLA actuation).
+    if (controller != nullptr && now + 1e-12 >= next_control) {
+      std::vector<FlowResult> window(
+          done.begin() + static_cast<std::ptrdiff_t>(reported_to_controller),
+          done.end());
+      reported_to_controller = done.size();
+      Mlfq updated = controller->update(window, now);
+      MET_CHECK_MSG(updated.queue_count() == n_queues,
+                    "controller must preserve the queue count");
+      mlfq = std::move(updated);
+      next_control = now + controller->interval_s();
+    }
+
+    // Scheduler decisions maturing now.
+    if (scheduler != nullptr) {
+      for (auto& af : active) {
+        if (af.decision_pending && af.flow.arrival_s + latency <= now + 1e-12) {
+          af.decision_pending = false;
+          const int p = scheduler->assign_priority(af.flow, af.sent_bytes, now);
+          MET_CHECK(p < static_cast<int>(n_queues));
+          if (p >= 0) {
+            af.pinned_priority = p;
+            af.covered = true;
+          }
+        }
+      }
+    }
+
+    // Completions.
+    for (std::size_t i = active.size(); i-- > 0;) {
+      if (active[i].sent_bytes >= active[i].flow.size_bytes - 1e-9) {
+        FlowResult r;
+        r.flow = active[i].flow;
+        r.fct_s = now - active[i].flow.arrival_s;
+        r.covered = active[i].covered;
+        done.push_back(r);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+
+    // Arrivals at this instant.
+    while (next_arrival < flows.size() &&
+           flows[next_arrival].arrival_s <= now + 1e-12) {
+      ActiveFlow af;
+      af.flow = flows[next_arrival++];
+      af.decision_pending = scheduler != nullptr;
+      active.push_back(af);
+    }
+  }
+  return done;
+}
+
+}  // namespace metis::flowsched

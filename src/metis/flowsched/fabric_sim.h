@@ -1,0 +1,102 @@
+// Event-driven fluid simulator of a single-rack fabric (the paper's
+// 16-server one-switch AuTO testbed).
+//
+// Each host has an egress and an ingress link of `link_bps`. Active flows
+// are served by strict priority across MLFQ queues (or an externally
+// pinned per-flow priority) with equal sharing inside a priority level.
+// Rates are recomputed at every event: flow arrival, flow completion,
+// MLFQ demotion (bytes crossing a threshold), and scheduler decision
+// application (arrival + decision latency — how the paper's Figure 16b
+// coverage effect arises).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "metis/flowsched/flow_gen.h"
+#include "metis/flowsched/mlfq.h"
+
+namespace metis::flowsched {
+
+struct FabricConfig {
+  std::size_t hosts = 16;
+  double link_bps = 1e9;
+  Mlfq mlfq = Mlfq::standard();
+};
+
+// Per-flow scheduler (AuTO's RL agents / Metis' trees plug in here).
+class FlowScheduler {
+ public:
+  virtual ~FlowScheduler() = default;
+  // Called once per flow at time (arrival + decision_latency_s). Return a
+  // priority in [0, queue_count) to pin the flow, or -1 to leave it under
+  // MLFQ control. `bytes_sent` is the flow's progress at decision time.
+  [[nodiscard]] virtual int assign_priority(const Flow& flow,
+                                            double bytes_sent, double now) = 0;
+  // Inference + control-plane latency before a decision takes effect.
+  [[nodiscard]] virtual double decision_latency_s() const = 0;
+};
+
+struct FlowResult;
+
+// Periodic MLFQ threshold updates (sRLA's actuation path): the simulator
+// calls update() every interval_s with the flows completed since the last
+// call, and installs the returned thresholds.
+class ThresholdController {
+ public:
+  virtual ~ThresholdController() = default;
+  [[nodiscard]] virtual double interval_s() const = 0;
+  [[nodiscard]] virtual Mlfq update(
+      const std::vector<FlowResult>& completed_since_last, double now) = 0;
+};
+
+struct FlowResult {
+  Flow flow;
+  double fct_s = 0.0;
+  // True iff the scheduler's per-flow decision took effect before the flow
+  // finished (the Figure 16b "coverage" notion).
+  bool covered = false;
+
+  [[nodiscard]] double slowdown(double link_bps) const {
+    const double ideal = flow.size_bytes * 8.0 / link_bps;
+    return fct_s / ideal;
+  }
+};
+
+struct FctStats {
+  double avg = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::size_t count = 0;
+};
+
+// Aggregates FCT slowdowns (optionally filtered by size class).
+[[nodiscard]] FctStats fct_stats(const std::vector<FlowResult>& results,
+                                 double link_bps,
+                                 std::optional<SizeClass> filter = {});
+
+// Fraction of flows / bytes that received a per-flow decision (Fig. 16b).
+struct Coverage {
+  double flow_fraction = 0.0;
+  double byte_fraction = 0.0;
+};
+[[nodiscard]] Coverage coverage_of(const std::vector<FlowResult>& results);
+
+class FabricSim {
+ public:
+  explicit FabricSim(FabricConfig cfg);
+
+  // Simulates the workload to completion. The scheduler and controller may
+  // be null (pure static MLFQ). Flows must be sorted by arrival time.
+  [[nodiscard]] std::vector<FlowResult> run(
+      const std::vector<Flow>& flows, FlowScheduler* scheduler = nullptr,
+      ThresholdController* controller = nullptr);
+
+ private:
+  FabricConfig cfg_;
+};
+
+}  // namespace metis::flowsched

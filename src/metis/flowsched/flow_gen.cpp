@@ -1,0 +1,107 @@
+#include "metis/flowsched/flow_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis::flowsched {
+
+double sample_flow_size(WorkloadFamily family, metis::Rng& rng) {
+  // Sizes clamped into [100 B, 1 GB]; parameters chosen to match the
+  // qualitative shape of the DCTCP / VL2 CDFs.
+  double size = 0.0;
+  if (family == WorkloadFamily::kWebSearch) {
+    const double u = rng.uniform();
+    if (u < 0.55) {
+      size = rng.lognormal(std::log(8e3), 0.9);    // small queries ~8 KB
+    } else if (u < 0.90) {
+      size = rng.lognormal(std::log(150e3), 0.8);  // responses ~150 KB
+    } else {
+      size = rng.pareto(1e6, 1.3);                 // MB-scale tail
+    }
+  } else {
+    const double u = rng.uniform();
+    if (u < 0.80) {
+      size = rng.lognormal(std::log(2e3), 1.0);    // tiny control flows
+    } else if (u < 0.95) {
+      size = rng.lognormal(std::log(300e3), 1.0);  // medium shuffles
+    } else {
+      size = rng.pareto(10e6, 1.05);               // giant tail (most bytes)
+    }
+  }
+  return std::clamp(size, 100.0, 1e9);
+}
+
+double mean_flow_size(WorkloadFamily family) {
+  // Deterministic empirical mean over a fixed large sample (cheap, and
+  // avoids hand-maintaining closed forms for the truncated mixtures).
+  static const double ws_mean = [] {
+    metis::Rng rng(0xabcdef);
+    double s = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+      s += sample_flow_size(WorkloadFamily::kWebSearch, rng);
+    }
+    return s / 200000.0;
+  }();
+  static const double dm_mean = [] {
+    metis::Rng rng(0xfedcba);
+    double s = 0.0;
+    for (int i = 0; i < 200000; ++i) {
+      s += sample_flow_size(WorkloadFamily::kDataMining, rng);
+    }
+    return s / 200000.0;
+  }();
+  return family == WorkloadFamily::kWebSearch ? ws_mean : dm_mean;
+}
+
+std::vector<Flow> generate_workload(const FlowGenConfig& cfg,
+                                    std::uint64_t seed) {
+  MET_CHECK(cfg.hosts >= 2);
+  MET_CHECK(cfg.load > 0.0 && cfg.load < 1.0);
+  MET_CHECK(cfg.duration_s > 0.0);
+  metis::Rng rng(seed);
+
+  // Offered load is measured against the aggregate host egress capacity.
+  const double aggregate_bps = cfg.link_bps * static_cast<double>(cfg.hosts);
+  const double bytes_per_s = cfg.load * aggregate_bps / 8.0;
+  const double arrival_rate = bytes_per_s / mean_flow_size(cfg.family);
+
+  std::vector<Flow> flows;
+  double t = 0.0;
+  std::size_t id = 0;
+  for (;;) {
+    t += rng.exponential(arrival_rate);
+    if (t >= cfg.duration_s) break;
+    Flow f;
+    f.id = id++;
+    f.arrival_s = t;
+    f.size_bytes = sample_flow_size(cfg.family, rng);
+    f.src = rng.uniform_int(cfg.hosts);
+    do {
+      f.dst = rng.uniform_int(cfg.hosts);
+    } while (f.dst == f.src);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+SizeClass classify_size(double size_bytes) {
+  if (size_bytes < 100e3) return SizeClass::kShort;
+  if (size_bytes < 10e6) return SizeClass::kMedian;
+  return SizeClass::kLong;
+}
+
+std::string size_class_name(SizeClass c) {
+  switch (c) {
+    case SizeClass::kShort:
+      return "short";
+    case SizeClass::kMedian:
+      return "median";
+    case SizeClass::kLong:
+      return "long";
+  }
+  return "?";
+}
+
+}  // namespace metis::flowsched

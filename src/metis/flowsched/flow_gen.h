@@ -1,0 +1,56 @@
+// Datacenter flow workload generator for the AuTO substrate (§5).
+//
+// Reproduces the two trace families of the paper's evaluation as synthetic
+// distributions (DESIGN.md substitution table):
+//  * Web search (DCTCP [27]-style): most flows are small request/response
+//    exchanges, with a moderate heavy tail of MB-scale flows.
+//  * Data mining (VL2 [3]-style): the vast majority of flows are tiny, but
+//    nearly all bytes live in a very heavy tail of giant flows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metis/util/rng.h"
+
+namespace metis::flowsched {
+
+struct Flow {
+  std::size_t id = 0;
+  double arrival_s = 0.0;
+  double size_bytes = 0.0;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+};
+
+enum class WorkloadFamily { kWebSearch, kDataMining };
+
+struct FlowGenConfig {
+  WorkloadFamily family = WorkloadFamily::kWebSearch;
+  std::size_t hosts = 16;          // the paper's 16-server rack
+  double link_bps = 1e9;           // per-host access link
+  double load = 0.4;               // offered load as a fraction of capacity
+  double duration_s = 1.0;         // arrival window
+};
+
+// Draws one flow size (bytes) from the family's distribution.
+[[nodiscard]] double sample_flow_size(WorkloadFamily family, metis::Rng& rng);
+
+// Mean flow size of the family (computed empirically; used to calibrate
+// the Poisson arrival rate to the requested load).
+[[nodiscard]] double mean_flow_size(WorkloadFamily family);
+
+// Generates a workload: Poisson arrivals at the requested load, uniform
+// src/dst pairs (src != dst), sizes from the family distribution, sorted by
+// arrival time.
+[[nodiscard]] std::vector<Flow> generate_workload(const FlowGenConfig& cfg,
+                                                  std::uint64_t seed);
+
+// AuTO's operational size classes, for FCT breakdowns (Fig. 17a): short
+// (< 100 KB), median/"mice-to-elephant" (100 KB - 10 MB), long (>= 10 MB).
+enum class SizeClass { kShort, kMedian, kLong };
+[[nodiscard]] SizeClass classify_size(double size_bytes);
+[[nodiscard]] std::string size_class_name(SizeClass c);
+
+}  // namespace metis::flowsched

@@ -1,0 +1,57 @@
+#include "metis/flowsched/mlfq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis::flowsched {
+
+Mlfq::Mlfq(std::vector<double> demotion_thresholds_bytes)
+    : thresholds_(std::move(demotion_thresholds_bytes)) {
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    MET_CHECK_MSG(thresholds_[i] > 0.0, "thresholds must be positive");
+    if (i > 0) {
+      MET_CHECK_MSG(thresholds_[i] > thresholds_[i - 1],
+                    "thresholds must be strictly increasing");
+    }
+  }
+}
+
+std::size_t Mlfq::priority_of(double bytes_sent) const {
+  MET_CHECK(bytes_sent >= 0.0);
+  // A flow within kCrossingEpsBytes of a threshold counts as having crossed
+  // it. The event-driven simulator lands flows on thresholds up to rounding
+  // error; without the tolerance a sliver of remaining bytes would schedule
+  // a demotion event an unrepresentably small time step away (livelock).
+  std::size_t q = 0;
+  for (double th : thresholds_) {
+    if (bytes_sent < th - kCrossingEpsBytes) break;
+    ++q;
+  }
+  return q;
+}
+
+double Mlfq::bytes_to_demotion(double bytes_sent) const {
+  const std::size_t q = priority_of(bytes_sent);
+  if (q >= thresholds_.size()) return -1.0;
+  return thresholds_[q] - bytes_sent;
+}
+
+Mlfq Mlfq::standard() {
+  return Mlfq({50e3, 1e6, 20e6});  // 4 queues
+}
+
+Mlfq Mlfq::from_policy_output(std::vector<double> raw, double lo, double hi) {
+  MET_CHECK(lo > 0.0 && hi > lo);
+  for (double& v : raw) v = std::clamp(v, lo, hi);
+  std::sort(raw.begin(), raw.end());
+  // Enforce a minimum 1.5x geometric spacing so queues stay distinct even
+  // when the policy emits near-identical values.
+  for (std::size_t i = 1; i < raw.size(); ++i) {
+    raw[i] = std::max(raw[i], raw[i - 1] * 1.5);
+  }
+  return Mlfq(std::move(raw));
+}
+
+}  // namespace metis::flowsched

@@ -1,0 +1,53 @@
+// Multi-level feedback queue (MLFQ) priority logic [6] — AuTO's local
+// decision path for short flows: a flow starts in the highest-priority
+// queue and is demoted as its transmitted bytes cross the thresholds.
+// sRLA's whole job is choosing these thresholds (§5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace metis::flowsched {
+
+class Mlfq {
+ public:
+  // Tolerance under which a flow parked just short of a threshold (by
+  // floating-point rounding) is treated as having crossed it. Far below any
+  // meaningful threshold spacing (thresholds are >= 1e3 bytes apart).
+  static constexpr double kCrossingEpsBytes = 1e-6;
+
+  // thresholds must be strictly increasing byte counts; K queues need K-1
+  // thresholds. Queue 0 is the highest priority.
+  explicit Mlfq(std::vector<double> demotion_thresholds_bytes);
+
+  [[nodiscard]] std::size_t queue_count() const {
+    return thresholds_.size() + 1;
+  }
+  [[nodiscard]] const std::vector<double>& thresholds() const {
+    return thresholds_;
+  }
+
+  // Priority (queue index) of a flow that has sent `bytes_sent` so far.
+  [[nodiscard]] std::size_t priority_of(double bytes_sent) const;
+
+  // Bytes remaining until the flow is demoted to the next queue, or a
+  // negative value when it already sits in the last queue. Used by the
+  // event-driven simulator to schedule demotion events exactly.
+  [[nodiscard]] double bytes_to_demotion(double bytes_sent) const;
+
+  // AuTO-flavoured defaults: 4 queues with thresholds spanning the
+  // short-flow range of datacenter traffic.
+  [[nodiscard]] static Mlfq standard();
+
+  // Builds an Mlfq from raw (possibly unsorted / degenerate) threshold
+  // proposals, as produced by a learned policy: sorts, deduplicates with a
+  // minimum geometric spacing, and clamps into [lo, hi].
+  [[nodiscard]] static Mlfq from_policy_output(std::vector<double> raw,
+                                               double lo = 1e3,
+                                               double hi = 100e6);
+
+ private:
+  std::vector<double> thresholds_;
+};
+
+}  // namespace metis::flowsched

@@ -1,0 +1,72 @@
+#include "metis/flowsched/tree_scheduler.h"
+
+#include "metis/tree/prune.h"
+#include "metis/util/check.h"
+
+namespace metis::flowsched {
+
+TreeLrlaScheduler::TreeLrlaScheduler(const tree::DecisionTree& tree,
+                                     std::size_t queues,
+                                     double decision_latency_s,
+                                     double min_flow_bytes)
+    : flat_(tree::FlatTree::compile(tree)),
+      queues_(queues),
+      latency_(decision_latency_s),
+      min_bytes_(min_flow_bytes) {
+  MET_CHECK_MSG(tree.task() == tree::Task::kClassification,
+                "priorities are discrete: expected a classification tree");
+  MET_CHECK(queues_ >= 1);
+}
+
+int TreeLrlaScheduler::assign_priority(const Flow& flow, double bytes_sent,
+                                       double) {
+  if (flow.size_bytes < min_bytes_) return -1;
+  const auto p =
+      static_cast<std::size_t>(flat_.predict(lrla_features(flow, bytes_sent)));
+  MET_CHECK(p < queues_);
+  return static_cast<int>(p);
+}
+
+TreeSrlaPolicy::TreeSrlaPolicy(std::vector<tree::DecisionTree> per_threshold) {
+  MET_CHECK(per_threshold.size() == kSrlaThresholds);
+  for (const auto& t : per_threshold) {
+    MET_CHECK_MSG(t.task() == tree::Task::kRegression,
+                  "thresholds are continuous: expected regression trees");
+    flats_.push_back(tree::FlatTree::compile(t));
+  }
+}
+
+std::vector<double> TreeSrlaPolicy::thresholds_for(
+    std::span<const double> state) const {
+  std::vector<double> th(flats_.size());
+  for (std::size_t i = 0; i < flats_.size(); ++i) {
+    th[i] = flats_[i].predict(state);
+  }
+  return th;
+}
+
+TreeSrlaPolicy distill_srla(
+    const std::vector<SrlaController::Decision>& decisions,
+    std::size_t max_leaves) {
+  MET_CHECK_MSG(!decisions.empty(), "no sRLA decisions to distill from");
+  std::vector<tree::DecisionTree> trees;
+  for (std::size_t t = 0; t < kSrlaThresholds; ++t) {
+    tree::Dataset data;
+    data.feature_names = {"size_p10", "size_p50", "size_p90", "count",
+                          "slowdown", "short_frac", "bytes"};
+    for (const auto& d : decisions) {
+      data.add(d.state, d.thresholds[t]);
+    }
+    tree::FitConfig cfg;
+    cfg.task = tree::Task::kRegression;
+    cfg.min_samples_leaf = 2;
+    tree::DecisionTree fitted = tree::DecisionTree::fit(data, cfg);
+    if (fitted.leaf_count() > max_leaves) {
+      tree::prune_to_leaf_count(fitted, max_leaves);
+    }
+    trees.push_back(std::move(fitted));
+  }
+  return TreeSrlaPolicy(std::move(trees));
+}
+
+}  // namespace metis::flowsched

@@ -1,0 +1,58 @@
+// Decision-tree flow schedulers — the deployable students of Metis+AuTO
+// (§6.4): identical decision interfaces to the DNN agents, but with the
+// ~27x shorter decision latency that lets per-flow scheduling also cover
+// median flows (Fig. 16, Fig. 17a).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metis/flowsched/auto_agents.h"
+#include "metis/tree/cart.h"
+#include "metis/tree/flat_tree.h"
+
+namespace metis::flowsched {
+
+// Tree decision latency analogue of the paper's 2.30 ms (Fig. 16a).
+inline constexpr double kTreeDecisionLatency = 0.0023;
+
+// lRLA student: classification tree over lrla_features().
+class TreeLrlaScheduler final : public FlowScheduler {
+ public:
+  TreeLrlaScheduler(const tree::DecisionTree& tree, std::size_t queues,
+                    double decision_latency_s = kTreeDecisionLatency,
+                    double min_flow_bytes = kLongFlowBytes);
+
+  [[nodiscard]] int assign_priority(const Flow& flow, double bytes_sent,
+                                    double now) override;
+  [[nodiscard]] double decision_latency_s() const override {
+    return latency_;
+  }
+
+ private:
+  tree::FlatTree flat_;
+  std::size_t queues_;
+  double latency_;
+  double min_bytes_;
+};
+
+// sRLA student: one regression tree per MLFQ threshold.
+class TreeSrlaPolicy {
+ public:
+  explicit TreeSrlaPolicy(std::vector<tree::DecisionTree> per_threshold);
+
+  [[nodiscard]] std::vector<double> thresholds_for(
+      std::span<const double> state) const;
+
+  [[nodiscard]] std::size_t tree_count() const { return flats_.size(); }
+
+ private:
+  std::vector<tree::FlatTree> flats_;
+};
+
+// Fits the sRLA student from logged controller decisions.
+[[nodiscard]] TreeSrlaPolicy distill_srla(
+    const std::vector<SrlaController::Decision>& decisions,
+    std::size_t max_leaves);
+
+}  // namespace metis::flowsched

@@ -1,0 +1,84 @@
+#include "metis/hypergraph/hypergraph.h"
+
+#include <algorithm>
+
+#include "metis/util/check.h"
+
+namespace metis::hypergraph {
+
+Hypergraph::Hypergraph(std::size_t vertex_count, std::size_t edge_count)
+    : vertex_count_(vertex_count),
+      edge_count_(edge_count),
+      edge_to_vertices_(edge_count) {
+  MET_CHECK(vertex_count > 0);
+  MET_CHECK(edge_count > 0);
+}
+
+void Hypergraph::connect(std::size_t edge, std::size_t vertex) {
+  MET_CHECK(edge < edge_count_);
+  MET_CHECK(vertex < vertex_count_);
+  auto& vs = edge_to_vertices_[edge];
+  if (std::find(vs.begin(), vs.end(), vertex) == vs.end()) {
+    vs.push_back(vertex);
+  }
+}
+
+bool Hypergraph::contains(std::size_t edge, std::size_t vertex) const {
+  MET_CHECK(edge < edge_count_);
+  const auto& vs = edge_to_vertices_[edge];
+  return std::find(vs.begin(), vs.end(), vertex) != vs.end();
+}
+
+const std::vector<std::size_t>& Hypergraph::vertices_of(
+    std::size_t edge) const {
+  MET_CHECK(edge < edge_count_);
+  return edge_to_vertices_[edge];
+}
+
+std::vector<std::size_t> Hypergraph::edges_of(std::size_t vertex) const {
+  MET_CHECK(vertex < vertex_count_);
+  std::vector<std::size_t> edges;
+  for (std::size_t e = 0; e < edge_count_; ++e) {
+    if (contains(e, vertex)) edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<Connection> Hypergraph::connections() const {
+  std::vector<Connection> cs;
+  for (std::size_t e = 0; e < edge_count_; ++e) {
+    for (std::size_t v : edge_to_vertices_[e]) cs.push_back({e, v});
+  }
+  return cs;
+}
+
+std::size_t Hypergraph::connection_count() const {
+  std::size_t n = 0;
+  for (const auto& vs : edge_to_vertices_) n += vs.size();
+  return n;
+}
+
+nn::Tensor Hypergraph::incidence_matrix() const {
+  nn::Tensor incidence(edge_count_, vertex_count_, 0.0);
+  for (std::size_t e = 0; e < edge_count_; ++e) {
+    for (std::size_t v : edge_to_vertices_[e]) incidence(e, v) = 1.0;
+  }
+  return incidence;
+}
+
+std::size_t Hypergraph::vertex_degree(std::size_t vertex) const {
+  return edges_of(vertex).size();
+}
+
+void Hypergraph::validate() const {
+  MET_CHECK(vertex_names.empty() || vertex_names.size() == vertex_count_);
+  MET_CHECK(edge_names.empty() || edge_names.size() == edge_count_);
+  MET_CHECK(vertex_features.empty() ||
+            vertex_features.rows() == vertex_count_);
+  MET_CHECK(edge_features.empty() || edge_features.rows() == edge_count_);
+  for (const auto& vs : edge_to_vertices_) {
+    for (std::size_t v : vs) MET_CHECK(v < vertex_count_);
+  }
+}
+
+}  // namespace metis::hypergraph

@@ -1,0 +1,71 @@
+// Hypergraph formulation of global networking systems (§4.1).
+//
+// Vertices and hyperedges carry feature rows (F_V, F_E); the incidence
+// matrix I (|E| x |V|) encodes which hyperedge covers which vertex. The
+// paper's scenarios map onto this structure as:
+//   #1 SDN routing:       links = vertices, paths = hyperedges
+//   #2 NF placement:      servers = vertices, NFs = hyperedges
+//   #3 ultra-dense radio: users = vertices, base-station coverage = edges
+//   #4 cluster DAG jobs:  job nodes = vertices, dependencies = hyperedges
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metis/nn/tensor.h"
+
+namespace metis::hypergraph {
+
+struct Connection {
+  std::size_t edge = 0;    // hyperedge index
+  std::size_t vertex = 0;  // vertex index
+};
+
+class Hypergraph {
+ public:
+  Hypergraph(std::size_t vertex_count, std::size_t edge_count);
+
+  [[nodiscard]] std::size_t vertex_count() const { return vertex_count_; }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  // Adds vertex v to hyperedge e (idempotent).
+  void connect(std::size_t edge, std::size_t vertex);
+  [[nodiscard]] bool contains(std::size_t edge, std::size_t vertex) const;
+
+  // Vertices covered by a hyperedge, in insertion order.
+  [[nodiscard]] const std::vector<std::size_t>& vertices_of(
+      std::size_t edge) const;
+  // Hyperedges covering a vertex.
+  [[nodiscard]] std::vector<std::size_t> edges_of(std::size_t vertex) const;
+
+  // All (edge, vertex) connections, edge-major order — the objects Metis
+  // scores in §4.2 (Eq. 2 lists exactly this set for the routing example).
+  [[nodiscard]] std::vector<Connection> connections() const;
+  [[nodiscard]] std::size_t connection_count() const;
+
+  // 0-1 incidence matrix I with shape |E| x |V| (Eq. 3).
+  [[nodiscard]] nn::Tensor incidence_matrix() const;
+
+  // Vertex degree within the hypergraph (# hyperedges covering it).
+  [[nodiscard]] std::size_t vertex_degree(std::size_t vertex) const;
+
+  // Optional human-readable names used by interpretation reports.
+  std::vector<std::string> vertex_names;
+  std::vector<std::string> edge_names;
+
+  // Optional feature rows; if set, must have vertex_count/edge_count rows.
+  nn::Tensor vertex_features;  // |V| x d_v
+  nn::Tensor edge_features;    // |E| x d_e
+
+  // Checks name/feature dimensions and index bounds.
+  void validate() const;
+
+ private:
+  std::size_t vertex_count_;
+  std::size_t edge_count_;
+  std::vector<std::vector<std::size_t>> edge_to_vertices_;
+};
+
+}  // namespace metis::hypergraph

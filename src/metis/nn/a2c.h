@@ -1,0 +1,106 @@
+// Advantage actor-critic (A2C) trainer for discrete-action environments.
+//
+// This trains the DNN teachers that Metis later interprets. The environment
+// interface deliberately matches what the distillation pipeline needs: Metis'
+// trace collector (§3.2 step 1) replays the same environments with the tree
+// as the acting policy and the DNN as the correcting teacher.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "metis/nn/mlp.h"
+#include "metis/nn/optim.h"
+#include "metis/util/rng.h"
+
+namespace metis::nn {
+
+// One interaction step.
+struct StepResult {
+  std::vector<double> next_state;
+  double reward = 0.0;
+  bool done = false;
+};
+
+// Episodic discrete-action environment. Implementations must be
+// deterministic given the seed passed to reset().
+class DiscreteEnv {
+ public:
+  virtual ~DiscreteEnv() = default;
+  [[nodiscard]] virtual std::size_t state_dim() const = 0;
+  [[nodiscard]] virtual std::size_t action_count() const = 0;
+  // Starts a new episode; the episode index selects e.g. which network
+  // trace to replay, so evaluation can sweep a fixed corpus.
+  virtual std::vector<double> reset(std::size_t episode_index) = 0;
+  virtual StepResult step(std::size_t action) = 0;
+};
+
+struct A2cConfig {
+  std::size_t episodes = 200;       // training episodes
+  std::size_t max_steps = 1000;     // per-episode step cap
+  double gamma = 0.99;              // discount
+  double actor_lr = 1e-3;
+  double critic_lr = 2e-3;          // kept for API compat; see value_coef
+  double value_coef = 0.25;         // critic loss weight (variance-scaled)
+  double entropy_bonus = 0.02;      // exploration regularizer
+  double grad_clip = 5.0;
+  std::size_t eval_every = 0;       // 0 disables periodic evaluation
+  std::size_t eval_episodes = 8;    // episodes per evaluation point
+};
+
+struct A2cTrainPoint {
+  std::size_t episode = 0;
+  double mean_eval_return = 0.0;
+};
+
+struct A2cResult {
+  std::vector<A2cTrainPoint> curve;  // periodic greedy-policy evaluations
+  double final_mean_return = 0.0;
+};
+
+// Trains `net` in-place on `env`. Exploration samples from the softmax
+// policy; evaluation (curve points) uses the greedy policy over
+// `eval_episodes` distinct episode indices.
+A2cResult train_a2c(PolicyNet& net, DiscreteEnv& env, const A2cConfig& cfg,
+                    metis::Rng& rng);
+
+// Runs the greedy policy for `episodes` episodes and returns the mean
+// undiscounted return. `episode_offset` selects which episode indices
+// (traces) to evaluate.
+double evaluate_greedy(const PolicyNet& net, DiscreteEnv& env,
+                       std::size_t episodes, std::size_t max_steps,
+                       std::size_t episode_offset = 0);
+
+// Runs an arbitrary policy function over one episode; returns the
+// undiscounted return. Used to score decision-tree students on the same
+// environments as their DNN teachers.
+double run_episode(
+    DiscreteEnv& env, std::size_t episode_index, std::size_t max_steps,
+    const std::function<std::size_t(std::span<const double>)>& policy);
+
+// ---- Behavior cloning -------------------------------------------------------
+
+struct BcConfig {
+  std::size_t epochs = 400;   // optimization steps
+  double lr = 3e-3;
+  double value_coef = 0.5;    // weight of the value-head regression term
+  // Rows sampled per step; 0 trains full-batch. Minibatching keeps the
+  // cost per step independent of the (DAgger-growing) dataset size.
+  std::size_t batch_size = 512;
+  std::uint64_t seed = 29;
+};
+
+// Supervised pre-training of a PolicyNet from expert demonstrations:
+// cross-entropy on the expert actions plus (variance-normalized) MSE of the
+// value head against the demos' Monte-Carlo returns. Returns the final
+// cross-entropy. Used to warm-start DNN teachers from an oracle planner
+// before A2C finetuning.
+double behavior_clone(PolicyNet& net,
+                      const std::vector<std::vector<double>>& states,
+                      const std::vector<std::size_t>& actions,
+                      const std::vector<double>& mc_returns,
+                      const BcConfig& cfg);
+
+}  // namespace metis::nn

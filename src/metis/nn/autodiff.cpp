@@ -1,0 +1,390 @@
+#include "metis/nn/autodiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "metis/util/check.h"
+
+namespace metis::nn {
+namespace {
+
+Var make_node(Tensor value, std::vector<Var> parents,
+              std::function<void(Node&)> backward) {
+  bool needs = false;
+  for (const auto& p : parents) needs = needs || p->requires_grad();
+  auto node = std::make_shared<Node>(std::move(value), needs);
+  node->set_parents(std::move(parents));
+  if (needs) node->set_backward(std::move(backward));
+  return node;
+}
+
+// Element-wise unary op helper: out = f(a), da += g(a, out) * dout.
+Var unary(const Var& a, const std::function<double(double)>& f,
+          const std::function<double(double, double)>& dfdx_of_in_out) {
+  Tensor out(a->value().rows(), a->value().cols());
+  auto in = a->value().data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) o[i] = f(in[i]);
+  return make_node(std::move(out), {a},
+                   [f = dfdx_of_in_out](Node& n) {
+                     auto& pa = *n.parents()[0];
+                     if (!pa.requires_grad()) return;
+                     auto in = pa.value().data();
+                     auto out = n.value().data();
+                     auto g = n.grad().data();
+                     auto pg = pa.grad().data();
+                     for (std::size_t i = 0; i < in.size(); ++i) {
+                       pg[i] += f(in[i], out[i]) * g[i];
+                     }
+                   });
+}
+
+}  // namespace
+
+Node::Node(Tensor value, bool requires_grad)
+    : value_(std::move(value)),
+      grad_(value_.rows(), value_.cols(), 0.0),
+      requires_grad_(requires_grad) {}
+
+Var constant(Tensor value) {
+  return std::make_shared<Node>(std::move(value), false);
+}
+
+Var parameter(Tensor value) {
+  return std::make_shared<Node>(std::move(value), true);
+}
+
+Var matmul(const Var& a, const Var& b) {
+  Tensor out = Tensor::matmul(a->value(), b->value());
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    auto& pb = *n.parents()[1];
+    if (pa.requires_grad()) {
+      pa.grad() += Tensor::matmul(n.grad(), pb.value().transposed());
+    }
+    if (pb.requires_grad()) {
+      pb.grad() += Tensor::matmul(pa.value().transposed(), n.grad());
+    }
+  });
+}
+
+Var add(const Var& a, const Var& b) {
+  const Tensor& av = a->value();
+  const Tensor& bv = b->value();
+  const bool broadcast = bv.rows() == 1 && av.rows() > 1;
+  MET_CHECK_MSG(av.cols() == bv.cols() && (av.rows() == bv.rows() || broadcast),
+                "add: incompatible shapes");
+  Tensor out = av;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) += bv(broadcast ? 0 : r, c);
+    }
+  }
+  return make_node(std::move(out), {a, b}, [broadcast](Node& n) {
+    auto& pa = *n.parents()[0];
+    auto& pb = *n.parents()[1];
+    if (pa.requires_grad()) pa.grad() += n.grad();
+    if (pb.requires_grad()) {
+      if (!broadcast) {
+        pb.grad() += n.grad();
+      } else {
+        for (std::size_t r = 0; r < n.grad().rows(); ++r) {
+          for (std::size_t c = 0; c < n.grad().cols(); ++c) {
+            pb.grad()(0, c) += n.grad()(r, c);
+          }
+        }
+      }
+    }
+  });
+}
+
+Var sub(const Var& a, const Var& b) {
+  MET_CHECK(a->value().same_shape(b->value()));
+  Tensor out = a->value();
+  out -= b->value();
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    auto& pb = *n.parents()[1];
+    if (pa.requires_grad()) pa.grad() += n.grad();
+    if (pb.requires_grad()) pb.grad() -= n.grad();
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  MET_CHECK(a->value().same_shape(b->value()));
+  Tensor out = a->value();
+  auto bd = b->value().data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] *= bd[i];
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    auto& pb = *n.parents()[1];
+    auto g = n.grad().data();
+    if (pa.requires_grad()) {
+      auto pg = pa.grad().data();
+      auto bv = pb.value().data();
+      for (std::size_t i = 0; i < g.size(); ++i) pg[i] += bv[i] * g[i];
+    }
+    if (pb.requires_grad()) {
+      auto pg = pb.grad().data();
+      auto av = pa.value().data();
+      for (std::size_t i = 0; i < g.size(); ++i) pg[i] += av[i] * g[i];
+    }
+  });
+}
+
+Var scale(const Var& a, double s) {
+  return unary(
+      a, [s](double x) { return x * s; },
+      [s](double, double) { return s; });
+}
+
+Var add_scalar(const Var& a, double s) {
+  return unary(
+      a, [s](double x) { return x + s; },
+      [](double, double) { return 1.0; });
+}
+
+Var relu(const Var& a) {
+  return unary(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var tanh_op(const Var& a) {
+  return unary(
+      a, [](double x) { return std::tanh(x); },
+      [](double, double y) { return 1.0 - y * y; });
+}
+
+Var sigmoid(const Var& a) {
+  return unary(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Var exp_op(const Var& a) {
+  return unary(
+      a, [](double x) { return std::exp(x); },
+      [](double, double y) { return y; });
+}
+
+Var log_op(const Var& a, double eps) {
+  return unary(
+      a, [eps](double x) { return std::log(std::max(x, eps)); },
+      [eps](double x, double) { return 1.0 / std::max(x, eps); });
+}
+
+Var square(const Var& a) {
+  return unary(
+      a, [](double x) { return x * x; },
+      [](double x, double) { return 2.0 * x; });
+}
+
+Var abs_op(const Var& a) {
+  return unary(
+      a, [](double x) { return std::abs(x); },
+      [](double x, double) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
+}
+
+Var softmax_rows(const Var& a) {
+  Tensor out = a->value();
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double mx = out(r, 0);
+    for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
+    double denom = 0.0;
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = std::exp(out(r, c) - mx);
+      denom += out(r, c);
+    }
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= denom;
+  }
+  return make_node(std::move(out), {a}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    if (!pa.requires_grad()) return;
+    // dL/dx_i = y_i * (dL/dy_i - Σ_j dL/dy_j * y_j), per row.
+    const Tensor& y = n.value();
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+      double dot = 0.0;
+      for (std::size_t c = 0; c < y.cols(); ++c) {
+        dot += n.grad()(r, c) * y(r, c);
+      }
+      for (std::size_t c = 0; c < y.cols(); ++c) {
+        pa.grad()(r, c) += y(r, c) * (n.grad()(r, c) - dot);
+      }
+    }
+  });
+}
+
+Var log_softmax_rows(const Var& a) {
+  Tensor out = a->value();
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double mx = out(r, 0);
+    for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
+    double denom = 0.0;
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      denom += std::exp(out(r, c) - mx);
+    }
+    const double lse = mx + std::log(denom);
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) -= lse;
+  }
+  return make_node(std::move(out), {a}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    if (!pa.requires_grad()) return;
+    // dL/dx_i = dL/dy_i - softmax(x)_i * Σ_j dL/dy_j, per row.
+    const Tensor& logp = n.value();
+    for (std::size_t r = 0; r < logp.rows(); ++r) {
+      double gsum = 0.0;
+      for (std::size_t c = 0; c < logp.cols(); ++c) gsum += n.grad()(r, c);
+      for (std::size_t c = 0; c < logp.cols(); ++c) {
+        pa.grad()(r, c) += n.grad()(r, c) - std::exp(logp(r, c)) * gsum;
+      }
+    }
+  });
+}
+
+Var concat_cols(const Var& a, const Var& b) {
+  const Tensor& av = a->value();
+  const Tensor& bv = b->value();
+  MET_CHECK_MSG(av.rows() == bv.rows(), "concat_cols: row count must match");
+  Tensor out(av.rows(), av.cols() + bv.cols());
+  for (std::size_t r = 0; r < av.rows(); ++r) {
+    for (std::size_t c = 0; c < av.cols(); ++c) out(r, c) = av(r, c);
+    for (std::size_t c = 0; c < bv.cols(); ++c) {
+      out(r, av.cols() + c) = bv(r, c);
+    }
+  }
+  const std::size_t split = av.cols();
+  return make_node(std::move(out), {a, b}, [split](Node& n) {
+    auto& pa = *n.parents()[0];
+    auto& pb = *n.parents()[1];
+    for (std::size_t r = 0; r < n.grad().rows(); ++r) {
+      if (pa.requires_grad()) {
+        for (std::size_t c = 0; c < split; ++c) {
+          pa.grad()(r, c) += n.grad()(r, c);
+        }
+      }
+      if (pb.requires_grad()) {
+        for (std::size_t c = split; c < n.grad().cols(); ++c) {
+          pb.grad()(r, c - split) += n.grad()(r, c);
+        }
+      }
+    }
+  });
+}
+
+Var transpose(const Var& a) {
+  return make_node(a->value().transposed(), {a}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    if (!pa.requires_grad()) return;
+    pa.grad() += n.grad().transposed();
+  });
+}
+
+Var reshape(const Var& a, std::size_t rows, std::size_t cols) {
+  MET_CHECK_MSG(rows * cols == a->value().size(),
+                "reshape must preserve element count");
+  Tensor out(rows, cols,
+             std::vector<double>(a->value().data().begin(),
+                                 a->value().data().end()));
+  return make_node(std::move(out), {a}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    if (!pa.requires_grad()) return;
+    auto g = n.grad().data();
+    auto pg = pa.grad().data();
+    for (std::size_t i = 0; i < g.size(); ++i) pg[i] += g[i];
+  });
+}
+
+Var sum_all(const Var& a) {
+  Tensor out(1, 1, a->value().sum());
+  return make_node(std::move(out), {a}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    if (!pa.requires_grad()) return;
+    const double g = n.grad()(0, 0);
+    for (double& v : pa.grad().data()) v += g;
+  });
+}
+
+Var mean_all(const Var& a) {
+  const double n_elems = static_cast<double>(a->value().size());
+  MET_CHECK(n_elems > 0);
+  return scale(sum_all(a), 1.0 / n_elems);
+}
+
+Var rows_dot(const Var& a, const Var& b) {
+  MET_CHECK(a->value().same_shape(b->value()));
+  Tensor out(a->value().rows(), 1);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < a->value().cols(); ++c) {
+      s += a->value()(r, c) * b->value()(r, c);
+    }
+    out(r, 0) = s;
+  }
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    auto& pa = *n.parents()[0];
+    auto& pb = *n.parents()[1];
+    for (std::size_t r = 0; r < n.grad().rows(); ++r) {
+      const double g = n.grad()(r, 0);
+      for (std::size_t c = 0; c < pa.value().cols(); ++c) {
+        if (pa.requires_grad()) pa.grad()(r, c) += pb.value()(r, c) * g;
+        if (pb.requires_grad()) pb.grad()(r, c) += pa.value()(r, c) * g;
+      }
+    }
+  });
+}
+
+Var mse_loss(const Var& pred, const Var& target) {
+  return mean_all(square(sub(pred, target)));
+}
+
+Var kl_divergence_rows(const Var& target_probs, const Var& pred_probs) {
+  MET_CHECK(target_probs->value().same_shape(pred_probs->value()));
+  // KL(t || p) = Σ t (log t − log p); mean over rows. The log t term is
+  // constant w.r.t. p but is kept so the loss value matches the textbook
+  // definition (zero at equality).
+  Var ratio = sub(log_op(target_probs), log_op(pred_probs));
+  Var per_row = rows_dot(target_probs, ratio);
+  return mean_all(per_row);
+}
+
+Var binary_entropy_sum(const Var& w, double eps) {
+  // -Σ [w log w + (1-w) log(1-w)]
+  Var one_minus = add_scalar(scale(w, -1.0), 1.0);
+  Var term1 = mul(w, log_op(w, eps));
+  Var term2 = mul(one_minus, log_op(one_minus, eps));
+  return scale(sum_all(add(term1, term2)), -1.0);
+}
+
+void backward(const Var& root) {
+  MET_CHECK_MSG(root->value().rows() == 1 && root->value().cols() == 1,
+                "backward() requires a scalar root");
+  // Iterative post-order DFS for the reverse topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents().size()) {
+      Node* next = node->parents()[child].get();
+      ++child;
+      if (next->requires_grad() && !visited.count(next)) {
+        visited.insert(next);
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  root->grad()(0, 0) = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    (*it)->run_backward();
+  }
+}
+
+}  // namespace metis::nn

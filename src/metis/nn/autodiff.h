@@ -1,0 +1,125 @@
+// Tape-based reverse-mode automatic differentiation over Tensors.
+//
+// This is the training engine for every DNN teacher in the repository
+// (Pensieve's actor-critic, AuTO's agents, RouteNet*'s latency predictor)
+// and for the hypergraph mask optimization of §4.2, which backpropagates
+// the Figure-6 loss through the networking model into the mask logits W'.
+//
+// Usage:
+//   Var x = constant(...);          // leaf without gradient
+//   Var w = parameter(...);         // leaf with gradient
+//   Var y = matmul(x, w);           // builds the tape implicitly
+//   backward(y);                    // accumulates w->grad()
+//
+// Vars are shared_ptrs to immutable-shape nodes; the graph is a DAG and
+// backward() runs one reverse topological sweep.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "metis/nn/tensor.h"
+
+namespace metis::nn {
+
+class Node;
+using Var = std::shared_ptr<Node>;
+
+class Node {
+ public:
+  Node(Tensor value, bool requires_grad);
+
+  [[nodiscard]] const Tensor& value() const { return value_; }
+  [[nodiscard]] Tensor& value() { return value_; }
+  [[nodiscard]] const Tensor& grad() const { return grad_; }
+  [[nodiscard]] Tensor& grad() { return grad_; }
+  [[nodiscard]] bool requires_grad() const { return requires_grad_; }
+
+  void zero_grad() { grad_.fill(0.0); }
+
+  // Internal wiring used by the op constructors below.
+  void set_parents(std::vector<Var> parents) { parents_ = std::move(parents); }
+  void set_backward(std::function<void(Node&)> fn) { backward_ = std::move(fn); }
+  [[nodiscard]] const std::vector<Var>& parents() const { return parents_; }
+  void run_backward() { if (backward_) backward_(*this); }
+
+ private:
+  Tensor value_;
+  Tensor grad_;
+  bool requires_grad_;
+  std::vector<Var> parents_;
+  std::function<void(Node&)> backward_;
+};
+
+// ---- Leaves ----------------------------------------------------------------
+
+// Leaf with no gradient (inputs, targets).
+[[nodiscard]] Var constant(Tensor value);
+// Leaf that accumulates gradient (weights, mask logits).
+[[nodiscard]] Var parameter(Tensor value);
+
+// ---- Ops -------------------------------------------------------------------
+
+[[nodiscard]] Var matmul(const Var& a, const Var& b);
+// Element-wise add; also supports adding a 1 x C bias row to an R x C matrix.
+[[nodiscard]] Var add(const Var& a, const Var& b);
+[[nodiscard]] Var sub(const Var& a, const Var& b);
+// Element-wise (Hadamard) product; shapes must match.
+[[nodiscard]] Var mul(const Var& a, const Var& b);
+[[nodiscard]] Var scale(const Var& a, double s);
+[[nodiscard]] Var add_scalar(const Var& a, double s);
+
+[[nodiscard]] Var relu(const Var& a);
+[[nodiscard]] Var tanh_op(const Var& a);
+[[nodiscard]] Var sigmoid(const Var& a);
+[[nodiscard]] Var exp_op(const Var& a);
+// Natural log with an epsilon floor for numerical safety: log(max(x, eps)).
+[[nodiscard]] Var log_op(const Var& a, double eps = 1e-12);
+[[nodiscard]] Var square(const Var& a);
+[[nodiscard]] Var abs_op(const Var& a);
+
+// Row-wise softmax / log-softmax (each row treated as one distribution).
+[[nodiscard]] Var softmax_rows(const Var& a);
+[[nodiscard]] Var log_softmax_rows(const Var& a);
+
+// Horizontal concatenation [a | b]; rows must match. Used by the modified
+// Pensieve structure in §6.2 (feeding r_t directly into the output layer).
+[[nodiscard]] Var concat_cols(const Var& a, const Var& b);
+
+// Matrix transpose.
+[[nodiscard]] Var transpose(const Var& a);
+
+// Reshape preserving row-major element order (rows*cols must be unchanged).
+[[nodiscard]] Var reshape(const Var& a, std::size_t rows, std::size_t cols);
+
+// Reductions to a 1 x 1 scalar node.
+[[nodiscard]] Var sum_all(const Var& a);
+[[nodiscard]] Var mean_all(const Var& a);
+
+// Row-wise dot product of equally shaped matrices -> N x 1 column.
+// sum_j a[i][j] * b[i][j]. Used to pick log π(a|s) via one-hot actions.
+[[nodiscard]] Var rows_dot(const Var& a, const Var& b);
+
+// ---- Composite losses -------------------------------------------------------
+
+// Mean squared error between two equally shaped tensors (scalar output).
+[[nodiscard]] Var mse_loss(const Var& pred, const Var& target);
+
+// KL(target || pred) for row-wise distributions, mean over rows (scalar).
+// Matches Eq. 6's discrete divergence D(Y_W, Y_I) with Y_I as target.
+[[nodiscard]] Var kl_divergence_rows(const Var& target_probs,
+                                     const Var& pred_probs);
+
+// Binary entropy sum: -Σ w log w + (1-w) log(1-w), per Eq. 8. Input values
+// must lie in [0, 1]; a small eps keeps logs finite at the boundary.
+[[nodiscard]] Var binary_entropy_sum(const Var& w, double eps = 1e-8);
+
+// ---- Engine ----------------------------------------------------------------
+
+// Runs reverse-mode accumulation from a scalar (1 x 1) root. Seeds the root
+// gradient with 1 and sweeps the tape once. Gradients accumulate; call
+// zero_grad on parameters between steps (optimizers do this for you).
+void backward(const Var& root);
+
+}  // namespace metis::nn

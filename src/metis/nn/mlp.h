@@ -1,0 +1,78 @@
+// Multi-layer perceptron and the actor-critic policy network used by all
+// local-system teachers (Pensieve, AuTO's lRLA/sRLA analogues).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "metis/nn/layers.h"
+
+namespace metis::nn {
+
+// Plain feedforward network: hidden layers with a shared activation and a
+// linear output layer.
+class Mlp {
+ public:
+  // dims = {in, h1, ..., hk, out}; requires at least {in, out}.
+  Mlp(const std::vector<std::size_t>& dims, Activation hidden_act,
+      metis::Rng& rng);
+
+  [[nodiscard]] Var forward(const Var& x) const;
+
+  // Convenience single-row inference: returns the output row for one input.
+  [[nodiscard]] std::vector<double> predict_row(
+      std::span<const double> input) const;
+
+  [[nodiscard]] std::vector<Var> parameters() const;
+  [[nodiscard]] std::size_t in_dim() const;
+  [[nodiscard]] std::size_t out_dim() const;
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_act_;
+};
+
+// Softmax policy + scalar value head over a shared MLP trunk, mirroring the
+// A3C-style architecture of Pensieve/AuTO.
+//
+// §6.2 model redesign: when `skip_feature >= 0`, that input column is
+// concatenated directly onto the last hidden layer before the policy head
+// ("putting significant inputs near the output"), reproducing the paper's
+// modified structure in Figure 10(b). The two structures have identical
+// expressiveness but different optimization behaviour.
+class PolicyNet {
+ public:
+  PolicyNet(std::size_t state_dim, std::size_t hidden_dim,
+            std::size_t hidden_layers, std::size_t action_count,
+            metis::Rng& rng, int skip_feature = -1);
+
+  // Policy logits for a batch of states (N x action_count).
+  [[nodiscard]] Var logits(const Var& states) const;
+  // State values (N x 1).
+  [[nodiscard]] Var values(const Var& states) const;
+
+  // Action distribution for one state.
+  [[nodiscard]] std::vector<double> action_probs(
+      std::span<const double> state) const;
+  // Greedy action (argmax probability).
+  [[nodiscard]] std::size_t greedy_action(std::span<const double> state) const;
+  // V(s) for one state.
+  [[nodiscard]] double value(std::span<const double> state) const;
+
+  [[nodiscard]] std::vector<Var> parameters() const;
+  [[nodiscard]] std::size_t state_dim() const { return state_dim_; }
+  [[nodiscard]] std::size_t action_count() const { return action_count_; }
+  [[nodiscard]] int skip_feature() const { return skip_feature_; }
+
+ private:
+  [[nodiscard]] Var trunk(const Var& states) const;
+
+  std::size_t state_dim_;
+  std::size_t action_count_;
+  int skip_feature_;
+  std::vector<Linear> hidden_;
+  Linear policy_head_;
+  Linear value_head_;
+};
+
+}  // namespace metis::nn

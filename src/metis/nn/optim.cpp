@@ -1,0 +1,80 @@
+#include "metis/nn/optim.h"
+
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis::nn {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
+  MET_CHECK(!params_.empty());
+  for (const auto& p : params_) {
+    MET_CHECK_MSG(p->requires_grad(), "optimizer parameters must be trainable");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p->zero_grad();
+}
+
+void Optimizer::clip_grad_norm(double max_norm) {
+  MET_CHECK(max_norm > 0.0);
+  double total = 0.0;
+  for (const auto& p : params_) {
+    for (double g : p->grad().data()) total += g * g;
+  }
+  total = std::sqrt(total);
+  if (total <= max_norm || total == 0.0) return;
+  const double factor = max_norm / total;
+  for (auto& p : params_) p->grad() *= factor;
+}
+
+Sgd::Sgd(std::vector<Var> params, double lr)
+    : Optimizer(std::move(params)), lr_(lr) {
+  MET_CHECK(lr_ > 0.0);
+}
+
+void Sgd::step() {
+  for (auto& p : params_) {
+    auto v = p->value().data();
+    auto g = p->grad().data();
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] -= lr_ * g[i];
+  }
+}
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  MET_CHECK(lr_ > 0.0);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols(), 0.0);
+    v_.emplace_back(p->value().rows(), p->value().cols(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto val = params_[i]->value().data();
+    auto grad = params_[i]->grad().data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t j = 0; j < val.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace metis::nn

@@ -1,0 +1,59 @@
+// First-order optimizers over autodiff parameters.
+#pragma once
+
+#include <vector>
+
+#include "metis/nn/autodiff.h"
+
+namespace metis::nn {
+
+// Shared optimizer interface: step() applies accumulated gradients and
+// zero_grad() clears them for the next iteration.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  // Global gradient-norm clipping; call before step(). max_norm > 0.
+  void clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<Var> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, double lr);
+  void step() override;
+
+  // Adjust the learning rate mid-run (e.g. for decay schedules).
+  void set_lr(double lr) { lr_ = lr; }
+  [[nodiscard]] double lr() const { return lr_; }
+
+ private:
+  double lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+  // Adjust the learning rate mid-run (e.g. for decay schedules).
+  void set_lr(double lr) { lr_ = lr; }
+  [[nodiscard]] double lr() const { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace metis::nn

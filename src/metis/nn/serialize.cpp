@@ -1,0 +1,64 @@
+#include "metis/nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace metis::nn {
+
+bool save_parameters(const std::vector<Var>& params,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "metis-params v1\n" << params.size() << "\n";
+  out << std::setprecision(17);
+  for (const auto& p : params) {
+    const Tensor& t = p->value();
+    out << t.rows() << " " << t.cols() << "\n";
+    for (std::size_t i = 0; i < t.rows() * t.cols(); ++i) {
+      out << t.data()[i] << (i + 1 == t.rows() * t.cols() ? "\n" : " ");
+    }
+  }
+  if (!out) {
+    out.close();
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_parameters(const std::vector<Var>& params,
+                     const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "metis-params" || version != "v1") return false;
+  std::size_t count = 0;
+  in >> count;
+  if (count != params.size()) return false;
+
+  // Stage into temporaries first: on any error the network is untouched.
+  std::vector<Tensor> staged;
+  staged.reserve(count);
+  for (const auto& p : params) {
+    std::size_t rows = 0, cols = 0;
+    in >> rows >> cols;
+    if (!in || rows != p->value().rows() || cols != p->value().cols()) {
+      return false;
+    }
+    Tensor t(rows, cols);
+    for (std::size_t i = 0; i < rows * cols; ++i) {
+      in >> t.data()[i];
+    }
+    if (!in) return false;
+    staged.push_back(std::move(t));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    params[i]->value() = std::move(staged[i]);
+  }
+  return true;
+}
+
+}  // namespace metis::nn

@@ -1,0 +1,35 @@
+// Plain-text parameter serialization.
+//
+// Persists the values of a parameter list (as returned by
+// Mlp::parameters() / PolicyNet::parameters()) so expensive teachers can
+// be trained once and reloaded by every bench/example. The format is a
+// human-inspectable text file:
+//
+//     metis-params v1
+//     <tensor count>
+//     <rows> <cols>
+//     <row-major doubles...>
+//     ...
+//
+// Loading validates shapes against the (already constructed) network, so
+// a stale cache for a different architecture fails loudly instead of
+// silently corrupting weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metis/nn/autodiff.h"
+
+namespace metis::nn {
+
+// Writes the parameter values to `path`. Returns false (leaving a partial
+// file removed) on I/O failure.
+bool save_parameters(const std::vector<Var>& params, const std::string& path);
+
+// Loads parameter values from `path` into the given parameters. Returns
+// false if the file is missing, malformed, or shape-mismatched; parameters
+// are only mutated on success.
+bool load_parameters(const std::vector<Var>& params, const std::string& path);
+
+}  // namespace metis::nn

@@ -1,0 +1,113 @@
+#include "metis/nn/tensor.h"
+
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis::nn {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  MET_CHECK_MSG(data_.size() == rows_ * cols_,
+                "data size must equal rows*cols");
+}
+
+Tensor Tensor::row(std::span<const double> values) {
+  return Tensor(1, values.size(),
+                std::vector<double>(values.begin(), values.end()));
+}
+
+Tensor Tensor::row(std::initializer_list<double> values) {
+  return Tensor(1, values.size(), std::vector<double>(values));
+}
+
+Tensor Tensor::column(std::span<const double> values) {
+  return Tensor(values.size(), 1,
+                std::vector<double>(values.begin(), values.end()));
+}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, 0.0);
+}
+
+Tensor Tensor::ones(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, 1.0);
+}
+
+Tensor Tensor::one_hot(std::size_t index, std::size_t n) {
+  MET_CHECK(index < n);
+  Tensor t(1, n, 0.0);
+  t(0, index) = 1.0;
+  return t;
+}
+
+double& Tensor::operator()(std::size_t r, std::size_t c) {
+  MET_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Tensor::operator()(std::size_t r, std::size_t c) const {
+  MET_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  MET_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  MET_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+void Tensor::fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+Tensor Tensor::transposed() const {
+  Tensor t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Tensor Tensor::matmul(const Tensor& a, const Tensor& b) {
+  MET_CHECK_MSG(a.cols_ == b.rows_, "matmul inner dimensions must agree");
+  Tensor out(a.rows_, b.cols_, 0.0);
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double av = a(r, k);
+      if (av == 0.0) continue;
+      for (std::size_t c = 0; c < b.cols_; ++c) {
+        out(r, c) += av * b(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Tensor::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace metis::nn

@@ -1,0 +1,62 @@
+#include "metis/routing/latency_model.h"
+
+#include "metis/util/check.h"
+
+namespace metis::routing {
+
+std::vector<double> link_loads(const Topology& topo, const TrafficMatrix& tm,
+                               const std::vector<Path>& routes) {
+  MET_CHECK(routes.size() == tm.demands.size());
+  std::vector<double> loads(topo.link_count(), 0.0);
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    MET_CHECK_MSG(!routes[i].empty(), "every demand must have a route");
+    for (std::size_t lid : routes[i].links) {
+      MET_CHECK(lid < loads.size());
+      loads[lid] += tm.demands[i].volume;
+    }
+  }
+  return loads;
+}
+
+double link_delay(double load, double capacity,
+                  const LatencyModelConfig& cfg) {
+  MET_CHECK(load >= 0.0 && capacity > 0.0);
+  const double u = load / capacity;
+  if (u < cfg.max_utilization) {
+    return cfg.base_delay / (1.0 - u);
+  }
+  // Linear extension with matched value and slope at u_max: keeps the
+  // model finite, monotone, and differentiable for overloaded links.
+  const double at_max = cfg.base_delay / (1.0 - cfg.max_utilization);
+  const double slope = cfg.base_delay / ((1.0 - cfg.max_utilization) *
+                                         (1.0 - cfg.max_utilization));
+  return at_max + slope * (u - cfg.max_utilization);
+}
+
+double path_latency(const Topology& topo, const Path& path,
+                    const std::vector<double>& loads,
+                    const LatencyModelConfig& cfg) {
+  MET_CHECK(loads.size() == topo.link_count());
+  double total = 0.0;
+  for (std::size_t lid : path.links) {
+    total += link_delay(loads[lid], topo.link(lid).capacity, cfg);
+  }
+  return total;
+}
+
+double mean_network_latency(const Topology& topo, const TrafficMatrix& tm,
+                            const std::vector<Path>& routes,
+                            const LatencyModelConfig& cfg) {
+  MET_CHECK(!tm.demands.empty());
+  const auto loads = link_loads(topo, tm, routes);
+  double weighted = 0.0;
+  double volume = 0.0;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    weighted += tm.demands[i].volume *
+                path_latency(topo, routes[i], loads, cfg);
+    volume += tm.demands[i].volume;
+  }
+  return weighted / volume;
+}
+
+}  // namespace metis::routing

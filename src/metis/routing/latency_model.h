@@ -1,0 +1,43 @@
+// Ground-truth link/path latency: an M/M/1-style queueing model standing in
+// for RouteNet's OMNeT++ packet simulations (DESIGN.md substitution table).
+// Per-link delay grows as utilization approaches capacity:
+//     delay(l) = service / (1 − u)    for utilization u = load/capacity,
+// smoothly extended past u = u_max to keep the model finite and
+// differentiable on overloaded links.
+#pragma once
+
+#include <vector>
+
+#include "metis/routing/paths.h"
+#include "metis/routing/topology.h"
+#include "metis/routing/traffic.h"
+
+namespace metis::routing {
+
+struct LatencyModelConfig {
+  double base_delay = 1.0;   // per-hop service/propagation floor
+  double max_utilization = 0.95;  // linear extension beyond this point
+};
+
+// Per-link loads given a routing assignment (demand i uses paths[i]).
+[[nodiscard]] std::vector<double> link_loads(const Topology& topo,
+                                             const TrafficMatrix& tm,
+                                             const std::vector<Path>& routes);
+
+// M/M/1-style delay of one link at a given load.
+[[nodiscard]] double link_delay(double load, double capacity,
+                                const LatencyModelConfig& cfg);
+
+// Sum of link delays along a path given precomputed loads.
+[[nodiscard]] double path_latency(const Topology& topo, const Path& path,
+                                  const std::vector<double>& loads,
+                                  const LatencyModelConfig& cfg);
+
+// Mean demand-weighted latency of a routing assignment (the global metric
+// a routing optimizer minimizes).
+[[nodiscard]] double mean_network_latency(const Topology& topo,
+                                          const TrafficMatrix& tm,
+                                          const std::vector<Path>& routes,
+                                          const LatencyModelConfig& cfg);
+
+}  // namespace metis::routing

@@ -1,0 +1,145 @@
+#include "metis/routing/paths.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "metis/util/check.h"
+
+namespace metis::routing {
+
+std::string Path::name() const {
+  std::string s;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) s += "->";
+    s += std::to_string(nodes[i]);
+  }
+  return s;
+}
+
+namespace {
+
+// BFS shortest path avoiding the given nodes and links.
+std::optional<Path> bfs(const Topology& topo, std::size_t src,
+                        std::size_t dst,
+                        const std::set<std::size_t>& banned_nodes,
+                        const std::set<std::size_t>& banned_links) {
+  std::vector<std::optional<std::size_t>> via_link(topo.node_count());
+  std::vector<bool> visited(topo.node_count(), false);
+  std::deque<std::size_t> queue;
+  queue.push_back(src);
+  visited[src] = true;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    for (std::size_t lid : topo.out_links(u)) {
+      if (banned_links.count(lid)) continue;
+      const Link& l = topo.link(lid);
+      if (visited[l.dst] || banned_nodes.count(l.dst)) continue;
+      visited[l.dst] = true;
+      via_link[l.dst] = lid;
+      queue.push_back(l.dst);
+    }
+  }
+  if (!visited[dst]) return std::nullopt;
+  Path p;
+  std::size_t node = dst;
+  while (node != src) {
+    const std::size_t lid = *via_link[node];
+    p.links.push_back(lid);
+    p.nodes.push_back(node);
+    node = topo.link(lid).src;
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
+  return p;
+}
+
+}  // namespace
+
+std::optional<Path> shortest_path(const Topology& topo, std::size_t src,
+                                  std::size_t dst) {
+  MET_CHECK(src < topo.node_count() && dst < topo.node_count());
+  MET_CHECK(src != dst);
+  return bfs(topo, src, dst, {}, {});
+}
+
+std::vector<Path> k_shortest_paths(const Topology& topo, std::size_t src,
+                                   std::size_t dst, std::size_t k) {
+  MET_CHECK(k >= 1);
+  std::vector<Path> result;
+  auto first = shortest_path(topo, src, dst);
+  if (!first) return result;
+  result.push_back(*first);
+
+  auto path_less = [](const Path& a, const Path& b) {
+    if (a.hops() != b.hops()) return a.hops() < b.hops();
+    return a.nodes < b.nodes;
+  };
+  std::vector<Path> candidates;
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Spur from every node of the previous path.
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const std::size_t spur_node = prev.nodes[i];
+      std::set<std::size_t> banned_links;
+      std::set<std::size_t> banned_nodes;
+      // Ban links that would recreate any already-found path sharing the
+      // same root.
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(p.nodes.begin(),
+                       p.nodes.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                       prev.nodes.begin())) {
+          banned_links.insert(p.links[i]);
+        }
+      }
+      // Ban root-path nodes (loop-free requirement).
+      for (std::size_t j = 0; j < i; ++j) banned_nodes.insert(prev.nodes[j]);
+
+      auto spur = bfs(topo, spur_node, dst, banned_nodes, banned_links);
+      if (!spur) continue;
+      Path total;
+      total.nodes.assign(prev.nodes.begin(),
+                         prev.nodes.begin() + static_cast<std::ptrdiff_t>(i));
+      total.links.assign(prev.links.begin(),
+                         prev.links.begin() + static_cast<std::ptrdiff_t>(i));
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin(),
+                         spur->nodes.end());
+      total.links.insert(total.links.end(), spur->links.begin(),
+                         spur->links.end());
+      // Deduplicate against known results and candidates.
+      auto same = [&](const Path& p) { return p.nodes == total.nodes; };
+      if (std::any_of(result.begin(), result.end(), same) ||
+          std::any_of(candidates.begin(), candidates.end(), same)) {
+        continue;
+      }
+      candidates.push_back(std::move(total));
+    }
+    if (candidates.empty()) break;
+    auto best = std::min_element(candidates.begin(), candidates.end(),
+                                 path_less);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+std::vector<Path> candidates_within_slack(const Topology& topo,
+                                          std::size_t src, std::size_t dst,
+                                          std::size_t slack,
+                                          std::size_t max_k) {
+  auto all = k_shortest_paths(topo, src, dst, max_k);
+  if (all.empty()) return all;
+  const std::size_t limit = all.front().hops() + slack;
+  std::vector<Path> filtered;
+  for (auto& p : all) {
+    if (p.hops() <= limit) filtered.push_back(std::move(p));
+  }
+  return filtered;
+}
+
+}  // namespace metis::routing

@@ -1,0 +1,45 @@
+// Candidate-path computation: BFS shortest paths and Yen's k-shortest
+// simple paths. RouteNet* selects among a fixed candidate set per demand;
+// the ad-hoc-adjustment experiment (Fig. 18) needs all candidates at most
+// one hop longer than the shortest.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metis/routing/topology.h"
+
+namespace metis::routing {
+
+struct Path {
+  std::vector<std::size_t> nodes;  // node sequence, front=src back=dst
+  std::vector<std::size_t> links;  // link ids along the path
+
+  [[nodiscard]] std::size_t hops() const { return links.size(); }
+  [[nodiscard]] bool empty() const { return links.empty(); }
+  // "a->b->c" label for reports.
+  [[nodiscard]] std::string name() const;
+};
+
+// Hop-count shortest path via BFS (empty optional if unreachable).
+[[nodiscard]] std::optional<Path> shortest_path(const Topology& topo,
+                                                std::size_t src,
+                                                std::size_t dst);
+
+// Yen's algorithm: up to k loop-free shortest paths ordered by hop count
+// (ties broken deterministically by node sequence).
+[[nodiscard]] std::vector<Path> k_shortest_paths(const Topology& topo,
+                                                 std::size_t src,
+                                                 std::size_t dst,
+                                                 std::size_t k);
+
+// All candidates at most `slack` hops longer than the shortest path
+// (k_shortest_paths filtered) — the Fig. 18 candidate rule with slack = 1.
+[[nodiscard]] std::vector<Path> candidates_within_slack(const Topology& topo,
+                                                        std::size_t src,
+                                                        std::size_t dst,
+                                                        std::size_t slack,
+                                                        std::size_t max_k = 12);
+
+}  // namespace metis::routing

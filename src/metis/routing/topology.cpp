@@ -1,0 +1,71 @@
+#include "metis/routing/topology.h"
+
+#include "metis/util/check.h"
+
+namespace metis::routing {
+
+Topology::Topology(std::size_t nodes) : nodes_(nodes), out_(nodes) {
+  MET_CHECK(nodes >= 2);
+}
+
+std::size_t Topology::add_link(std::size_t src, std::size_t dst,
+                               double capacity) {
+  MET_CHECK(src < nodes_ && dst < nodes_ && src != dst);
+  MET_CHECK(capacity > 0.0);
+  MET_CHECK_MSG(!link_between(src, dst).has_value(),
+                "duplicate link");
+  Link l;
+  l.id = links_.size();
+  l.src = src;
+  l.dst = dst;
+  l.capacity = capacity;
+  links_.push_back(l);
+  out_[src].push_back(l.id);
+  return l.id;
+}
+
+void Topology::add_duplex(std::size_t a, std::size_t b, double capacity) {
+  add_link(a, b, capacity);
+  add_link(b, a, capacity);
+}
+
+const Link& Topology::link(std::size_t id) const {
+  MET_CHECK(id < links_.size());
+  return links_[id];
+}
+
+const std::vector<std::size_t>& Topology::out_links(std::size_t node) const {
+  MET_CHECK(node < nodes_);
+  return out_[node];
+}
+
+std::optional<std::size_t> Topology::link_between(std::size_t src,
+                                                  std::size_t dst) const {
+  MET_CHECK(src < nodes_ && dst < nodes_);
+  for (std::size_t id : out_[src]) {
+    if (links_[id].dst == dst) return id;
+  }
+  return std::nullopt;
+}
+
+std::string Topology::link_name(std::size_t id) const {
+  const Link& l = link(id);
+  return std::to_string(l.src) + "->" + std::to_string(l.dst);
+}
+
+Topology nsfnet(double capacity) {
+  // The classic 14-node NSFNet (node ids as in RouteNet's dataset and the
+  // paper's Figure 8).
+  Topology topo(14);
+  const std::pair<int, int> duplex_links[] = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 7}, {2, 5}, {3, 4}, {3, 8},
+      {4, 5}, {4, 6}, {5, 12}, {5, 13}, {6, 7}, {7, 10}, {8, 9}, {8, 11},
+      {9, 10}, {9, 12}, {10, 11}, {10, 13}, {11, 12}};
+  for (const auto& [a, b] : duplex_links) {
+    topo.add_duplex(static_cast<std::size_t>(a), static_cast<std::size_t>(b),
+                    capacity);
+  }
+  return topo;
+}
+
+}  // namespace metis::routing

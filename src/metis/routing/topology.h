@@ -1,0 +1,54 @@
+// Network topology for the RouteNet substrate (§5): directed graphs with
+// per-link capacity, including the 14-node NSFNet used throughout the
+// paper's global-system experiments (Figure 8, Table 3).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace metis::routing {
+
+struct Link {
+  std::size_t id = 0;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double capacity = 10.0;  // abstract units (e.g. traffic units per tick)
+};
+
+class Topology {
+ public:
+  explicit Topology(std::size_t nodes);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_; }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  // Adds a directed link; returns its id.
+  std::size_t add_link(std::size_t src, std::size_t dst, double capacity);
+  // Adds both directions with the same capacity.
+  void add_duplex(std::size_t a, std::size_t b, double capacity);
+
+  [[nodiscard]] const Link& link(std::size_t id) const;
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  // Links leaving a node.
+  [[nodiscard]] const std::vector<std::size_t>& out_links(
+      std::size_t node) const;
+  // Link id from src to dst, if present.
+  [[nodiscard]] std::optional<std::size_t> link_between(
+      std::size_t src, std::size_t dst) const;
+
+  // "src->dst" label for reports (Table 3 style).
+  [[nodiscard]] std::string link_name(std::size_t id) const;
+
+ private:
+  std::size_t nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::size_t>> out_;
+};
+
+// The 14-node NSFNet topology (21 duplex links) with uniform capacities —
+// the topology of RouteNet's public dataset and the paper's Figure 8.
+[[nodiscard]] Topology nsfnet(double capacity = 10.0);
+
+}  // namespace metis::routing

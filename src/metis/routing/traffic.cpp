@@ -1,0 +1,69 @@
+#include "metis/routing/traffic.h"
+
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis::routing {
+
+double TrafficMatrix::total_volume() const {
+  double s = 0.0;
+  for (const auto& d : demands) s += d.volume;
+  return s;
+}
+
+TrafficMatrix generate_traffic(const Topology& topo,
+                               const TrafficGenConfig& cfg,
+                               std::uint64_t seed) {
+  MET_CHECK(cfg.intensity > 0.0);
+  metis::Rng rng(seed);
+  const std::size_t n = topo.node_count();
+
+  // Gravity model: volume(s,d) ∝ mass(s)·mass(d).
+  std::vector<double> mass(n);
+  for (auto& m : mass) m = rng.lognormal(0.0, cfg.dispersion);
+
+  double gravity_total = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s != d) gravity_total += mass[s] * mass[d];
+    }
+  }
+
+  // Calibrate so the average link would carry `intensity` of its capacity
+  // if demands spread over shortest paths of ~2.2 hops (NSFNet's mean).
+  double capacity_total = 0.0;
+  for (const auto& l : topo.links()) capacity_total += l.capacity;
+  const double target_volume = cfg.intensity * capacity_total / 2.2;
+
+  TrafficMatrix tm;
+  const double mean_volume =
+      target_volume / static_cast<double>(n * (n - 1));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const double v =
+          target_volume * (mass[s] * mass[d]) / gravity_total;
+      if (v < cfg.min_fraction * mean_volume) continue;
+      tm.demands.push_back({s, d, v});
+    }
+  }
+  MET_CHECK(!tm.demands.empty());
+  return tm;
+}
+
+std::vector<TrafficMatrix> generate_traffic_set(const Topology& topo,
+                                                const TrafficGenConfig& cfg,
+                                                std::size_t count,
+                                                std::uint64_t seed) {
+  MET_CHECK(count > 0);
+  metis::Rng rng(seed);
+  std::vector<TrafficMatrix> set;
+  set.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.push_back(generate_traffic(topo, cfg, rng.next_u64()));
+  }
+  return set;
+}
+
+}  // namespace metis::routing

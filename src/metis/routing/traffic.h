@@ -1,0 +1,45 @@
+// Traffic matrices for the routing substrate: per (src,dst) demand
+// volumes, generated with a gravity-style model (the role of RouteNet's 50
+// published traffic samples, reproduced synthetically — see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metis/routing/topology.h"
+#include "metis/util/rng.h"
+
+namespace metis::routing {
+
+struct Demand {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double volume = 0.0;  // same units as link capacity
+};
+
+struct TrafficMatrix {
+  std::vector<Demand> demands;  // one per ordered (src,dst) pair
+
+  [[nodiscard]] double total_volume() const;
+};
+
+struct TrafficGenConfig {
+  // Mean utilization targeted across the network (relative to capacity).
+  double intensity = 0.5;
+  // Log-normal dispersion of node masses (gravity model).
+  double dispersion = 0.5;
+  // Demands below this fraction of the mean are dropped (sparsity).
+  double min_fraction = 0.05;
+};
+
+// Generates one traffic matrix over all ordered pairs of the topology.
+[[nodiscard]] TrafficMatrix generate_traffic(const Topology& topo,
+                                             const TrafficGenConfig& cfg,
+                                             std::uint64_t seed);
+
+// Generates `count` matrices (the paper uses 50 samples).
+[[nodiscard]] std::vector<TrafficMatrix> generate_traffic_set(
+    const Topology& topo, const TrafficGenConfig& cfg, std::size_t count,
+    std::uint64_t seed);
+
+}  // namespace metis::routing

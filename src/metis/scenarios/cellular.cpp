@@ -1,0 +1,93 @@
+#include "metis/scenarios/cellular.h"
+
+#include <cmath>
+#include <string>
+
+#include "metis/util/check.h"
+#include "metis/util/rng.h"
+
+namespace metis::scenarios {
+
+CellularInstance random_cellular(std::size_t users, std::size_t stations,
+                                 double radius, std::uint64_t seed) {
+  MET_CHECK(users >= 1 && stations >= 1);
+  MET_CHECK(radius > 0.0);
+  metis::Rng rng(seed);
+  std::vector<std::pair<double, double>> upos(users), spos(stations);
+  for (auto& p : upos) p = {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+  for (auto& p : spos) p = {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+
+  CellularInstance inst;
+  inst.users = users;
+  inst.stations = stations;
+  inst.capacity.resize(stations);
+  for (double& c : inst.capacity) c = rng.uniform(0.5, 1.0);
+  inst.demand.resize(users);
+  for (double& d : inst.demand) d = rng.uniform(0.1, 1.0);
+  inst.signal.assign(stations, std::vector<double>(users, 0.0));
+
+  for (std::size_t u = 0; u < users; ++u) {
+    double best = 1e18;
+    std::size_t nearest = 0;
+    for (std::size_t s = 0; s < stations; ++s) {
+      const double dx = upos[u].first - spos[s].first;
+      const double dy = upos[u].second - spos[s].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist < best) {
+        best = dist;
+        nearest = s;
+      }
+      if (dist <= radius) {
+        inst.signal[s][u] = 1.0 / (1.0 + 8.0 * dist);
+      }
+    }
+    // Cell-edge users outside every radius still reach their nearest
+    // station (with the weakest signal).
+    if (inst.signal[nearest][u] == 0.0) {
+      inst.signal[nearest][u] = 1.0 / (1.0 + 8.0 * best);
+    }
+  }
+  return inst;
+}
+
+CellularModel::CellularModel(CellularInstance instance)
+    : instance_(std::move(instance)),
+      graph_(instance_.users, instance_.stations),
+      weight_su_(instance_.stations, instance_.users, 0.0) {
+  MET_CHECK(instance_.capacity.size() == instance_.stations);
+  MET_CHECK(instance_.demand.size() == instance_.users);
+  MET_CHECK(instance_.signal.size() == instance_.stations);
+  for (std::size_t u = 0; u < instance_.users; ++u) {
+    graph_.vertex_names.push_back("user" + std::to_string(u + 1));
+  }
+  for (std::size_t s = 0; s < instance_.stations; ++s) {
+    graph_.edge_names.push_back("bs" + std::to_string(s + 1));
+    MET_CHECK(instance_.signal[s].size() == instance_.users);
+    for (std::size_t u = 0; u < instance_.users; ++u) {
+      if (instance_.signal[s][u] > 0.0) {
+        graph_.connect(s, u);
+        weight_su_(s, u) = instance_.signal[s][u] * instance_.capacity[s];
+      }
+    }
+  }
+  graph_.vertex_features = nn::Tensor(instance_.users, 1);
+  for (std::size_t u = 0; u < instance_.users; ++u) {
+    graph_.vertex_features(u, 0) = instance_.demand[u];
+  }
+  graph_.edge_features = nn::Tensor(instance_.stations, 1);
+  for (std::size_t s = 0; s < instance_.stations; ++s) {
+    graph_.edge_features(s, 0) = instance_.capacity[s];
+  }
+  graph_.validate();
+}
+
+nn::Var CellularModel::decisions(const nn::Var& mask) const {
+  // Per-user association softmax over stations: logit_us = 5 * mask_su *
+  // signal_su * capacity_s - 3 (transpose of the mask's station-major
+  // layout). Suppressed or absent coverage falls to the shared floor.
+  nn::Var weighted = nn::transpose(nn::mul(mask, nn::constant(weight_su_)));
+  nn::Var logits = nn::add_scalar(nn::scale(weighted, 5.0), -3.0);
+  return nn::softmax_rows(logits);
+}
+
+}  // namespace metis::scenarios

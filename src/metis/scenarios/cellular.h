@@ -1,0 +1,62 @@
+// Appendix B.2 — ultra-dense cellular networks as a hypergraph.
+//
+// Mobile users are vertices; each picocell base station's *coverage* is a
+// hyperedge over the users it can reach (Figure 22). The association
+// "system" is a differentiable traffic optimizer: each user splits its
+// demand across covering stations by signal strength and station
+// capacity. Metis' search then surfaces the critical (station, user)
+// associations — e.g. the only station covering a cell-edge user.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metis/core/hypergraph_interpreter.h"
+#include "metis/hypergraph/hypergraph.h"
+#include "metis/nn/tensor.h"
+
+namespace metis::scenarios {
+
+struct CellularInstance {
+  std::size_t users = 0;
+  std::size_t stations = 0;
+  // capacity[s]: transmission capacity of station s.
+  std::vector<double> capacity;
+  // demand[u]: traffic demand of user u.
+  std::vector<double> demand;
+  // signal[s][u] > 0 iff station s covers user u (the coverage hyperedge);
+  // magnitude is the received signal strength in (0, 1].
+  std::vector<std::vector<double>> signal;
+};
+
+// Random planar deployment: users and stations placed uniformly in the
+// unit square, coverage radius `radius`, signal decaying with distance.
+// Every user is guaranteed at least one covering station (nearest station
+// covers regardless of radius).
+[[nodiscard]] CellularInstance random_cellular(std::size_t users,
+                                               std::size_t stations,
+                                               double radius,
+                                               std::uint64_t seed);
+
+class CellularModel final : public core::MaskableModel {
+ public:
+  explicit CellularModel(CellularInstance instance);
+
+  [[nodiscard]] const hypergraph::Hypergraph& graph() const override {
+    return graph_;
+  }
+  // Row u (one per *user*): association distribution over stations,
+  // computed from masked coverage weighted by signal * capacity. Note the
+  // transposed view: the mask is |E| x |V| = stations x users, while the
+  // decision rows are per-user.
+  [[nodiscard]] nn::Var decisions(const nn::Var& mask) const override;
+
+  [[nodiscard]] const CellularInstance& instance() const { return instance_; }
+
+ private:
+  CellularInstance instance_;
+  hypergraph::Hypergraph graph_;
+  nn::Tensor weight_su_;  // stations x users: signal * capacity
+};
+
+}  // namespace metis::scenarios

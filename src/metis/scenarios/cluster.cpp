@@ -1,0 +1,74 @@
+#include "metis/scenarios/cluster.h"
+
+#include <string>
+
+#include "metis/util/check.h"
+#include "metis/util/rng.h"
+
+namespace metis::scenarios {
+
+ClusterJob random_job(std::size_t layers, std::size_t width,
+                      std::uint64_t seed) {
+  MET_CHECK(layers >= 2 && width >= 1);
+  metis::Rng rng(seed);
+  ClusterJob job;
+  job.stages = layers * width;
+  job.work.resize(job.stages);
+  for (double& w : job.work) w = rng.uniform(0.2, 1.0);
+
+  for (std::size_t layer = 1; layer < layers; ++layer) {
+    const std::size_t heavy = rng.uniform_int(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      ClusterJob::Dependency dep;
+      dep.child = layer * width + i;
+      const std::size_t parents = 1 + rng.uniform_int(2);
+      while (dep.parents.size() < std::min(parents, width)) {
+        const std::size_t p = (layer - 1) * width + rng.uniform_int(width);
+        bool dup = false;
+        for (std::size_t existing : dep.parents) dup = dup || existing == p;
+        if (!dup) dep.parents.push_back(p);
+      }
+      dep.data = i == heavy ? rng.uniform(2.0, 3.0) : rng.uniform(0.1, 0.6);
+      job.deps.push_back(std::move(dep));
+    }
+  }
+  return job;
+}
+
+ClusterSchedulingModel::ClusterSchedulingModel(ClusterJob job)
+    : job_(std::move(job)),
+      graph_(job_.stages, job_.deps.size()),
+      data_col_(job_.deps.size(), 1),
+      work_row_(1, job_.stages) {
+  MET_CHECK(job_.work.size() == job_.stages);
+  MET_CHECK(!job_.deps.empty());
+  for (std::size_t v = 0; v < job_.stages; ++v) {
+    graph_.vertex_names.push_back("stage" + std::to_string(v));
+    work_row_(0, v) = job_.work[v];
+  }
+  for (std::size_t e = 0; e < job_.deps.size(); ++e) {
+    const auto& dep = job_.deps[e];
+    MET_CHECK(dep.child < job_.stages);
+    graph_.edge_names.push_back("dep->" + std::to_string(dep.child));
+    graph_.connect(e, dep.child);
+    for (std::size_t p : dep.parents) {
+      MET_CHECK(p < job_.stages);
+      graph_.connect(e, p);
+    }
+    data_col_(e, 0) = dep.data;
+  }
+  graph_.vertex_features = work_row_.transposed();
+  graph_.edge_features = data_col_;
+  graph_.validate();
+}
+
+nn::Var ClusterSchedulingModel::decisions(const nn::Var& mask) const {
+  // score_v = work_v + Σ_e mask_ev * data_e  (data volumes flow to every
+  // stage a dependency touches); one softmax row allocates executors.
+  nn::Var flowed =
+      nn::matmul(nn::transpose(nn::constant(data_col_)), mask);  // 1 x |V|
+  nn::Var score = nn::add(flowed, nn::constant(work_row_));
+  return nn::softmax_rows(nn::scale(score, 2.0));
+}
+
+}  // namespace metis::scenarios

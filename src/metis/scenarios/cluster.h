@@ -1,0 +1,62 @@
+// Appendix B.3 — cluster job scheduling (Spark-style DAGs) as a
+// hypergraph.
+//
+// Job stages ("nodes") are vertices; each data dependency is a hyperedge
+// covering the child stage and its parents (Figure 23, Table 2 row #4:
+// "dependency e is related to node v"). The scheduling "system" is a
+// differentiable executor allocator: a stage's priority grows with its
+// own work and with the masked data volume of its dependencies. Metis'
+// search surfaces the dependencies that actually steer the allocation —
+// the DAG's critical path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metis/core/hypergraph_interpreter.h"
+#include "metis/hypergraph/hypergraph.h"
+#include "metis/nn/tensor.h"
+
+namespace metis::scenarios {
+
+struct ClusterJob {
+  std::size_t stages = 0;
+  // work[v]: compute demand of stage v.
+  std::vector<double> work;
+  // One entry per dependency: (child stage, parent stages, data volume).
+  struct Dependency {
+    std::size_t child = 0;
+    std::vector<std::size_t> parents;
+    double data = 0.0;
+  };
+  std::vector<Dependency> deps;
+};
+
+// Layered random DAG: `layers` layers of `width` stages; every stage in
+// layer i > 0 depends on 1-2 stages of layer i-1. Data volumes are drawn
+// from `seed`; one dependency per layer is made "heavy" so the critical
+// path is well defined.
+[[nodiscard]] ClusterJob random_job(std::size_t layers, std::size_t width,
+                                    std::uint64_t seed);
+
+class ClusterSchedulingModel final : public core::MaskableModel {
+ public:
+  explicit ClusterSchedulingModel(ClusterJob job);
+
+  [[nodiscard]] const hypergraph::Hypergraph& graph() const override {
+    return graph_;
+  }
+  // A single decision row: the executor-allocation distribution across
+  // stages. score_v = work_v + Σ_{e ∋ v} mask_ev * data_e.
+  [[nodiscard]] nn::Var decisions(const nn::Var& mask) const override;
+
+  [[nodiscard]] const ClusterJob& job() const { return job_; }
+
+ private:
+  ClusterJob job_;
+  hypergraph::Hypergraph graph_;
+  nn::Tensor data_col_;  // |E| x 1 dependency data volumes
+  nn::Tensor work_row_;  // 1 x |V| stage work
+};
+
+}  // namespace metis::scenarios

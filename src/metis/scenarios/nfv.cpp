@@ -1,0 +1,86 @@
+#include "metis/scenarios/nfv.h"
+
+#include <string>
+
+#include "metis/util/check.h"
+#include "metis/util/rng.h"
+
+namespace metis::scenarios {
+
+NfvInstance figure21_nfv() {
+  NfvInstance inst;
+  inst.servers = 4;
+  inst.nfs = 4;
+  inst.headroom = {1.0, 0.15, 0.8, 0.9};  // server2 hot
+  inst.demand = {0.9, 0.4, 0.5, 0.7};
+  inst.placements = {{0, 1, 2}, {0, 2}, {1, 3}, {1, 2, 3}};
+  return inst;
+}
+
+NfvInstance random_nfv(std::size_t servers, std::size_t nfs,
+                       std::uint64_t seed) {
+  MET_CHECK(servers >= 2 && nfs >= 1);
+  metis::Rng rng(seed);
+  NfvInstance inst;
+  inst.servers = servers;
+  inst.nfs = nfs;
+  inst.headroom.resize(servers);
+  for (double& h : inst.headroom) h = rng.uniform(0.4, 1.0);
+  // One hot server with almost no headroom.
+  inst.headroom[rng.uniform_int(servers)] = 0.1;
+  inst.demand.resize(nfs);
+  for (double& d : inst.demand) d = rng.uniform(0.2, 1.0);
+  inst.placements.resize(nfs);
+  for (auto& p : inst.placements) {
+    const std::size_t replicas = 1 + rng.uniform_int(3);
+    while (p.size() < replicas) {
+      const std::size_t v = rng.uniform_int(servers);
+      bool dup = false;
+      for (std::size_t existing : p) dup = dup || existing == v;
+      if (!dup) p.push_back(v);
+    }
+  }
+  return inst;
+}
+
+NfvPlacementModel::NfvPlacementModel(NfvInstance instance)
+    : instance_(std::move(instance)),
+      graph_(instance_.servers, instance_.nfs),
+      headroom_rows_(instance_.nfs, instance_.servers) {
+  MET_CHECK(instance_.headroom.size() == instance_.servers);
+  MET_CHECK(instance_.demand.size() == instance_.nfs);
+  MET_CHECK(instance_.placements.size() == instance_.nfs);
+  for (std::size_t v = 0; v < instance_.servers; ++v) {
+    MET_CHECK(instance_.headroom[v] > 0.0);
+    graph_.vertex_names.push_back("server" + std::to_string(v + 1));
+  }
+  for (std::size_t e = 0; e < instance_.nfs; ++e) {
+    graph_.edge_names.push_back("NF" + std::to_string(e + 1));
+    MET_CHECK(!instance_.placements[e].empty());
+    for (std::size_t v : instance_.placements[e]) graph_.connect(e, v);
+    for (std::size_t v = 0; v < instance_.servers; ++v) {
+      headroom_rows_(e, v) = instance_.headroom[v];
+    }
+  }
+  graph_.vertex_features = nn::Tensor(instance_.servers, 1);
+  for (std::size_t v = 0; v < instance_.servers; ++v) {
+    graph_.vertex_features(v, 0) = instance_.headroom[v];
+  }
+  graph_.edge_features = nn::Tensor(instance_.nfs, 1);
+  for (std::size_t e = 0; e < instance_.nfs; ++e) {
+    graph_.edge_features(e, 0) = instance_.demand[e];
+  }
+  graph_.validate();
+}
+
+nn::Var NfvPlacementModel::decisions(const nn::Var& mask) const {
+  // logit_ev = 4 * mask_ev * headroom_v - 3: placements keep positive
+  // logits in proportion to their server's headroom; suppressing a
+  // placement (mask -> 0) sinks it to the -3 floor shared with
+  // non-placements, removing that instance from the NF's traffic split.
+  nn::Var weighted = nn::mul(mask, nn::constant(headroom_rows_));
+  nn::Var logits = nn::add_scalar(nn::scale(weighted, 4.0), -3.0);
+  return nn::softmax_rows(logits);
+}
+
+}  // namespace metis::scenarios

@@ -1,0 +1,59 @@
+// Appendix B.1 — network-function placement as a hypergraph.
+//
+// NFs are hyperedges, physical servers are vertices, and I_ev = 1 means an
+// instance of NF e runs on server v (Figure 21). The placement "system"
+// is a differentiable load-balancing model: each NF spreads its traffic
+// across its placed instances in proportion to masked placement and
+// server headroom. Metis' critical-connection search reveals which
+// (NF, server) placements the behaviour depends on — the sole instance of
+// a hot NF is critical; a redundant replica on a loaded server is not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metis/core/hypergraph_interpreter.h"
+#include "metis/hypergraph/hypergraph.h"
+#include "metis/nn/tensor.h"
+
+namespace metis::scenarios {
+
+struct NfvInstance {
+  std::size_t servers = 4;
+  std::size_t nfs = 4;
+  // headroom[v]: remaining capacity of server v, in (0, 1].
+  std::vector<double> headroom;
+  // demand[e]: offered traffic of NF e.
+  std::vector<double> demand;
+  // placements[e]: servers hosting an instance of NF e (each non-empty).
+  std::vector<std::vector<std::size_t>> placements;
+};
+
+// The fixed Figure-21 example (4 NFs over 4 servers, server2 hot).
+[[nodiscard]] NfvInstance figure21_nfv();
+
+// Random instance: every NF gets 1-3 replicas; one server is made "hot"
+// (tiny headroom) so some placements are provably non-critical.
+[[nodiscard]] NfvInstance random_nfv(std::size_t servers, std::size_t nfs,
+                                     std::uint64_t seed);
+
+class NfvPlacementModel final : public core::MaskableModel {
+ public:
+  explicit NfvPlacementModel(NfvInstance instance);
+
+  [[nodiscard]] const hypergraph::Hypergraph& graph() const override {
+    return graph_;
+  }
+  // Row e = NF e's traffic split across servers (softmax over masked
+  // placements weighted by headroom).
+  [[nodiscard]] nn::Var decisions(const nn::Var& mask) const override;
+
+  [[nodiscard]] const NfvInstance& instance() const { return instance_; }
+
+ private:
+  NfvInstance instance_;
+  hypergraph::Hypergraph graph_;
+  nn::Tensor headroom_rows_;  // |E| x |V|, headroom broadcast per row
+};
+
+}  // namespace metis::scenarios

@@ -1,0 +1,62 @@
+#include "metis/tree/flat_tree.h"
+
+#include "metis/util/check.h"
+
+namespace metis::tree {
+namespace {
+
+struct FlatArrays {
+  std::vector<std::int32_t> feature;
+  std::vector<double> payload;
+  std::vector<std::int32_t> left;
+  std::vector<std::int32_t> right;
+
+  std::int32_t append(const TreeNode& node) {
+    const auto index = static_cast<std::int32_t>(feature.size());
+    feature.push_back(node.feature);
+    payload.push_back(node.is_leaf() ? node.prediction : node.threshold);
+    left.push_back(-1);
+    right.push_back(-1);
+    if (!node.is_leaf()) {
+      const std::int32_t l = append(*node.left);
+      const std::int32_t r = append(*node.right);
+      left[static_cast<std::size_t>(index)] = l;
+      right[static_cast<std::size_t>(index)] = r;
+    }
+    return index;
+  }
+};
+
+}  // namespace
+
+FlatTree FlatTree::compile(const DecisionTree& tree) {
+  MET_CHECK(!tree.empty());
+  FlatArrays arrays;
+  arrays.append(*tree.root());
+  FlatTree flat;
+  flat.feature_ = std::move(arrays.feature);
+  flat.payload_ = std::move(arrays.payload);
+  flat.left_ = std::move(arrays.left);
+  flat.right_ = std::move(arrays.right);
+  return flat;
+}
+
+double FlatTree::predict(std::span<const double> x) const {
+  MET_CHECK(!empty());
+  std::size_t i = 0;
+  while (feature_[i] >= 0) {
+    const auto f = static_cast<std::size_t>(feature_[i]);
+    MET_CHECK(f < x.size());
+    i = static_cast<std::size_t>(x[f] <= payload_[i] ? left_[i] : right_[i]);
+  }
+  return payload_[i];
+}
+
+std::size_t FlatTree::memory_bytes() const {
+  return feature_.size() * sizeof(std::int32_t) +
+         payload_.size() * sizeof(double) +
+         left_.size() * sizeof(std::int32_t) +
+         right_.size() * sizeof(std::int32_t);
+}
+
+}  // namespace metis::tree

@@ -1,0 +1,43 @@
+// Flattened, cache-friendly decision-tree representation for deployment.
+//
+// This is the artifact Metis ships to the data plane (§6.4): inference is a
+// short loop over parallel arrays with no pointer chasing, no heap
+// allocation, and branching-only logic — the property that made the
+// paper's SmartNIC offload possible. Also reports its exact memory
+// footprint for the Figure-17b resource comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "metis/tree/cart.h"
+
+namespace metis::tree {
+
+class FlatTree {
+ public:
+  FlatTree() = default;
+
+  // Compiles a fitted DecisionTree into flat arrays.
+  [[nodiscard]] static FlatTree compile(const DecisionTree& tree);
+
+  // Class index (classification) or value (regression).
+  [[nodiscard]] double predict(std::span<const double> x) const;
+
+  [[nodiscard]] std::size_t node_count() const { return feature_.size(); }
+  [[nodiscard]] bool empty() const { return feature_.empty(); }
+  // Exact in-memory size of the inference arrays, in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  // Node i: feature_[i] < 0 marks a leaf whose prediction is payload_[i];
+  // otherwise branch on x[feature_[i]] <= payload_[i] to left_[i] /
+  // right_[i].
+  std::vector<std::int32_t> feature_;
+  std::vector<double> payload_;  // threshold for branches, value for leaves
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+};
+
+}  // namespace metis::tree

@@ -1,0 +1,115 @@
+#include "metis/tree/prune.h"
+
+#include <limits>
+#include <vector>
+
+#include "metis/util/check.h"
+
+namespace metis::tree {
+namespace {
+
+std::size_t leaves_under(const TreeNode& node) {
+  if (node.is_leaf()) return 1;
+  return leaves_under(*node.left) + leaves_under(*node.right);
+}
+
+void collect_internal(TreeNode* node, std::vector<TreeNode*>& out) {
+  if (node->is_leaf()) return;
+  out.push_back(node);
+  collect_internal(node->left.get(), out);
+  collect_internal(node->right.get(), out);
+}
+
+void collapse(TreeNode& node) {
+  node.feature = -1;
+  node.left.reset();
+  node.right.reset();
+  // prediction / class_weights / node_error already describe this node as a
+  // leaf (they were computed at fit time).
+}
+
+}  // namespace
+
+double subtree_error(const TreeNode& node) {
+  if (node.is_leaf()) return node.node_error;
+  return subtree_error(*node.left) + subtree_error(*node.right);
+}
+
+double weakest_link_value(const TreeNode& node) {
+  MET_CHECK_MSG(!node.is_leaf(), "weakest link is defined on internal nodes");
+  const std::size_t leaves = leaves_under(node);
+  MET_CHECK(leaves >= 2);
+  return (node.node_error - subtree_error(node)) /
+         static_cast<double>(leaves - 1);
+}
+
+std::size_t prune_to_leaf_count(DecisionTree& tree, std::size_t max_leaves) {
+  MET_CHECK(max_leaves >= 1);
+  MET_CHECK(!tree.empty());
+  std::size_t steps = 0;
+  while (tree.leaf_count() > max_leaves) {
+    std::vector<TreeNode*> internal;
+    collect_internal(tree.mutable_root(), internal);
+    MET_CHECK(!internal.empty());
+    TreeNode* weakest = nullptr;
+    double best = std::numeric_limits<double>::infinity();
+    for (TreeNode* n : internal) {
+      const double g = weakest_link_value(*n);
+      if (g < best) {
+        best = g;
+        weakest = n;
+      }
+    }
+    collapse(*weakest);
+    ++steps;
+  }
+  return steps;
+}
+
+std::size_t prune_with_alpha(DecisionTree& tree, double alpha) {
+  MET_CHECK(alpha >= 0.0);
+  MET_CHECK(!tree.empty());
+  std::size_t steps = 0;
+  // Repeat until no internal node's weakest-link value is <= alpha. Pruning
+  // one node can change ancestors' values, hence the outer loop.
+  for (;;) {
+    std::vector<TreeNode*> internal;
+    collect_internal(tree.mutable_root(), internal);
+    TreeNode* weakest = nullptr;
+    double best = std::numeric_limits<double>::infinity();
+    for (TreeNode* n : internal) {
+      const double g = weakest_link_value(*n);
+      if (g < best) {
+        best = g;
+        weakest = n;
+      }
+    }
+    if (weakest == nullptr || best > alpha) return steps;
+    collapse(*weakest);
+    ++steps;
+  }
+}
+
+namespace {
+
+std::size_t collapse_redundant_rec(TreeNode* node) {
+  if (node->is_leaf()) return 0;
+  std::size_t collapsed = collapse_redundant_rec(node->left.get()) +
+                          collapse_redundant_rec(node->right.get());
+  if (node->left->is_leaf() && node->right->is_leaf() &&
+      node->left->prediction == node->right->prediction) {
+    node->prediction = node->left->prediction;
+    collapse(*node);
+    ++collapsed;
+  }
+  return collapsed;
+}
+
+}  // namespace
+
+std::size_t collapse_redundant_splits(DecisionTree& tree) {
+  MET_CHECK(!tree.empty());
+  return collapse_redundant_rec(tree.mutable_root());
+}
+
+}  // namespace metis::tree

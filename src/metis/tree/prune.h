@@ -1,0 +1,37 @@
+// Cost-complexity pruning (CCP) — §3.2 step 3.
+//
+// CCP iteratively collapses the internal node with the smallest
+// "weakest-link" value g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1), where
+// R(t) is the resubstitution error if t became a leaf and R(T_t) the error
+// of the subtree rooted at t. The paper prunes Pensieve's tree from ~1000
+// leaves to 200 with < 0.6% QoE loss (§6.4, Appendix F).
+#pragma once
+
+#include <cstddef>
+
+#include "metis/tree/cart.h"
+
+namespace metis::tree {
+
+// Prunes `tree` in place until it has at most `max_leaves` leaves.
+// Requires max_leaves >= 1. Returns the number of pruning steps performed.
+std::size_t prune_to_leaf_count(DecisionTree& tree, std::size_t max_leaves);
+
+// Prunes every internal node whose weakest-link value is <= alpha
+// (classic CCP with a fixed complexity parameter).
+std::size_t prune_with_alpha(DecisionTree& tree, double alpha);
+
+// Collapses internal nodes whose two children are leaves with identical
+// predictions — splits CCP can leave behind when the children differ only
+// in their class distributions. Returns the number of nodes collapsed.
+// Prediction-preserving: the tree maps every input to the same output
+// afterwards. Worth running before shipping a tree (print / C emission).
+std::size_t collapse_redundant_splits(DecisionTree& tree);
+
+// Subtree resubstitution error R(T_t) (sum of leaf node_error values).
+[[nodiscard]] double subtree_error(const TreeNode& node);
+
+// Weakest-link value g(t) for an internal node.
+[[nodiscard]] double weakest_link_value(const TreeNode& node);
+
+}  // namespace metis::tree

@@ -1,0 +1,34 @@
+// Precondition / invariant checking for Metis.
+//
+// MET_CHECK throws std::logic_error on violation so that unit tests can
+// verify API contracts (C++ Core Guidelines I.6: prefer checkable
+// preconditions). Checks stay enabled in Release builds: every call site in
+// this library is on a control path, not a per-packet hot path.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace metis {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MET_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace metis
+
+#define MET_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::metis::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MET_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::metis::check_failed(#cond, __FILE__, __LINE__, (msg));       \
+  } while (0)

@@ -1,0 +1,121 @@
+#include "metis/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis {
+
+double mean(std::span<const double> xs) {
+  MET_CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  MET_CHECK(!xs.empty());
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  MET_CHECK(!xs.empty());
+  MET_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  MET_CHECK(!xs.empty());
+  MET_CHECK(xs.size() == ys.size());
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Cdf empirical_cdf(std::span<const double> xs) {
+  Cdf cdf;
+  cdf.values.assign(xs.begin(), xs.end());
+  std::sort(cdf.values.begin(), cdf.values.end());
+  cdf.cum_fraction.resize(cdf.values.size());
+  const double n = static_cast<double>(cdf.values.size());
+  for (std::size_t i = 0; i < cdf.values.size(); ++i) {
+    cdf.cum_fraction[i] = static_cast<double>(i + 1) / n;
+  }
+  return cdf;
+}
+
+double fraction_below(std::span<const double> xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t c = 0;
+  for (double x : xs) {
+    if (x <= threshold) ++c;
+  }
+  return static_cast<double>(c) / static_cast<double>(xs.size());
+}
+
+Histogram histogram(std::span<const double> xs, double lo, double hi,
+                    std::size_t bins) {
+  MET_CHECK(bins > 0);
+  MET_CHECK(hi > lo);
+  Histogram h;
+  h.bin_edges.resize(bins + 1);
+  h.frequency.assign(bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    h.bin_edges[i] = lo + width * static_cast<double>(i);
+  }
+  if (xs.empty()) return h;
+  for (double x : xs) {
+    auto bin = static_cast<std::ptrdiff_t>((x - lo) / width);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    h.frequency[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  for (double& f : h.frequency) f /= static_cast<double>(xs.size());
+  return h;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  MET_CHECK(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  MET_CHECK(n_ > 0);
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace metis

@@ -1,0 +1,66 @@
+// Descriptive statistics used across experiments (QoE summaries, FCT
+// percentiles, mask CDFs, Pearson correlation for Figure 9b, ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace metis {
+
+// Arithmetic mean. Requires a non-empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+// Population variance / standard deviation. Requires a non-empty input.
+[[nodiscard]] double variance(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+[[nodiscard]] double median(std::span<const double> xs);
+
+// Pearson's correlation coefficient between two equally-sized, non-empty
+// series. Returns 0 when either series is constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+// Empirical CDF evaluated at the sample points: returns sorted values and
+// the fraction of samples <= each value. Used to print distribution figures
+// (Fig. 9a, Fig. 16a, Fig. 20).
+struct Cdf {
+  std::vector<double> values;     // sorted ascending
+  std::vector<double> cum_fraction;  // in (0, 1]
+};
+[[nodiscard]] Cdf empirical_cdf(std::span<const double> xs);
+
+// Fraction of samples in xs that satisfy value <= threshold.
+[[nodiscard]] double fraction_below(std::span<const double> xs,
+                                    double threshold);
+
+// Histogram with equal-width bins over [lo, hi]; counts normalized to
+// frequencies summing to 1 (empty input yields all-zero frequencies).
+struct Histogram {
+  std::vector<double> bin_edges;   // size bins + 1
+  std::vector<double> frequency;   // size bins
+};
+[[nodiscard]] Histogram histogram(std::span<const double> xs, double lo,
+                                  double hi, std::size_t bins);
+
+// Streaming mean/variance (Welford). Handy for long simulations where
+// storing every sample is wasteful.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace metis

@@ -1,0 +1,33 @@
+// Lightweight fixed-width table printer used by the benchmark harness to
+// emit paper-style rows (e.g. Table 3's top-5 mask values, Figure 12's
+// bitrate frequency columns).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace metis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends one row. The row must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  // Formats a double with the given precision (helper for row building).
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+
+  // Formats a ratio as a percentage string, e.g. 0.0512 -> "5.12%".
+  [[nodiscard]] static std::string pct(double ratio, int precision = 2);
+
+  // Renders the table with aligned columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metis

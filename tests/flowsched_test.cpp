@@ -1,0 +1,462 @@
+// Tests for the AuTO substrate: workload generation, MLFQ, the fabric
+// simulator's conservation/priority/latency semantics, and both agents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metis/flowsched/auto_agents.h"
+#include "metis/flowsched/fabric_sim.h"
+#include "metis/flowsched/flow_gen.h"
+#include "metis/flowsched/mlfq.h"
+#include "metis/flowsched/tree_scheduler.h"
+#include "metis/util/stats.h"
+
+namespace metis::flowsched {
+namespace {
+
+TEST(FlowGen, SizesWithinBounds) {
+  metis::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double ws = sample_flow_size(WorkloadFamily::kWebSearch, rng);
+    const double dm = sample_flow_size(WorkloadFamily::kDataMining, rng);
+    EXPECT_GE(ws, 100.0);
+    EXPECT_LE(ws, 1e9);
+    EXPECT_GE(dm, 100.0);
+    EXPECT_LE(dm, 1e9);
+  }
+}
+
+TEST(FlowGen, DataMiningHeavierTailThanWebSearch) {
+  metis::Rng rng(2);
+  std::vector<double> ws, dm;
+  for (int i = 0; i < 20000; ++i) {
+    ws.push_back(sample_flow_size(WorkloadFamily::kWebSearch, rng));
+    dm.push_back(sample_flow_size(WorkloadFamily::kDataMining, rng));
+  }
+  // DM: most flows tiny (median smaller), but more bytes in the tail.
+  EXPECT_LT(metis::median(dm), metis::median(ws));
+  EXPECT_GT(metis::percentile(dm, 99.5), metis::percentile(ws, 99.5));
+}
+
+TEST(FlowGen, WorkloadSortedAndLoadCalibrated) {
+  FlowGenConfig cfg;
+  cfg.load = 0.5;
+  cfg.duration_s = 2.0;
+  auto flows = generate_workload(cfg, 3);
+  ASSERT_GT(flows.size(), 100u);
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (i > 0) EXPECT_GE(flows[i].arrival_s, flows[i - 1].arrival_s);
+    EXPECT_NE(flows[i].src, flows[i].dst);
+    EXPECT_LT(flows[i].src, cfg.hosts);
+    bytes += flows[i].size_bytes;
+  }
+  const double offered =
+      bytes * 8.0 / (cfg.duration_s * cfg.link_bps * double(cfg.hosts));
+  EXPECT_NEAR(offered, 0.5, 0.25);  // heavy tails make this noisy
+}
+
+TEST(FlowGen, SizeClasses) {
+  EXPECT_EQ(classify_size(50e3), SizeClass::kShort);
+  EXPECT_EQ(classify_size(1e6), SizeClass::kMedian);
+  EXPECT_EQ(classify_size(50e6), SizeClass::kLong);
+}
+
+TEST(Mlfq, PriorityDemotesAcrossThresholds) {
+  Mlfq q({100.0, 1000.0});
+  EXPECT_EQ(q.queue_count(), 3u);
+  EXPECT_EQ(q.priority_of(0.0), 0u);
+  EXPECT_EQ(q.priority_of(99.9), 0u);
+  EXPECT_EQ(q.priority_of(100.0), 1u);
+  EXPECT_EQ(q.priority_of(5000.0), 2u);
+}
+
+TEST(Mlfq, BytesToDemotion) {
+  Mlfq q({100.0, 1000.0});
+  EXPECT_DOUBLE_EQ(q.bytes_to_demotion(40.0), 60.0);
+  EXPECT_DOUBLE_EQ(q.bytes_to_demotion(100.0), 900.0);
+  EXPECT_LT(q.bytes_to_demotion(2000.0), 0.0);
+}
+
+TEST(Mlfq, RejectsNonIncreasingThresholds) {
+  EXPECT_THROW(Mlfq({100.0, 100.0}), std::logic_error);
+  EXPECT_THROW(Mlfq({100.0, 50.0}), std::logic_error);
+}
+
+TEST(Mlfq, FromPolicyOutputSanitizes) {
+  Mlfq q = Mlfq::from_policy_output({5e6, 5e6, 1e3});
+  EXPECT_EQ(q.queue_count(), 4u);
+  const auto& th = q.thresholds();
+  for (std::size_t i = 1; i < th.size(); ++i) EXPECT_GT(th[i], th[i - 1]);
+}
+
+Flow make_flow(std::size_t id, double t, double bytes, std::size_t src,
+               std::size_t dst) {
+  Flow f;
+  f.id = id;
+  f.arrival_s = t;
+  f.size_bytes = bytes;
+  f.src = src;
+  f.dst = dst;
+  return f;
+}
+
+TEST(FabricSim, SingleFlowRunsAtLineRate) {
+  FabricConfig cfg;
+  FabricSim sim(cfg);
+  auto results = sim.run({make_flow(0, 0.0, 1.25e6, 0, 1)});  // 10 ms @1Gbps
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].fct_s, 0.01, 1e-9);
+  EXPECT_NEAR(results[0].slowdown(cfg.link_bps), 1.0, 1e-9);
+}
+
+TEST(FabricSim, TwoFlowsShareALink) {
+  FabricConfig cfg;
+  cfg.mlfq = Mlfq({1e12});  // one threshold never reached: same priority
+  FabricSim sim(cfg);
+  // Same src and dst: both directions shared; each flow gets half rate.
+  auto results = sim.run({make_flow(0, 0.0, 1.25e6, 0, 1),
+                          make_flow(1, 0.0, 1.25e6, 0, 1)});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NEAR(results[0].fct_s, 0.02, 1e-6);
+  EXPECT_NEAR(results[1].fct_s, 0.02, 1e-6);
+}
+
+TEST(FabricSim, DisjointPairsDontInterfere) {
+  FabricConfig cfg;
+  FabricSim sim(cfg);
+  auto results = sim.run({make_flow(0, 0.0, 1.25e6, 0, 1),
+                          make_flow(1, 0.0, 1.25e6, 2, 3)});
+  for (const auto& r : results) EXPECT_NEAR(r.fct_s, 0.01, 1e-9);
+}
+
+TEST(FabricSim, MlfqProtectsShortFlows) {
+  // A giant flow is demoted; a short flow arriving later preempts it.
+  FabricConfig cfg;
+  cfg.mlfq = Mlfq({100e3});
+  FabricSim sim(cfg);
+  auto results = sim.run({make_flow(0, 0.0, 100e6, 0, 1),
+                          make_flow(1, 0.05, 50e3, 0, 1)});
+  ASSERT_EQ(results.size(), 2u);
+  const auto& short_flow =
+      results[0].flow.id == 1 ? results[0] : results[1];
+  // The short flow runs at (nearly) line rate despite the elephant:
+  // 50 KB @ 1 Gbps = 0.4 ms.
+  EXPECT_LT(short_flow.fct_s, 0.002);
+}
+
+TEST(FabricSim, StrictPriorityStarvesLowerQueue) {
+  FabricConfig cfg;
+  cfg.mlfq = Mlfq({1e12});
+  FabricSim sim(cfg);
+
+  // Pin priorities via a scheduler with zero latency.
+  class PinScheduler final : public FlowScheduler {
+   public:
+    int assign_priority(const Flow& flow, double, double) override {
+      return flow.id == 0 ? 1 : 0;  // flow 0 low priority, flow 1 high
+    }
+    double decision_latency_s() const override { return 0.0; }
+  } sched;
+
+  auto results = sim.run({make_flow(0, 0.0, 1.25e6, 0, 1),
+                          make_flow(1, 0.0, 1.25e6, 0, 1)},
+                         &sched);
+  ASSERT_EQ(results.size(), 2u);
+  const auto& high = results[0].flow.id == 1 ? results[0] : results[1];
+  const auto& low = results[0].flow.id == 0 ? results[0] : results[1];
+  EXPECT_NEAR(high.fct_s, 0.01, 1e-6);   // runs alone first
+  EXPECT_NEAR(low.fct_s, 0.02, 1e-6);    // waits for the high one
+  EXPECT_TRUE(high.covered);
+}
+
+TEST(FabricSim, DecisionLatencyGatesCoverage) {
+  FabricConfig cfg;
+  FabricSim sim(cfg);
+
+  class SlowScheduler final : public FlowScheduler {
+   public:
+    int assign_priority(const Flow&, double, double) override { return 0; }
+    double decision_latency_s() const override { return 0.05; }
+  } sched;
+
+  // 1.25e5 bytes = 1 ms at line rate: finishes before the 50 ms decision.
+  // 1.25e7 bytes = 100 ms: still running when the decision lands.
+  auto results = sim.run({make_flow(0, 0.0, 1.25e5, 0, 1),
+                          make_flow(1, 0.0, 1.25e7, 2, 3)},
+                         &sched);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    if (r.flow.id == 0) {
+      EXPECT_FALSE(r.covered);  // finished before decision latency elapsed
+    } else {
+      EXPECT_TRUE(r.covered);
+    }
+  }
+}
+
+TEST(FabricSim, ConservesBytesAndCompletesAll) {
+  FlowGenConfig gen;
+  gen.load = 0.35;
+  gen.duration_s = 0.4;
+  auto flows = generate_workload(gen, 7);
+  FabricConfig cfg;
+  FabricSim sim(cfg);
+  auto results = sim.run(flows);
+  EXPECT_EQ(results.size(), flows.size());
+  for (const auto& r : results) {
+    EXPECT_GT(r.fct_s, 0.0);
+    EXPECT_GE(r.slowdown(cfg.link_bps), 1.0 - 1e-9);
+  }
+}
+
+TEST(FabricSim, ThresholdControllerIsInvoked) {
+  FlowGenConfig gen;
+  gen.load = 0.3;
+  gen.duration_s = 0.3;
+  auto flows = generate_workload(gen, 9);
+
+  class CountingController final : public ThresholdController {
+   public:
+    double interval_s() const override { return 0.05; }
+    Mlfq update(const std::vector<FlowResult>& window, double) override {
+      ++calls;
+      seen += window.size();
+      return Mlfq::standard();
+    }
+    std::size_t calls = 0;
+    std::size_t seen = 0;
+  } controller;
+
+  FabricConfig cfg;
+  FabricSim sim(cfg);
+  auto results = sim.run(flows, nullptr, &controller);
+  EXPECT_GT(controller.calls, 2u);
+  EXPECT_LE(controller.seen, results.size());
+}
+
+TEST(FctStats, PercentilesOrdered) {
+  FlowGenConfig gen;
+  gen.load = 0.4;
+  gen.duration_s = 0.3;
+  auto flows = generate_workload(gen, 11);
+  FabricConfig cfg;
+  FabricSim sim(cfg);
+  auto results = sim.run(flows);
+  FctStats stats = fct_stats(results, cfg.link_bps);
+  EXPECT_GT(stats.count, 0u);
+  EXPECT_LE(stats.p50, stats.p75);
+  EXPECT_LE(stats.p75, stats.p90);
+  EXPECT_LE(stats.p90, stats.p99);
+  EXPECT_GE(stats.avg, 1.0);
+}
+
+TEST(Coverage, CountsFlowsAndBytes) {
+  std::vector<FlowResult> results(2);
+  results[0].flow.size_bytes = 100.0;
+  results[0].covered = true;
+  results[1].flow.size_bytes = 300.0;
+  results[1].covered = false;
+  Coverage c = coverage_of(results);
+  EXPECT_DOUBLE_EQ(c.flow_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(c.byte_fraction, 0.25);
+}
+
+TEST(Srla, FeaturesFiniteAndSized) {
+  auto f = srla_features({}, 1e9);
+  EXPECT_EQ(f.size(), kSrlaStateDim);
+  std::vector<FlowResult> window(3);
+  for (int i = 0; i < 3; ++i) {
+    window[i].flow.size_bytes = 1e4 * (i + 1);
+    window[i].fct_s = 0.01;
+  }
+  f = srla_features(window, 1e9);
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Srla, ThresholdsAnchoredAtDefaults) {
+  SrlaAgent agent(3);
+  std::vector<double> state(kSrlaStateDim, 0.0);
+  auto th = agent.thresholds_for(state);
+  ASSERT_EQ(th.size(), kSrlaThresholds);
+  // Fresh network outputs are small, so thresholds sit near the anchors.
+  EXPECT_GT(th[0], 1e3);
+  EXPECT_LT(th[2], 1e9);
+  Mlfq q = agent.mlfq_for(state);
+  EXPECT_EQ(q.queue_count(), kSrlaThresholds + 1);
+}
+
+TEST(Srla, ControllerLogsDecisions) {
+  SrlaAgent agent(5);
+  SrlaController controller(
+      [&](std::span<const double> s) { return agent.thresholds_for(s); },
+      1e9, 0.05);
+  FlowGenConfig gen;
+  gen.load = 0.3;
+  gen.duration_s = 0.3;
+  auto flows = generate_workload(gen, 13);
+  FabricConfig cfg;
+  FabricSim sim(cfg);
+  (void)sim.run(flows, nullptr, &controller);
+  EXPECT_GT(controller.decisions().size(), 2u);
+  for (const auto& d : controller.decisions()) {
+    EXPECT_EQ(d.state.size(), kSrlaStateDim);
+    EXPECT_EQ(d.thresholds.size(), kSrlaThresholds);
+  }
+}
+
+TEST(Cem, OptimizesSimpleQuadratic) {
+  metis::Rng rng(17);
+  nn::Var w = nn::parameter(nn::Tensor(1, 2, std::vector<double>{3.0, -2.0}));
+  auto objective = [&] {
+    const double a = w->value()(0, 0), b = w->value()(0, 1);
+    return -(a * a + b * b);  // max at (0,0)
+  };
+  CemConfig cfg;
+  cfg.iterations = 20;
+  cfg.population = 16;
+  cfg.elites = 4;
+  const double best = cem_optimize({w}, objective, cfg, rng);
+  EXPECT_GT(best, -0.5);
+}
+
+TEST(Lrla, FeaturesAndPriorityBounds) {
+  Flow f = make_flow(0, 0.0, 5e6, 0, 1);
+  auto feats = lrla_features(f, 1e5);
+  EXPECT_EQ(feats.size(), kLrlaStateDim);
+  LrlaAgent agent(4, 19);
+  EXPECT_LT(agent.priority_for(f, 0.0), 4u);
+}
+
+TEST(Lrla, SchedulerSkipsShortFlows) {
+  LrlaScheduler sched(
+      [](const Flow&, double) { return std::size_t{0}; }, 0.0);
+  Flow tiny = make_flow(0, 0.0, 1e3, 0, 1);
+  Flow big = make_flow(1, 0.0, 1e7, 0, 1);
+  EXPECT_EQ(sched.assign_priority(tiny, 0.0, 0.0), -1);
+  EXPECT_EQ(sched.assign_priority(big, 0.0, 0.0), 0);
+  EXPECT_EQ(sched.decisions().size(), 1u);
+}
+
+TEST(TreeScheduler, LrlaTreeActsLikeTree) {
+  // Tree: priority 0 for size < 1e6, else 3.
+  tree::Dataset d;
+  d.feature_names = {"log_size", "log_sent", "frac"};
+  for (int i = 0; i < 60; ++i) {
+    const double sz = 1e4 + i * 1e5;
+    d.add(lrla_features(make_flow(0, 0, sz, 0, 1), 0.0),
+          sz < 1e6 ? 0.0 : 3.0);
+  }
+  tree::FitConfig fit;
+  tree::DecisionTree t = tree::DecisionTree::fit(d, fit);
+  TreeLrlaScheduler sched(t, 4);
+  EXPECT_EQ(sched.assign_priority(make_flow(0, 0, 2e5, 0, 1), 0, 0), 0);
+  EXPECT_EQ(sched.assign_priority(make_flow(1, 0, 5e7, 0, 1), 0, 0), 3);
+  EXPECT_LT(sched.decision_latency_s(), kDnnDecisionLatency);
+}
+
+TEST(TreeScheduler, SrlaDistillationRoundTrips) {
+  // Synthetic controller log: thresholds depend linearly on feature 1.
+  std::vector<SrlaController::Decision> log;
+  for (int i = 0; i < 80; ++i) {
+    SrlaController::Decision d;
+    d.state.assign(kSrlaStateDim, 0.0);
+    d.state[1] = 3.0 + 0.05 * i;
+    d.thresholds = {1e4 * (1 + i % 4), 1e6, 2e7};
+    log.push_back(d);
+  }
+  TreeSrlaPolicy policy = distill_srla(log, 50);
+  EXPECT_EQ(policy.tree_count(), kSrlaThresholds);
+  auto th = policy.thresholds_for(log[10].state);
+  EXPECT_EQ(th.size(), kSrlaThresholds);
+  EXPECT_NEAR(th[1], 1e6, 1e3);
+  EXPECT_NEAR(th[2], 2e7, 1e4);
+}
+
+// Property: with any seed, the simulator conserves flows and produces
+// physical slowdowns under every scheduling mode.
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimFuzz, AllModesComplete) {
+  FlowGenConfig gen;
+  gen.load = 0.45;
+  gen.duration_s = 0.25;
+  gen.family = GetParam() % 2 == 0 ? WorkloadFamily::kWebSearch
+                                   : WorkloadFamily::kDataMining;
+  auto flows = generate_workload(gen, GetParam());
+  FabricConfig cfg;
+  FabricSim sim(cfg);
+
+  LrlaAgent agent(4, GetParam());
+  LrlaScheduler sched(
+      [&](const Flow& f, double sent) { return agent.priority_for(f, sent); },
+      kDnnDecisionLatency);
+  auto r1 = sim.run(flows);
+  auto r2 = sim.run(flows, &sched);
+  EXPECT_EQ(r1.size(), flows.size());
+  EXPECT_EQ(r2.size(), flows.size());
+  for (const auto& r : r2) EXPECT_GE(r.slowdown(cfg.link_bps), 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz, ::testing::Values(21, 22, 23, 24));
+
+
+// ---- regression tests for the event-loop livelock fix ------------------------
+
+TEST(Mlfq, CrossingToleranceCountsNearThresholdAsCrossed) {
+  Mlfq mlfq({1e4, 1e6});
+  // A flow parked a rounding error short of the threshold has crossed it.
+  EXPECT_EQ(mlfq.priority_of(1e4 - 1e-9), 1u);
+  EXPECT_EQ(mlfq.priority_of(1e4 - 1.0), 0u);  // a real byte short: not yet
+  // bytes_to_demotion from the tolerant priority is never a sliver.
+  EXPECT_GT(mlfq.bytes_to_demotion(1e4 - 1e-9), 1.0);
+}
+
+TEST(FabricSim, FlowSizedExactlyAtThresholdTerminates) {
+  // A flow whose size lands exactly on a demotion threshold used to
+  // schedule an unrepresentably small demotion event (livelock).
+  FabricConfig cfg;
+  cfg.mlfq = Mlfq({50e3, 1e6});
+  FabricSim sim(cfg);
+  auto results = sim.run({make_flow(0, 0.0, 50e3, 0, 1),
+                          make_flow(1, 0.0, 1e6, 2, 3)});
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_GT(r.fct_s, 0.0);
+}
+
+TEST(FabricSim, ManyCoincidentThresholdCrossingsTerminate) {
+  FabricConfig cfg;
+  cfg.mlfq = Mlfq({10e3, 20e3, 40e3});
+  FabricSim sim(cfg);
+  std::vector<Flow> flows;
+  for (std::size_t i = 0; i < 12; ++i) {
+    // All flows share links and sizes equal to thresholds.
+    flows.push_back(make_flow(i, 0.0, 10e3 * (1 + i % 4), i % 4,
+                              4 + i % 4));
+  }
+  auto results = sim.run(flows);
+  EXPECT_EQ(results.size(), flows.size());
+}
+
+TEST(Cem, SigmaDoesNotCollapseBeforeReachingTheOptimum) {
+  // Regression: sigma refit about the *elite* mean collapses exploration
+  // while the mean is still travelling; refit about the previous mean
+  // keeps pace. Start far from the optimum relative to init_sigma.
+  metis::Rng rng(21);
+  nn::Var w = nn::parameter(nn::Tensor(1, 2, std::vector<double>{4.0, -3.0}));
+  auto objective = [&] {
+    const double a = w->value()(0, 0), b = w->value()(0, 1);
+    return -(a * a + b * b);
+  };
+  CemConfig cfg;
+  cfg.iterations = 25;
+  cfg.population = 16;
+  cfg.elites = 4;
+  cfg.init_sigma = 0.5;
+  const double best = cem_optimize({w}, objective, cfg, rng);
+  EXPECT_GT(best, -0.5);
+}
+
+}  // namespace
+}  // namespace metis::flowsched
+

@@ -1,0 +1,256 @@
+// Tests for the routing substrate: topology, k-shortest paths, traffic,
+// the M/M/1 latency model, RouteNet*'s closed loop, and the hypergraph /
+// mask-model adapters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "metis/core/hypergraph_interpreter.h"
+#include "metis/routing/latency_model.h"
+#include "metis/routing/paths.h"
+#include "metis/routing/routenet.h"
+#include "metis/routing/topology.h"
+#include "metis/routing/traffic.h"
+#include "metis/util/stats.h"
+
+namespace metis::routing {
+namespace {
+
+TEST(Topology, NsfnetShape) {
+  Topology topo = nsfnet();
+  EXPECT_EQ(topo.node_count(), 14u);
+  EXPECT_EQ(topo.link_count(), 42u);  // 21 duplex links
+  // Figure 8 adjacency spot checks.
+  EXPECT_TRUE(topo.link_between(6, 7).has_value());
+  EXPECT_TRUE(topo.link_between(10, 9).has_value());
+  EXPECT_FALSE(topo.link_between(0, 13).has_value());
+}
+
+TEST(Topology, LinkNamesAndBounds) {
+  Topology topo(3);
+  const std::size_t id = topo.add_link(0, 2, 5.0);
+  EXPECT_EQ(topo.link_name(id), "0->2");
+  EXPECT_THROW(topo.add_link(0, 0, 1.0), std::logic_error);
+  EXPECT_THROW(topo.add_link(0, 2, 1.0), std::logic_error);  // duplicate
+  EXPECT_THROW(topo.add_link(0, 3, 1.0), std::logic_error);  // out of range
+}
+
+TEST(Paths, ShortestPathOnNsfnet) {
+  Topology topo = nsfnet();
+  auto p = shortest_path(topo, 0, 5);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 2u);  // 0->2->5
+  EXPECT_EQ(p->nodes.front(), 0u);
+  EXPECT_EQ(p->nodes.back(), 5u);
+  // Links must chain correctly.
+  for (std::size_t i = 0; i < p->links.size(); ++i) {
+    EXPECT_EQ(topo.link(p->links[i]).src, p->nodes[i]);
+    EXPECT_EQ(topo.link(p->links[i]).dst, p->nodes[i + 1]);
+  }
+}
+
+TEST(Paths, KShortestAreDistinctSimpleAndOrdered) {
+  Topology topo = nsfnet();
+  auto paths = k_shortest_paths(topo, 0, 12, 5);
+  ASSERT_GE(paths.size(), 3u);
+  std::set<std::vector<std::size_t>> unique_nodes;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    unique_nodes.insert(paths[i].nodes);
+    if (i > 0) EXPECT_GE(paths[i].hops(), paths[i - 1].hops());
+    // Simple (loop-free) paths.
+    std::set<std::size_t> seen(paths[i].nodes.begin(), paths[i].nodes.end());
+    EXPECT_EQ(seen.size(), paths[i].nodes.size());
+  }
+  EXPECT_EQ(unique_nodes.size(), paths.size());
+}
+
+TEST(Paths, CandidatesWithinSlack) {
+  Topology topo = nsfnet();
+  auto cands = candidates_within_slack(topo, 0, 5, 1);
+  ASSERT_FALSE(cands.empty());
+  const std::size_t shortest = cands.front().hops();
+  for (const auto& p : cands) EXPECT_LE(p.hops(), shortest + 1);
+}
+
+TEST(Traffic, GravityModelProducesDemands) {
+  Topology topo = nsfnet();
+  TrafficGenConfig cfg;
+  TrafficMatrix tm = generate_traffic(topo, cfg, 5);
+  EXPECT_GT(tm.demands.size(), 50u);
+  for (const auto& d : tm.demands) {
+    EXPECT_NE(d.src, d.dst);
+    EXPECT_GT(d.volume, 0.0);
+  }
+  EXPECT_GT(tm.total_volume(), 0.0);
+}
+
+TEST(Traffic, SetIsDeterministicPerSeed) {
+  Topology topo = nsfnet();
+  TrafficGenConfig cfg;
+  auto a = generate_traffic_set(topo, cfg, 3, 9);
+  auto b = generate_traffic_set(topo, cfg, 3, 9);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a[2].total_volume(), b[2].total_volume());
+}
+
+TEST(LatencyModel, DelayIncreasesWithLoad) {
+  LatencyModelConfig cfg;
+  EXPECT_NEAR(link_delay(0.0, 10.0, cfg), cfg.base_delay, 1e-12);
+  EXPECT_LT(link_delay(3.0, 10.0, cfg), link_delay(6.0, 10.0, cfg));
+  EXPECT_LT(link_delay(6.0, 10.0, cfg), link_delay(9.0, 10.0, cfg));
+}
+
+TEST(LatencyModel, OverloadExtensionContinuous) {
+  LatencyModelConfig cfg;
+  const double below = link_delay(0.9499 * 10.0, 10.0, cfg);
+  const double at = link_delay(0.95 * 10.0, 10.0, cfg);
+  const double above = link_delay(0.9501 * 10.0, 10.0, cfg);
+  EXPECT_NEAR(at, below, 0.1);
+  EXPECT_GT(above, at);
+  EXPECT_TRUE(std::isfinite(link_delay(100.0, 10.0, cfg)));
+}
+
+TEST(LatencyModel, LinkLoadsAccumulate) {
+  Topology topo = nsfnet();
+  TrafficMatrix tm;
+  tm.demands = {{0, 5, 2.0}, {1, 5, 3.0}};
+  std::vector<Path> routes = {*shortest_path(topo, 0, 5),
+                              *shortest_path(topo, 1, 5)};
+  auto loads = link_loads(topo, tm, routes);
+  double total = 0.0;
+  for (double l : loads) total += l;
+  // Each demand contributes volume * hops.
+  EXPECT_DOUBLE_EQ(total, 2.0 * routes[0].hops() + 3.0 * routes[1].hops());
+}
+
+TEST(LinkDelayNet, LearnsQueueingCurve) {
+  LinkDelayNet net(3);
+  LatencyModelConfig truth;
+  const double mse = net.train(truth, 512, 400);
+  EXPECT_LT(mse, 0.5);
+  // Monotonicity on the learned range.
+  EXPECT_LT(net.predict(0.1), net.predict(0.8));
+  EXPECT_NEAR(net.predict(0.5), link_delay(0.5, 1.0, truth), 0.5);
+}
+
+RouteNetStar trained_routenet(const Topology& topo) {
+  RouteNetConfig cfg;
+  cfg.seed = 11;
+  RouteNetStar model(&topo, cfg);
+  model.train(512, 300);
+  return model;
+}
+
+TEST(RouteNetStar, RoutesEveryDemandWithValidCandidates) {
+  Topology topo = nsfnet();
+  RouteNetStar model = trained_routenet(topo);
+  TrafficGenConfig tcfg;
+  TrafficMatrix tm = generate_traffic(topo, tcfg, 21);
+  auto result = model.route(tm);
+  ASSERT_EQ(result.chosen.size(), tm.demands.size());
+  for (std::size_t i = 0; i < result.chosen.size(); ++i) {
+    EXPECT_LT(result.chosen[i], result.candidates[i].size());
+    const Path& p = result.candidates[i][result.chosen[i]];
+    EXPECT_EQ(p.nodes.front(), tm.demands[i].src);
+    EXPECT_EQ(p.nodes.back(), tm.demands[i].dst);
+  }
+}
+
+TEST(RouteNetStar, ClosedLoopBeatsShortestPathOnLatency) {
+  Topology topo = nsfnet();
+  RouteNetStar model = trained_routenet(topo);
+  TrafficGenConfig tcfg;
+  tcfg.intensity = 0.7;  // enough congestion for load balancing to matter
+  double better = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    TrafficMatrix tm = generate_traffic(topo, tcfg, 100 + seed);
+    auto result = model.route(tm);
+    std::vector<Path> shortest;
+    for (const auto& d : tm.demands) {
+      shortest.push_back(*shortest_path(topo, d.src, d.dst));
+    }
+    const double lat_model =
+        mean_network_latency(topo, tm, result.routes(), model.config().latency);
+    const double lat_short =
+        mean_network_latency(topo, tm, shortest, model.config().latency);
+    better += lat_model <= lat_short * 1.001;
+    total += 1;
+  }
+  EXPECT_GE(better / total, 0.8);  // load-aware routing wins consistently
+}
+
+TEST(RoutingHypergraph, MatchesChosenPaths) {
+  Topology topo = nsfnet();
+  RouteNetStar model = trained_routenet(topo);
+  TrafficGenConfig tcfg;
+  TrafficMatrix tm = generate_traffic(topo, tcfg, 31);
+  auto result = model.route(tm);
+  auto graph = routing_hypergraph(topo, result);
+  EXPECT_EQ(graph.vertex_count(), topo.link_count());
+  EXPECT_EQ(graph.edge_count(), tm.demands.size());
+  const auto routes = result.routes();
+  for (std::size_t e = 0; e < routes.size(); ++e) {
+    EXPECT_EQ(graph.vertices_of(e).size(), routes[e].links.size());
+    for (std::size_t lid : routes[e].links) EXPECT_TRUE(graph.contains(e, lid));
+  }
+}
+
+TEST(RoutingMaskModel, DecisionsAreDistributionsFavoringChosenPaths) {
+  Topology topo = nsfnet();
+  RouteNetStar model = trained_routenet(topo);
+  TrafficGenConfig tcfg;
+  TrafficMatrix tm = generate_traffic(topo, tcfg, 41);
+  auto result = model.route(tm);
+  RoutingMaskModel mask_model(&model, result);
+
+  nn::Var y = mask_model.decisions(
+      nn::constant(mask_model.graph().incidence_matrix()));
+  const nn::Tensor& probs = y->value();
+  ASSERT_EQ(probs.rows(), tm.demands.size());
+  std::size_t argmax_matches = 0;
+  for (std::size_t e = 0; e < probs.rows(); ++e) {
+    double total = 0.0;
+    std::size_t arg = 0;
+    for (std::size_t c = 0; c < probs.cols(); ++c) {
+      total += probs(e, c);
+      if (probs(e, c) > probs(e, arg)) arg = c;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // The greedy closed loop and the softmax head mostly agree. Padded
+    // duplicate candidates can tie, so require majority agreement only.
+    argmax_matches += (arg == result.chosen[e]);
+  }
+  EXPECT_GT(static_cast<double>(argmax_matches) /
+                static_cast<double>(probs.rows()),
+            0.6);
+}
+
+TEST(RoutingMaskModel, InterpreterProducesPolarizedMasks) {
+  Topology topo = nsfnet();
+  RouteNetStar model = trained_routenet(topo);
+  TrafficGenConfig tcfg;
+  tcfg.intensity = 0.6;
+  TrafficMatrix tm = generate_traffic(topo, tcfg, 51);
+  auto result = model.route(tm);
+  RoutingMaskModel mask_model(&model, result);
+
+  core::InterpretConfig icfg;
+  icfg.steps = 150;
+  auto interp = core::find_critical_connections(mask_model, icfg);
+  ASSERT_FALSE(interp.ranked.empty());
+  // Masks live in [0,1] and are sorted descending.
+  for (std::size_t i = 0; i < interp.ranked.size(); ++i) {
+    EXPECT_GE(interp.ranked[i].mask, 0.0);
+    EXPECT_LE(interp.ranked[i].mask, 1.0);
+    if (i > 0) EXPECT_LE(interp.ranked[i].mask, interp.ranked[i - 1].mask);
+  }
+  // Fig. 9a: masks polarize — the middle band is sparsely populated.
+  const auto values = interp.mask_values();
+  const double mid =
+      metis::fraction_below(values, 0.8) - metis::fraction_below(values, 0.2);
+  EXPECT_LT(mid, 0.6);
+}
+
+}  // namespace
+}  // namespace metis::routing

@@ -1,0 +1,230 @@
+// Tests for the Appendix-B hypergraph scenario models (NFV placement,
+// ultra-dense cellular, cluster DAG scheduling): construction invariants,
+// decision-model semantics, and end-to-end critical-connection searches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metis/core/hypergraph_interpreter.h"
+#include "metis/scenarios/cellular.h"
+#include "metis/scenarios/cluster.h"
+#include "metis/scenarios/nfv.h"
+
+namespace {
+
+using namespace metis;
+using namespace metis::scenarios;
+
+// ---- helpers ----------------------------------------------------------------
+
+// Row-stochasticity of a decision matrix.
+void expect_rows_are_distributions(const nn::Tensor& y) {
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      EXPECT_GE(y(r, c), 0.0);
+      sum += y(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+double mask_of(const core::InterpretResult& interp, std::size_t edge,
+               std::size_t vertex) {
+  return interp.mask(edge, vertex);
+}
+
+// ---- NFV (B.1) ---------------------------------------------------------------
+
+TEST(NfvScenario, Figure21InstanceShape) {
+  NfvPlacementModel model(figure21_nfv());
+  EXPECT_EQ(model.graph().edge_count(), 4u);
+  EXPECT_EQ(model.graph().vertex_count(), 4u);
+  EXPECT_EQ(model.graph().connection_count(), 10u);
+  EXPECT_TRUE(model.graph().contains(2, 1));   // NF3 on server2
+  EXPECT_FALSE(model.graph().contains(1, 1));  // NF2 not on server2
+}
+
+TEST(NfvScenario, FullMaskSplitsTowardHeadroom) {
+  NfvPlacementModel model(figure21_nfv());
+  nn::Var mask = nn::constant(model.graph().incidence_matrix());
+  const nn::Tensor y = model.decisions(mask)->value();
+  expect_rows_are_distributions(y);
+  // NF1 is placed on servers {1,2,3}; server1 (headroom 1.0) must receive
+  // more of its traffic than hot server2 (headroom 0.15).
+  EXPECT_GT(y(0, 0), y(0, 1));
+}
+
+TEST(NfvScenario, SuppressingAPlacementRemovesItsTraffic) {
+  NfvPlacementModel model(figure21_nfv());
+  nn::Tensor masked = model.graph().incidence_matrix();
+  masked(0, 0) = 0.0;  // suppress NF1's instance on server1
+  const nn::Tensor y_masked =
+      model.decisions(nn::constant(masked))->value();
+  const nn::Tensor y_full =
+      model
+          .decisions(nn::constant(model.graph().incidence_matrix()))
+          ->value();
+  EXPECT_LT(y_masked(0, 0), y_full(0, 0));
+}
+
+TEST(NfvScenario, SoleInstanceOfNfIsCritical) {
+  // NF3 lives on servers {2,4} with server2 hot: the server4 instance
+  // carries essentially all of NF3 — suppressing it changes the split
+  // drastically, so its mask must stay high; the server2 replica of NF1
+  // (two healthy alternatives) should rank below it.
+  NfvPlacementModel model(figure21_nfv());
+  core::InterpretConfig cfg;
+  cfg.steps = 300;
+  const auto interp = core::find_critical_connections(model, cfg);
+  EXPECT_GT(mask_of(interp, 2, 3), mask_of(interp, 0, 1));
+}
+
+TEST(NfvScenario, RandomInstancesValidate) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    NfvInstance inst = random_nfv(6, 5, seed);
+    NfvPlacementModel model(std::move(inst));
+    EXPECT_EQ(model.graph().edge_count(), 5u);
+    const nn::Tensor y =
+        model
+            .decisions(nn::constant(model.graph().incidence_matrix()))
+            ->value();
+    expect_rows_are_distributions(y);
+  }
+}
+
+// ---- Cellular (B.2) ----------------------------------------------------------
+
+TEST(CellularScenario, EveryUserIsCovered) {
+  CellularInstance inst = random_cellular(15, 4, 0.3, 11);
+  CellularModel model(inst);
+  for (std::size_t u = 0; u < inst.users; ++u) {
+    EXPECT_GE(model.graph().vertex_degree(u), 1u)
+        << "user " << u << " has no covering station";
+  }
+}
+
+TEST(CellularScenario, DecisionsArePerUserDistributions) {
+  CellularModel model(random_cellular(10, 4, 0.35, 13));
+  const nn::Tensor y =
+      model.decisions(nn::constant(model.graph().incidence_matrix()))
+          ->value();
+  EXPECT_EQ(y.rows(), 10u);   // one row per user
+  EXPECT_EQ(y.cols(), 4u);    // over stations
+  expect_rows_are_distributions(y);
+}
+
+TEST(CellularScenario, StrongerSignalAttractsAssociation) {
+  // Hand-built: user0 covered by both stations, signal much stronger to
+  // station0; the full-mask association must prefer station0.
+  CellularInstance inst;
+  inst.users = 1;
+  inst.stations = 2;
+  inst.capacity = {1.0, 1.0};
+  inst.demand = {0.5};
+  inst.signal = {{0.9}, {0.2}};
+  CellularModel model(inst);
+  const nn::Tensor y =
+      model.decisions(nn::constant(model.graph().incidence_matrix()))
+          ->value();
+  EXPECT_GT(y(0, 0), y(0, 1));
+}
+
+TEST(CellularScenario, SoleCoverageIsMoreCriticalThanRedundant) {
+  // user0: only station0 covers it. user1: both stations cover it with
+  // comparable signal. The (station0, user0) connection must out-rank
+  // both of user1's.
+  CellularInstance inst;
+  inst.users = 2;
+  inst.stations = 2;
+  inst.capacity = {1.0, 1.0};
+  inst.demand = {0.5, 0.5};
+  inst.signal = {{0.8, 0.55}, {0.0, 0.6}};
+  CellularModel model(inst);
+  core::InterpretConfig cfg;
+  cfg.steps = 300;
+  const auto interp = core::find_critical_connections(model, cfg);
+  EXPECT_GT(mask_of(interp, 0, 0), mask_of(interp, 0, 1));
+  EXPECT_GT(mask_of(interp, 0, 0), mask_of(interp, 1, 1));
+}
+
+// ---- Cluster scheduling (B.3) -------------------------------------------------
+
+TEST(ClusterScenario, LayeredJobShape) {
+  ClusterJob job = random_job(3, 4, 7);
+  EXPECT_EQ(job.stages, 12u);
+  EXPECT_EQ(job.deps.size(), 8u);  // one dependency per non-root stage
+  for (const auto& dep : job.deps) {
+    EXPECT_FALSE(dep.parents.empty());
+    for (std::size_t p : dep.parents) EXPECT_LT(p, dep.child);
+  }
+}
+
+TEST(ClusterScenario, DecisionIsOneAllocationRow) {
+  ClusterSchedulingModel model(random_job(3, 3, 5));
+  const nn::Tensor y =
+      model.decisions(nn::constant(model.graph().incidence_matrix()))
+          ->value();
+  EXPECT_EQ(y.rows(), 1u);
+  EXPECT_EQ(y.cols(), 9u);
+  expect_rows_are_distributions(y);
+}
+
+TEST(ClusterScenario, HeavyDependencyOutranksLight) {
+  // Two stages, two dependencies: dep0 carries 10x the data of dep1. Its
+  // connections must earn higher masks.
+  ClusterJob job;
+  job.stages = 4;
+  job.work = {0.5, 0.5, 0.5, 0.5};
+  job.deps.push_back({2, {0}, 2.5});
+  job.deps.push_back({3, {1}, 0.25});
+  ClusterSchedulingModel model(job);
+  core::InterpretConfig cfg;
+  cfg.steps = 300;
+  const auto interp = core::find_critical_connections(model, cfg);
+  EXPECT_GT(mask_of(interp, 0, 2), mask_of(interp, 1, 3));
+}
+
+// ---- cross-scenario properties ------------------------------------------------
+
+class ScenarioMaskProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioMaskProperty, MasksStayInsideIncidenceSupport) {
+  const int which = GetParam();
+  std::unique_ptr<core::MaskableModel> model;
+  switch (which) {
+    case 0:
+      model = std::make_unique<NfvPlacementModel>(random_nfv(5, 4, 31));
+      break;
+    case 1:
+      model = std::make_unique<CellularModel>(
+          random_cellular(8, 3, 0.4, 37));
+      break;
+    default:
+      model =
+          std::make_unique<ClusterSchedulingModel>(random_job(3, 3, 41));
+      break;
+  }
+  core::InterpretConfig cfg;
+  cfg.steps = 150;
+  const auto interp = core::find_critical_connections(*model, cfg);
+  const nn::Tensor inc = model->graph().incidence_matrix();
+  for (std::size_t e = 0; e < inc.rows(); ++e) {
+    for (std::size_t v = 0; v < inc.cols(); ++v) {
+      EXPECT_GE(interp.mask(e, v), 0.0);
+      EXPECT_LE(interp.mask(e, v), inc(e, v) + 1e-12)
+          << "mask escaped the incidence support at (" << e << "," << v
+          << ")";
+    }
+  }
+  // Ranked list covers exactly the hypergraph's connections.
+  EXPECT_EQ(interp.ranked.size(), model->graph().connection_count());
+  for (std::size_t i = 1; i < interp.ranked.size(); ++i) {
+    EXPECT_GE(interp.ranked[i - 1].mask, interp.ranked[i].mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioMaskProperty,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace

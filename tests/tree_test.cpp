@@ -1,0 +1,555 @@
+// Tests for the CART trees, CCP pruning, IO round-trips, and the flat
+// deployment representation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "metis/tree/cart.h"
+#include "metis/tree/dataset.h"
+#include "metis/tree/flat_tree.h"
+#include "metis/tree/prune.h"
+#include "metis/tree/tree_io.h"
+#include "metis/util/rng.h"
+
+namespace metis::tree {
+namespace {
+
+// y = 1 iff x0 > 0.5, with x1 pure noise.
+Dataset threshold_dataset(std::size_t n, metis::Rng& rng) {
+  Dataset d;
+  d.feature_names = {"x0", "x1"};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    d.add({x0, x1}, x0 > 0.5 ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+// Checkerboard: y = xor(x0>0.5, x1>0.5) — needs depth >= 2.
+Dataset xor_dataset(std::size_t n, metis::Rng& rng) {
+  Dataset d;
+  d.feature_names = {"x0", "x1"};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    const bool label = (x0 > 0.5) != (x1 > 0.5);
+    d.add({x0, x1}, label ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+TEST(Dataset, AddAndValidate) {
+  Dataset d;
+  d.add({1.0, 2.0}, 0.0);
+  d.add({3.0, 4.0}, 1.0, 2.5);
+  d.validate();
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.weight_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.weight_of(1), 2.5);
+  EXPECT_EQ(d.class_count(), 2u);
+}
+
+TEST(Dataset, RejectsRaggedRows) {
+  Dataset d;
+  d.add({1.0, 2.0}, 0.0);
+  EXPECT_THROW(d.add({1.0}, 0.0), std::logic_error);
+}
+
+TEST(Dataset, RejectsNonPositiveWeight) {
+  Dataset d;
+  EXPECT_THROW(d.add({1.0}, 0.0, 0.0), std::logic_error);
+}
+
+TEST(Dataset, ClassFrequenciesWeighted) {
+  Dataset d;
+  d.add({0.0}, 0.0, 3.0);
+  d.add({1.0}, 1.0, 1.0);
+  auto freq = d.class_frequencies();
+  EXPECT_DOUBLE_EQ(freq[0], 0.75);
+  EXPECT_DOUBLE_EQ(freq[1], 0.25);
+}
+
+TEST(Dataset, OversampleRaisesClassFrequency) {
+  metis::Rng rng(1);
+  Dataset d;
+  for (int i = 0; i < 990; ++i) d.add({rng.uniform()}, 0.0);
+  for (int i = 0; i < 10; ++i) d.add({rng.uniform()}, 1.0);
+  Dataset o = d.oversample_class(1, 0.05);
+  EXPECT_GE(o.class_frequencies()[1], 0.05);
+  // Majority class rows are untouched.
+  EXPECT_DOUBLE_EQ(o.class_frequencies()[0] + o.class_frequencies()[1], 1.0);
+}
+
+TEST(Dataset, OversampleNoopWhenAlreadyFrequent) {
+  Dataset d;
+  d.add({0.0}, 0.0);
+  d.add({1.0}, 1.0);
+  Dataset o = d.oversample_class(1, 0.3);
+  EXPECT_EQ(o.size(), d.size());
+}
+
+TEST(Cart, LearnsSingleThreshold) {
+  metis::Rng rng(2);
+  Dataset d = threshold_dataset(500, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  EXPECT_GE(t.accuracy(d), 0.999);
+  // The first split should be on x0 near 0.5.
+  ASSERT_FALSE(t.root()->is_leaf());
+  EXPECT_EQ(t.root()->feature, 0);
+  EXPECT_NEAR(t.root()->threshold, 0.5, 0.05);
+}
+
+TEST(Cart, LearnsXorWithDepthTwo) {
+  metis::Rng rng(3);
+  Dataset d = xor_dataset(800, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  EXPECT_GE(t.accuracy(d), 0.99);
+  EXPECT_GE(t.depth(), 2u);
+}
+
+TEST(Cart, RespectsMaxDepth) {
+  metis::Rng rng(4);
+  Dataset d = xor_dataset(500, rng);
+  FitConfig cfg;
+  cfg.max_depth = 1;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  EXPECT_LE(t.depth(), 1u);
+}
+
+TEST(Cart, RespectsMinSamplesLeaf) {
+  metis::Rng rng(5);
+  Dataset d = threshold_dataset(100, rng);
+  FitConfig cfg;
+  cfg.min_samples_leaf = 40;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  // Any leaf must hold >= 40 samples; with 100 samples that caps leaves at 2.
+  EXPECT_LE(t.leaf_count(), 2u);
+}
+
+TEST(Cart, WeightsInfluenceSplits) {
+  // Two conflicting labels at the same x; weight decides the majority.
+  Dataset d;
+  d.add({0.0}, 0.0, 10.0);
+  d.add({0.0}, 1.0, 1.0);
+  d.add({1.0}, 1.0, 1.0);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{0.0}), 0.0);
+}
+
+TEST(Cart, RegressionFitsPiecewiseConstant) {
+  metis::Rng rng(6);
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform();
+    d.add({x}, x > 0.5 ? 10.0 : -10.0);
+  }
+  FitConfig cfg;
+  cfg.task = Task::kRegression;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  EXPECT_NEAR(t.predict(std::vector<double>{0.2}), -10.0, 1e-9);
+  EXPECT_NEAR(t.predict(std::vector<double>{0.9}), 10.0, 1e-9);
+  EXPECT_LT(t.rmse(d), 1e-9);
+}
+
+TEST(Cart, RegressionPredictsMeanOnNoise) {
+  metis::Rng rng(7);
+  Dataset d;
+  for (int i = 0; i < 200; ++i) d.add({0.5}, rng.normal(3.0, 1.0));
+  FitConfig cfg;
+  cfg.task = Task::kRegression;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  // x is constant, so no split is possible: prediction = global mean.
+  EXPECT_EQ(t.leaf_count(), 1u);
+  EXPECT_NEAR(t.predict(std::vector<double>{0.5}), 3.0, 0.25);
+}
+
+TEST(Cart, PredictDistributionNormalized) {
+  metis::Rng rng(8);
+  Dataset d = threshold_dataset(200, rng);
+  FitConfig cfg;
+  cfg.max_depth = 2;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  auto dist = t.predict_distribution(std::vector<double>{0.7, 0.1});
+  double total = 0.0;
+  for (double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Cart, EmptyDatasetRejected) {
+  Dataset d;
+  FitConfig cfg;
+  EXPECT_THROW(DecisionTree::fit(d, cfg), std::logic_error);
+}
+
+TEST(Prune, ReducesToRequestedLeafCount) {
+  metis::Rng rng(9);
+  Dataset d = xor_dataset(600, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  const std::size_t before = t.leaf_count();
+  ASSERT_GT(before, 6u);
+  prune_to_leaf_count(t, 6);
+  EXPECT_LE(t.leaf_count(), 6u);
+  // XOR is representable with 4 leaves, but CART's greedy root split on
+  // XOR data is arbitrary (zero marginal gain), so allow a small budget of
+  // extra leaves; CCP must still keep the informative splits.
+  EXPECT_GE(t.accuracy(d), 0.9);
+}
+
+TEST(Prune, PruneToOneLeafGivesMajority) {
+  metis::Rng rng(10);
+  Dataset d = threshold_dataset(100, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  prune_to_leaf_count(t, 1);
+  EXPECT_EQ(t.leaf_count(), 1u);
+  EXPECT_TRUE(t.root()->is_leaf());
+}
+
+TEST(Prune, WeakestLinkNonNegativeOnFittedTree) {
+  metis::Rng rng(11);
+  Dataset d = xor_dataset(300, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  ASSERT_FALSE(t.root()->is_leaf());
+  EXPECT_GE(weakest_link_value(*t.root()), -1e-9);
+}
+
+TEST(Prune, AlphaZeroKeepsUsefulSplits) {
+  metis::Rng rng(12);
+  Dataset d = threshold_dataset(400, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  prune_with_alpha(t, 0.0);
+  // The x0 split genuinely reduces error, so it must survive alpha = 0.
+  EXPECT_GE(t.accuracy(d), 0.999);
+}
+
+TEST(Prune, LargeAlphaCollapsesEverything) {
+  metis::Rng rng(13);
+  Dataset d = xor_dataset(300, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  prune_with_alpha(t, 1e9);
+  EXPECT_EQ(t.leaf_count(), 1u);
+}
+
+TEST(TreeIo, SerializeRoundTripPreservesPredictions) {
+  metis::Rng rng(14);
+  Dataset d = xor_dataset(400, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  DecisionTree copy = deserialize(serialize(t));
+  EXPECT_EQ(copy.leaf_count(), t.leaf_count());
+  EXPECT_EQ(copy.class_count(), t.class_count());
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x = {rng.uniform(), rng.uniform()};
+    EXPECT_DOUBLE_EQ(copy.predict(x), t.predict(x));
+  }
+}
+
+TEST(TreeIo, RegressionRoundTrip) {
+  metis::Rng rng(15);
+  Dataset d;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform();
+    d.add({x}, 3.0 * x);
+  }
+  FitConfig cfg;
+  cfg.task = Task::kRegression;
+  cfg.max_depth = 4;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  DecisionTree copy = deserialize(serialize(t));
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> x = {rng.uniform()};
+    EXPECT_DOUBLE_EQ(copy.predict(x), t.predict(x));
+  }
+}
+
+TEST(TreeIo, DeserializeRejectsGarbage) {
+  EXPECT_THROW(deserialize("not-a-tree"), std::logic_error);
+}
+
+TEST(TreeIo, PrintShowsFeatureNamesAndLabels) {
+  metis::Rng rng(16);
+  Dataset d = threshold_dataset(300, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  std::ostringstream os;
+  PrintOptions opts;
+  opts.class_labels = {"low", "high"};
+  print_tree(t, os, opts);
+  EXPECT_NE(os.str().find("x0 <= "), std::string::npos);
+  EXPECT_NE(os.str().find("high"), std::string::npos);
+}
+
+TEST(TreeIo, ExplainDecisionTracesPath) {
+  metis::Rng rng(17);
+  Dataset d = threshold_dataset(300, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  PrintOptions opts;
+  opts.class_labels = {"low", "high"};
+  const std::string rule =
+      explain_decision(t, std::vector<double>{0.9, 0.5}, opts);
+  EXPECT_NE(rule.find("x0"), std::string::npos);
+  EXPECT_NE(rule.find("-> high"), std::string::npos);
+}
+
+TEST(FlatTree, MatchesPointerTreeEverywhere) {
+  metis::Rng rng(18);
+  Dataset d = xor_dataset(500, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  FlatTree flat = FlatTree::compile(t);
+  EXPECT_EQ(flat.node_count(), t.node_count());
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x = {rng.uniform(), rng.uniform()};
+    EXPECT_DOUBLE_EQ(flat.predict(x), t.predict(x));
+  }
+}
+
+TEST(FlatTree, MemoryFootprintScalesWithNodes) {
+  metis::Rng rng(19);
+  Dataset d = xor_dataset(500, rng);
+  FitConfig cfg;
+  DecisionTree big = DecisionTree::fit(d, cfg);
+  FitConfig small_cfg;
+  small_cfg.max_depth = 1;
+  DecisionTree small = DecisionTree::fit(d, small_cfg);
+  FlatTree fb = FlatTree::compile(big);
+  FlatTree fs = FlatTree::compile(small);
+  EXPECT_GT(fb.memory_bytes(), fs.memory_bytes());
+  EXPECT_EQ(fs.memory_bytes(), fs.node_count() * (4 + 8 + 4 + 4));
+}
+
+// Property sweep: pruning never increases leaf count and never breaks
+// prediction validity, across a range of leaf budgets.
+class PruneSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PruneSweep, PrunedTreePredictsValidClasses) {
+  metis::Rng rng(20);
+  Dataset d = xor_dataset(600, rng);
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  prune_to_leaf_count(t, GetParam());
+  EXPECT_LE(t.leaf_count(), GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const double p = t.predict(std::vector<double>{rng.uniform(),
+                                                   rng.uniform()});
+    EXPECT_TRUE(p == 0.0 || p == 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafBudgets, PruneSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+
+// ---- clone -------------------------------------------------------------------
+
+TEST(Clone, DeepCopyIsIndependent) {
+  Dataset d;
+  metis::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.add({x, rng.uniform(0.0, 1.0)}, x > 0.5 ? 1.0 : 0.0);
+  }
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  DecisionTree c = t.clone();
+  EXPECT_EQ(c.leaf_count(), t.leaf_count());
+  EXPECT_EQ(c.node_count(), t.node_count());
+  EXPECT_EQ(c.class_count(), t.class_count());
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> x = {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    EXPECT_DOUBLE_EQ(c.predict(x), t.predict(x));
+  }
+  // Pruning the clone must not disturb the original.
+  const std::size_t before = t.leaf_count();
+  prune_to_leaf_count(c, 2);
+  EXPECT_EQ(t.leaf_count(), before);
+  EXPECT_LE(c.leaf_count(), 2u);
+}
+
+TEST(Clone, PreservesClassDistributions) {
+  Dataset d;
+  for (int i = 0; i < 60; ++i) {
+    d.add({static_cast<double>(i % 3)}, static_cast<double>(i % 3));
+  }
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  DecisionTree c = t.clone();
+  const std::vector<double> probe = {1.0};
+  EXPECT_EQ(c.predict_distribution(probe), t.predict_distribution(probe));
+}
+
+
+// ---- C code emission (the §6.4 SmartNIC artifact) -----------------------------
+
+TEST(EmitC, ClassificationTreeEmitsBranchesAndReturns) {
+  Dataset d;
+  d.feature_names = {"size", "sent"};
+  for (int i = 0; i < 100; ++i) {
+    const double size = i * 0.01;
+    d.add({size, 0.5}, size > 0.5 ? 1.0 : 0.0);
+  }
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  const std::string src = emit_c_source(t, "tree_priority");
+  EXPECT_NE(src.find("int tree_priority(const double* x)"),
+            std::string::npos);
+  EXPECT_NE(src.find("if (x[0] <="), std::string::npos);
+  EXPECT_NE(src.find("/* size */"), std::string::npos);
+  // One return per leaf; one if per internal node.
+  std::size_t returns = 0, ifs = 0;
+  for (std::size_t p = src.find("return"); p != std::string::npos;
+       p = src.find("return", p + 1)) {
+    ++returns;
+  }
+  for (std::size_t p = src.find("if ("); p != std::string::npos;
+       p = src.find("if (", p + 1)) {
+    ++ifs;
+  }
+  EXPECT_EQ(returns, t.leaf_count());
+  EXPECT_EQ(ifs, t.node_count() - t.leaf_count());
+  // Balanced braces.
+  long depth = 0;
+  for (char c : src) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(EmitC, RegressionTreeReturnsDouble) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) d.add({i * 0.1}, i * 0.05);
+  FitConfig cfg;
+  cfg.task = Task::kRegression;
+  cfg.max_depth = 3;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  const std::string src = emit_c_source(t, "threshold_bytes");
+  EXPECT_NE(src.find("double threshold_bytes(const double* x)"),
+            std::string::npos);
+  EXPECT_EQ(src.find("int threshold_bytes"), std::string::npos);
+}
+
+TEST(EmitC, MirrorsTreePredictions) {
+  // The emitted source is exact: evaluate it with a tiny interpreter on
+  // the same inputs and compare with predict(). (We parse our own output
+  // rather than invoking a C compiler in the test environment.)
+  Dataset d;
+  metis::Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.0, 1.0), b = rng.uniform(0.0, 1.0);
+    d.add({a, b}, a > 0.6 ? 2.0 : (b > 0.3 ? 1.0 : 0.0));
+  }
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  const std::string src = emit_c_source(t, "f");
+
+  // Interpreter over the emitted text: walk lines, maintain a stack.
+  auto eval = [&](const std::vector<double>& x) -> int {
+    std::istringstream in(src);
+    std::string line;
+    int suppress = 0;  // depth of branches we are skipping
+    while (std::getline(in, line)) {
+      const auto ifpos = line.find("if (x[");
+      const auto elsepos = line.find("} else {");
+      const auto retpos = line.find("return ");
+      if (suppress > 0) {
+        if (ifpos != std::string::npos) {
+          ++suppress;
+        } else if (elsepos != std::string::npos) {
+          // entering the else of the suppressed if at depth 1 resumes
+          if (suppress == 1) suppress = 0;
+        } else if (line.find('}') != std::string::npos) {
+          --suppress;
+        }
+        continue;
+      }
+      if (ifpos != std::string::npos) {
+        const std::size_t fi = std::stoul(line.substr(ifpos + 6));
+        const double th = std::stod(line.substr(line.find("<=") + 2));
+        if (x[fi] <= th) {
+          continue;          // take the then-branch
+        }
+        suppress = 1;        // skip until the matching else
+        continue;
+      }
+      if (elsepos != std::string::npos) {
+        suppress = 1;        // we already took the then-branch: skip else
+        continue;
+      }
+      if (retpos != std::string::npos) {
+        return std::stoi(line.substr(retpos + 7));
+      }
+    }
+    ADD_FAILURE() << "no return reached";
+    return -1;
+  };
+
+  metis::Rng probe(23);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x = {probe.uniform(0.0, 1.0),
+                             probe.uniform(0.0, 1.0)};
+    EXPECT_EQ(eval(x), static_cast<int>(t.predict(x)));
+  }
+}
+
+
+TEST(CollapseRedundant, MergesEqualPredictionLeaves) {
+  // Build by hand: root splits, both children predict class 1 (with
+  // different class distributions, as CCP can leave behind).
+  auto left = std::make_unique<TreeNode>();
+  left->prediction = 1.0;
+  left->class_weights = {1.0, 5.0};
+  auto right = std::make_unique<TreeNode>();
+  right->prediction = 1.0;
+  right->class_weights = {2.0, 3.0};
+  auto root = std::make_unique<TreeNode>();
+  root->feature = 0;
+  root->threshold = 0.5;
+  root->prediction = 1.0;
+  root->class_weights = {3.0, 8.0};
+  root->left = std::move(left);
+  root->right = std::move(right);
+  DecisionTree t = DecisionTree::from_parts(std::move(root),
+                                            Task::kClassification, 2, {"x"});
+  EXPECT_EQ(t.leaf_count(), 2u);
+  EXPECT_EQ(collapse_redundant_splits(t), 1u);
+  EXPECT_EQ(t.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{0.1}), 1.0);
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{0.9}), 1.0);
+}
+
+TEST(CollapseRedundant, PreservesPredictionsOnRealTree) {
+  Dataset d;
+  metis::Rng rng(29);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(0.0, 1.0), b = rng.uniform(0.0, 1.0);
+    d.add({a, b}, a > 0.5 ? 1.0 : 0.0);
+  }
+  FitConfig cfg;
+  DecisionTree t = DecisionTree::fit(d, cfg);
+  prune_to_leaf_count(t, 12);
+  DecisionTree before = t.clone();
+  collapse_redundant_splits(t);
+  EXPECT_LE(t.leaf_count(), before.leaf_count());
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    EXPECT_DOUBLE_EQ(t.predict(x), before.predict(x));
+  }
+}
+
+}  // namespace
+}  // namespace metis::tree
+
+
+

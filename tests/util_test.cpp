@@ -1,0 +1,220 @@
+// Unit + property tests for metis/util: RNG distributions, statistics, and
+// the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "metis/util/check.h"
+#include "metis/util/rng.h"
+#include "metis/util/stats.h"
+#include "metis/util/table.h"
+
+namespace metis {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    MET_CHECK_MSG(1 == 2, "custom context");
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(st.mean(), 2.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(17);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.exponential(0.5));
+  EXPECT_NEAR(st.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(1.5, 2.0), 1.5);
+}
+
+TEST(Rng, CategoricalMatchesWeights) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / double(n), 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsAllZeroWeights) {
+  Rng rng(29);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::logic_error);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(31);
+  auto p = rng.permutation(50);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng a(5);
+  Rng b = a.split();
+  Rng c = a.split();
+  EXPECT_NE(b.next_u64(), c.next_u64());
+}
+
+TEST(Stats, MeanAndVariance) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  std::vector<double> xs;
+  EXPECT_THROW((void)mean(xs), std::logic_error);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  std::vector<double> xs = {3.14};
+  EXPECT_DOUBLE_EQ(percentile(xs, 99), 3.14);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  std::vector<double> xs = {1, 1, 1};
+  std::vector<double> ys = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, EmpiricalCdfSortedAndNormalized) {
+  std::vector<double> xs = {3, 1, 2};
+  Cdf cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.values.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(cdf.values[2], 3.0);
+  EXPECT_DOUBLE_EQ(cdf.cum_fraction.back(), 1.0);
+}
+
+TEST(Stats, FractionBelow) {
+  std::vector<double> xs = {0.1, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 0.5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fraction_below({}, 1.0), 0.0);
+}
+
+TEST(Stats, HistogramFrequenciesSumToOne) {
+  Rng rng(37);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform());
+  Histogram h = histogram(xs, 0.0, 1.0, 10);
+  double total = 0.0;
+  for (double f : h.frequency) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(h.bin_edges.size(), 11u);
+}
+
+TEST(Stats, HistogramClampsOutOfRange) {
+  std::vector<double> xs = {-5.0, 10.0};
+  Histogram h = histogram(xs, 0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.frequency.front(), 0.5);
+  EXPECT_DOUBLE_EQ(h.frequency.back(), 0.5);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(41);
+  std::vector<double> xs;
+  RunningStats st;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(1.0, 2.0);
+    xs.push_back(x);
+    st.add(x);
+  }
+  EXPECT_NEAR(st.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(st.variance(), variance(xs), 1e-9);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.23456, 2)});
+  t.add_row({"bb", Table::pct(0.051)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("5.10%"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace metis
