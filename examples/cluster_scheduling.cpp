@@ -1,5 +1,5 @@
-// Appendix B.3 walkthrough: interpret a cluster DAG scheduler with the
-// hypergraph formulation.
+// Appendix B.3 walkthrough through the facade: interpret a cluster DAG
+// scheduler with the hypergraph formulation.
 //
 // A Spark-style job is a layered DAG of stages; each data dependency is a
 // hyperedge over the child stage and its parents. The §4.2 search tells
@@ -9,17 +9,27 @@
 // Run:  ./examples/cluster_scheduling
 #include <iostream>
 
-#include "metis/core/hypergraph_interpreter.h"
+#include "metis/api/interpreter.h"
 #include "metis/scenarios/cluster.h"
 #include "metis/util/table.h"
 
 int main() {
   using namespace metis;
 
-  // A 4-layer, 3-wide job; one heavy dependency per layer.
-  scenarios::ClusterJob job = scenarios::random_job(4, 3, 2026);
-  scenarios::ClusterSchedulingModel model(job);
-  const auto& graph = model.graph();
+  Interpreter metis;
+  auto run = metis.interpret_hypergraph("cluster");
+  const auto& graph = run.system.model->graph();
+
+  // The facade's "cluster" scenario is backed by a ClusterSchedulingModel;
+  // downcast to read the generated job.
+  const auto* model =
+      dynamic_cast<const scenarios::ClusterSchedulingModel*>(
+          run.system.model.get());
+  if (model == nullptr) {
+    std::cerr << "unexpected model type behind the 'cluster' scenario\n";
+    return 1;
+  }
+  const scenarios::ClusterJob& job = model->job();
 
   std::cout << "job: " << job.stages << " stages, " << job.deps.size()
             << " dependencies, " << graph.connection_count()
@@ -34,15 +44,11 @@ int main() {
     std::cout << "}  data=" << job.deps[e].data << "\n";
   }
 
-  core::InterpretConfig cfg;  // Table-4 defaults
-  cfg.steps = 300;
-  const auto interp = core::find_critical_connections(model, cfg);
-
   std::cout << "\ncritical (dependency, stage) connections:\n";
   Table table({"#", "dependency", "stage", "mask W_ev"});
-  for (std::size_t i = 0; i < std::min<std::size_t>(6, interp.ranked.size());
-       ++i) {
-    const auto& c = interp.ranked[i];
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(6, run.result.ranked.size()); ++i) {
+    const auto& c = run.result.ranked[i];
     table.add_row({std::to_string(i + 1), graph.edge_names[c.edge],
                    graph.vertex_names[c.vertex], Table::num(c.mask)});
   }

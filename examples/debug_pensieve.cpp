@@ -1,7 +1,7 @@
-// The §6.3 debugging walkthrough: use Metis' conversion to *find and fix*
-// a trained DNN's pathology.
+// The §6.3 debugging walkthrough through the facade: use Metis'
+// conversion to *find and fix* a trained DNN's pathology.
 //
-//   1. Train the Pensieve teacher and distill it.
+//   1. Distill the "abr" scenario (teacher training included).
 //   2. Diagnose: the distillation dataset exposes which bitrates the RL
 //      policy has starved (the paper found 1200/2850 kbps; our teacher
 //      starves the top of the ladder).
@@ -12,59 +12,26 @@
 // Run:  ./examples/debug_pensieve
 #include <iostream>
 
-#include "metis/abr/distill_adapter.h"
-#include "metis/abr/env.h"
-#include "metis/abr/pensieve.h"
+#include "metis/abr/scenario.h"
 #include "metis/abr/trace_gen.h"
 #include "metis/abr/tree_policy.h"
-#include "metis/core/distill.h"
-#include "metis/util/stats.h"
+#include "metis/api/interpreter.h"
 #include "metis/util/table.h"
 
 int main() {
   using namespace metis;
 
-  abr::Video video(48, 7);
-  abr::TraceGenConfig tcfg;
-  tcfg.family = abr::TraceFamily::kHsdpa;
-  tcfg.duration_seconds = 1000.0;
-  auto corpus = abr::generate_corpus(tcfg, 16, 100);
-  {
-    abr::TraceGenConfig fcc = tcfg;
-    fcc.family = abr::TraceFamily::kFcc;
-    auto extra = abr::generate_corpus(fcc, 8, 200);
-    corpus.insert(corpus.end(), extra.begin(), extra.end());
-  }
-  abr::AbrEnv env(video, corpus);
-
   std::cout << "=== 1. teacher + distillation ===\n";
-  abr::PensieveConfig pc;
-  pc.seed = 3;
-  pc.train.episodes = 300;
-  pc.train.max_steps = 60;
-  pc.train.actor_lr = 1e-4;
-  pc.train.entropy_bonus = 0.005;
-  abr::PensieveAgent agent(pc);
-  abr::PensieveAgent::PretrainConfig pt;
-  pt.offsets_per_trace = 1;
-  agent.pretrain(env, pt);
-  agent.train(env);
-
-  core::PolicyNetTeacher teacher(&agent.net());
-  abr::AbrRolloutEnv rollout(&env);
-  core::DistillConfig dc;
-  dc.collect.episodes = 24;
-  dc.collect.max_steps = 60;
-  dc.max_leaves = 200;
-  dc.feature_names = abr::tree_feature_names();
-  auto distilled = core::distill_policy(teacher, rollout, dc);
-  std::cout << "  tree: " << distilled.tree.leaf_count()
-            << " leaves, fidelity " << distilled.fidelity * 100.0 << "%\n\n";
+  Interpreter metis;
+  auto run = metis.distill("abr");
+  auto ctx = abr::abr_context(run.system);
+  std::cout << "  tree: " << run.result.tree.leaf_count()
+            << " leaves, fidelity " << run.result.fidelity * 100.0 << "%\n\n";
 
   std::cout << "=== 2. diagnose: action starvation in the dataset ===\n";
   static const char* kLabels[] = {"300kbps",  "750kbps",  "1200kbps",
                                   "1850kbps", "2850kbps", "4300kbps"};
-  const auto freq = distilled.train_data.class_frequencies();
+  const auto freq = run.result.train_data.class_frequencies();
   std::vector<std::size_t> starved;
   for (std::size_t c = 0; c < freq.size(); ++c) {
     std::cout << "  " << kLabels[c] << ": " << freq[c] * 100.0 << "%"
@@ -79,22 +46,21 @@ int main() {
 
   std::cout << "\n=== 3. fix: oversample the starved classes ===\n";
   tree::DecisionTree fixed =
-      core::refit_with_oversampling(distilled, starved, 0.01, dc);
+      core::refit_with_oversampling(run.result, starved, 0.01, run.config);
   std::cout << "  refit tree: " << fixed.leaf_count() << " leaves\n\n";
 
   std::cout << "=== 4. verify on links where the starved bitrate wins ===\n";
-  abr::TreeAbrPolicy plain(distilled.tree, "Metis+Pensieve");
+  abr::TreeAbrPolicy plain(run.result.tree, "Metis+Pensieve");
   abr::TreeAbrPolicy repaired(fixed, "Metis+Pensieve-O");
   Table table({"fixed link", "plain tree QoE", "oversampled QoE"});
   for (std::size_t c : starved) {
     // A link just above the starved bitrate: picking it is optimal.
-    const double kbps =
-        abr::bitrate_ladder_kbps()[c] * 1.05 + 150.0;
+    const double kbps = abr::bitrate_ladder_kbps()[c] * 1.05 + 150.0;
     abr::NetworkTrace link = abr::fixed_trace(kbps, 800.0);
     const double q_plain =
-        abr::run_abr_episode(video, link, plain).mean_qoe();
+        abr::run_abr_episode(ctx->video, link, plain).mean_qoe();
     const double q_fixed =
-        abr::run_abr_episode(video, link, repaired).mean_qoe();
+        abr::run_abr_episode(ctx->video, link, repaired).mean_qoe();
     table.add_row({std::to_string(static_cast<int>(kbps)) + " kbps",
                    Table::num(q_plain), Table::num(q_fixed)});
   }

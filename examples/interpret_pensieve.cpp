@@ -1,19 +1,22 @@
-// Full local-system walkthrough (the paper's §6.1 + §6.4 storyline):
-// train Pensieve, distill it with Metis, compare the tree against the DNN
-// and the five classic ABR heuristics on held-out traces, and report the
-// deployment footprint of both models.
+// Full local-system walkthrough (the paper's §6.1 + §6.4 storyline)
+// through the facade: distill the "abr" scenario, compare the tree against
+// the DNN and the five classic ABR heuristics on held-out traces, and
+// report the deployment footprint of both models.
+//
+// The facade owns the teacher recipe (behavior cloning from the causal MPC
+// expert + A2C finetune) and the §3.2 conversion; this example only adds
+// the held-out evaluation — everything it needs beyond the tree comes from
+// the scenario's backing context.
 //
 // Run:  ./examples/interpret_pensieve
 #include <iomanip>
 #include <iostream>
 
 #include "metis/abr/baselines.h"
-#include "metis/abr/distill_adapter.h"
-#include "metis/abr/env.h"
-#include "metis/abr/pensieve.h"
+#include "metis/abr/scenario.h"
 #include "metis/abr/trace_gen.h"
 #include "metis/abr/tree_policy.h"
-#include "metis/core/distill.h"
+#include "metis/api/interpreter.h"
 #include "metis/nn/layers.h"
 #include "metis/tree/flat_tree.h"
 #include "metis/tree/tree_io.h"
@@ -38,58 +41,37 @@ double mean_qoe(metis::abr::AbrPolicy& policy, const metis::abr::Video& video,
 int main() {
   using namespace metis;
 
-  abr::Video video(48, 7);
-  abr::TraceGenConfig tcfg;
-  tcfg.family = abr::TraceFamily::kHsdpa;
-  tcfg.duration_seconds = 1000.0;
-  auto train_corpus = abr::generate_corpus(tcfg, 24, 100);
-  auto test_corpus = abr::generate_corpus(tcfg, 16, 999);  // held out
-
-  std::cout << "=== Step 1: train the Pensieve teacher ===\n";
-  abr::AbrEnv env(video, train_corpus);
-  abr::PensieveConfig pc;
-  pc.seed = 3;
-  pc.train.episodes = 300;
-  pc.train.max_steps = 60;
-  pc.train.actor_lr = 1e-4;
-  pc.train.entropy_bonus = 0.005;
-  abr::PensieveAgent agent(pc);
-  abr::PensieveAgent::PretrainConfig pt;
-  pt.offsets_per_trace = 1;
-  agent.pretrain(env, pt);  // clone the causal MPC expert first
-  agent.train(env);         // then A2C-finetune
-
-  std::cout << "=== Step 2: Metis distillation ===\n";
-  core::PolicyNetTeacher teacher(&agent.net());
-  abr::AbrRolloutEnv rollout(&env);
-  core::DistillConfig dc;
-  dc.collect.episodes = 24;
-  dc.collect.max_steps = 60;
-  dc.dagger_iterations = 3;
-  dc.max_leaves = 200;  // the paper's Pensieve setting (Table 4)
-  dc.feature_names = abr::tree_feature_names();
-  auto distilled = core::distill_policy(teacher, rollout, dc);
+  std::cout << "=== Steps 1+2: teacher training + Metis distillation ===\n";
+  Interpreter metis;
+  api::DistillOverrides o;
+  o.dagger_iterations = 3;
+  auto run = metis.distill("abr", o);
+  auto ctx = abr::abr_context(run.system);
   std::cout << "fidelity to DNN: " << std::fixed << std::setprecision(1)
-            << distilled.fidelity * 100.0 << "% over "
-            << distilled.samples_collected << " states\n\n";
+            << run.result.fidelity * 100.0 << "% over "
+            << run.result.samples_collected << " states\n\n";
 
   std::cout << "=== Step 3: the interpretable policy (Fig. 7 view) ===\n";
   tree::PrintOptions opts;
   opts.max_depth = 3;
   opts.class_labels = {"300kbps",  "750kbps",  "1200kbps",
                        "1850kbps", "2850kbps", "4300kbps"};
-  tree::print_tree(distilled.tree, std::cout, opts);
+  tree::print_tree(run.result.tree, std::cout, opts);
 
   std::cout << "\n=== Step 4: QoE on held-out traces (Fig. 15a view) ===\n";
+  abr::TraceGenConfig tcfg;
+  tcfg.family = abr::TraceFamily::kHsdpa;
+  tcfg.duration_seconds = 600.0;
+  const auto test_corpus = abr::generate_corpus(tcfg, 16, 999);  // held out
   Table table({"policy", "mean QoE/chunk"});
   for (auto& policy : abr::standard_baselines()) {
     table.add_row({policy->name(),
-                   Table::num(mean_qoe(*policy, video, test_corpus))});
+                   Table::num(mean_qoe(*policy, ctx->video, test_corpus))});
   }
-  abr::DnnAbrPolicy dnn_policy(&agent, &video);
-  abr::TreeAbrPolicy tree_policy(distilled.tree);
-  const double dnn = mean_qoe(dnn_policy, video, test_corpus);
-  const double tree_q = mean_qoe(tree_policy, video, test_corpus);
+  abr::DnnAbrPolicy dnn_policy(&ctx->agent, &ctx->video);
+  abr::TreeAbrPolicy tree_policy(run.result.tree);
+  const double dnn = mean_qoe(dnn_policy, ctx->video, test_corpus);
+  const double tree_q = mean_qoe(tree_policy, ctx->video, test_corpus);
   table.add_row({"Pensieve (DNN)", Table::num(dnn)});
   table.add_row({"Metis+Pensieve (tree)", Table::num(tree_q)});
   table.print(std::cout);
@@ -98,8 +80,9 @@ int main() {
             << std::noshowpos;
 
   std::cout << "\n=== Step 5: deployment footprint (Fig. 17b view) ===\n";
-  const std::size_t dnn_params = nn::parameter_count(agent.net().parameters());
-  tree::FlatTree flat = tree::FlatTree::compile(distilled.tree);
+  const std::size_t dnn_params =
+      nn::parameter_count(ctx->agent.net().parameters());
+  tree::FlatTree flat = tree::FlatTree::compile(run.result.tree);
   std::cout << "DNN parameters:      " << dnn_params << " ("
             << dnn_params * sizeof(double) / 1024 << " KiB)\n"
             << "tree nodes:          " << flat.node_count() << " ("

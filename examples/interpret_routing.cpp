@@ -1,61 +1,52 @@
-// Global-system walkthrough (the paper's §6.1 + §6.5 storyline): run
-// RouteNet* on NSFNet, interpret the routing hypergraph with Metis'
-// critical-connection search, print a Table-3-style ranking, and use the
-// mask values to guide an ad-hoc rerouting decision.
+// Global-system walkthrough (the paper's §6.1 + §6.5 storyline) through
+// the facade: interpret the "routing" scenario's (path, link) hypergraph
+// with the critical-connection search, print a Table-3-style ranking, and
+// use the mask values to guide an ad-hoc rerouting decision.
+//
+// The facade builds RouteNet* on NSFNet, routes a traffic matrix in
+// closed loop, and runs the §4.2 search; the scenario's backing context
+// (topology, traffic, routing result) stays reachable for the §6.5 part.
 //
 // Run:  ./examples/interpret_routing
 #include <iomanip>
 #include <iostream>
 
-#include "metis/core/hypergraph_interpreter.h"
-#include "metis/routing/routenet.h"
+#include "metis/api/interpreter.h"
+#include "metis/routing/scenario.h"
 #include "metis/util/table.h"
 
 int main() {
   using namespace metis;
 
-  std::cout << "=== Step 1: RouteNet* on NSFNet ===\n";
-  routing::Topology topo = routing::nsfnet();
-  routing::RouteNetConfig rcfg;
-  rcfg.seed = 11;
-  routing::RouteNetStar model(&topo, rcfg);
-  const double mse = model.train(1024, 300);
-  std::cout << "link-delay model trained (MSE " << std::scientific
-            << std::setprecision(2) << mse << std::fixed << ")\n";
-
-  routing::TrafficGenConfig tcfg;
-  tcfg.intensity = 0.6;
-  routing::TrafficMatrix tm = routing::generate_traffic(topo, tcfg, 42);
-  auto result = model.route(tm);
-  const double latency = routing::mean_network_latency(
-      topo, tm, result.routes(), rcfg.latency);
-  std::cout << tm.demands.size() << " demands routed, mean latency "
-            << std::setprecision(3) << latency << "\n\n";
-
-  std::cout << "=== Step 2: hypergraph interpretation (§4.2) ===\n";
-  routing::RoutingMaskModel mask_model(&model, result);
-  core::InterpretConfig icfg;  // Table 4: lambda1 = 0.25, lambda2 = 1
-  icfg.steps = 250;
-  auto interp = core::find_critical_connections(mask_model, icfg);
-  std::cout << "optimized " << interp.ranked.size()
-            << " (path, link) connections; divergence " << interp.divergence
-            << "\n\n";
+  std::cout << "=== Steps 1+2: route NSFNet and interpret the hypergraph "
+               "(§4.2) ===\n";
+  Interpreter metis;
+  auto run = metis.interpret_hypergraph("routing");
+  std::cout << "optimized " << run.result.ranked.size()
+            << " (path, link) connections; divergence "
+            << run.result.divergence << "\n\n";
 
   std::cout << "Top 5 critical connections (Table 3 view):\n";
   Table table({"#", "routing path", "link", "mask W_ve"});
-  const auto& graph = mask_model.graph();
-  for (std::size_t i = 0; i < 5 && i < interp.ranked.size(); ++i) {
-    const auto& c = interp.ranked[i];
+  const auto& graph = run.system.model->graph();
+  for (std::size_t i = 0; i < 5 && i < run.result.ranked.size(); ++i) {
+    const auto& c = run.result.ranked[i];
     table.add_row({std::to_string(i + 1), graph.edge_names[c.edge],
                    graph.vertex_names[c.vertex], Table::num(c.mask)});
   }
   table.print(std::cout);
 
   std::cout << "\n=== Step 3: ad-hoc adjustment (§6.5) ===\n";
+  // The backing context exposes what the facade built: the topology, the
+  // traffic matrix, and the closed-loop routing result.
+  auto ctx = routing::routing_context(run.system);
+  const auto& tm = ctx->tm;
+  const auto& result = ctx->mask_model->result();
+  const auto routes = result.routes();
+
   // Pick a demand with at least two alternatives that divert from the
   // chosen path at the first hop; compare their mask-based prediction with
   // measured latency.
-  const auto routes = result.routes();
   for (std::size_t e = 0; e < routes.size(); ++e) {
     const auto& cands = result.candidates[e];
     const auto& chosen = routes[e];
@@ -73,12 +64,11 @@ int main() {
     auto reroute_latency = [&](std::size_t cand) {
       auto modified = routes;
       modified[e] = cands[cand];
-      return routing::mean_network_latency(topo, tm, modified, rcfg.latency);
+      return routing::mean_network_latency(ctx->topo, tm, modified,
+                                           ctx->cfg.latency);
     };
-    const double w1 =
-        interp.mask(e, cands[alts[0]].links.front());
-    const double w2 =
-        interp.mask(e, cands[alts[1]].links.front());
+    const double w1 = run.result.mask(e, cands[alts[0]].links.front());
+    const double w2 = run.result.mask(e, cands[alts[1]].links.front());
     const double l1 = reroute_latency(alts[0]);
     const double l2 = reroute_latency(alts[1]);
 
@@ -90,8 +80,7 @@ int main() {
               << "  option B " << cands[alts[1]].name() << "  (mask at divert "
               << Table::num(w2) << ", network latency " << Table::num(l2)
               << ")\n"
-              << "  Metis recommends option "
-              << (w1 < w2 ? "A" : "B")
+              << "  Metis recommends option " << (w1 < w2 ? "A" : "B")
               << " (lower mask => less critical first hop, §6.5)\n";
     break;
   }

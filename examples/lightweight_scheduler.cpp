@@ -1,16 +1,14 @@
-// Deployment walkthrough for AuTO (the paper's §6.4 storyline): train the
-// lRLA flow-scheduling agent, distill it into a decision tree, and show
-// how the ~27x shorter decision latency enlarges per-flow coverage and
-// improves flow completion times.
+// Deployment walkthrough for AuTO (the paper's §6.4 storyline) through the
+// facade: distill the "flowsched" scenario's lRLA agent into a decision
+// tree, then show how the ~27x shorter decision latency enlarges per-flow
+// coverage and improves flow completion times.
 //
 // Run:  ./examples/lightweight_scheduler
 #include <iomanip>
 #include <iostream>
 
-#include "metis/core/distill.h"
-#include "metis/flowsched/auto_agents.h"
-#include "metis/flowsched/fabric_sim.h"
-#include "metis/flowsched/flow_gen.h"
+#include "metis/api/interpreter.h"
+#include "metis/flowsched/scenario.h"
 #include "metis/flowsched/tree_scheduler.h"
 #include "metis/tree/prune.h"
 #include "metis/tree/tree_io.h"
@@ -20,58 +18,41 @@ int main() {
   using namespace metis;
   using namespace metis::flowsched;
 
-  std::cout << "=== Step 1: workloads and teacher training ===\n";
-  FlowGenConfig gen;
-  gen.family = WorkloadFamily::kDataMining;
-  gen.load = 0.45;
-  gen.duration_s = 0.4;
-  std::vector<std::vector<Flow>> train_workloads;
-  for (std::uint64_t s = 0; s < 3; ++s) {
-    train_workloads.push_back(generate_workload(gen, 100 + s));
-  }
-  FabricConfig fabric;
-  LrlaAgent agent(fabric.mlfq.queue_count(), 7);
-  CemConfig cem;
-  cem.iterations = 5;
-  cem.population = 8;
-  agent.train(train_workloads, fabric, cem);
-  std::cout << "lRLA teacher trained on " << train_workloads.size()
-            << " workloads\n\n";
-
-  std::cout << "=== Step 2: distill the scheduler into a tree ===\n";
-  // Collect (features, priority) decisions by replaying the teacher.
-  LrlaScheduler dnn_sched(
-      [&](const Flow& f, double sent) { return agent.priority_for(f, sent); },
-      kDnnDecisionLatency);
-  FabricSim sim(fabric);
-  for (const auto& wl : train_workloads) (void)sim.run(wl, &dnn_sched);
-
-  tree::Dataset data;
-  data.feature_names = {"log_size", "log_sent", "frac_sent"};
-  for (const auto& d : dnn_sched.decisions()) {
-    data.add(d.features, static_cast<double>(d.priority));
-  }
-  tree::FitConfig fit;
-  fit.min_samples_leaf = 4;
-  tree::DecisionTree t = tree::DecisionTree::fit(data, fit);
-  if (t.leaf_count() > 50) tree::prune_to_leaf_count(t, 50);
-  std::cout << "tree: " << t.leaf_count() << " leaves, fidelity "
-            << std::fixed << std::setprecision(1) << t.accuracy(data) * 100.0
+  std::cout << "=== Steps 1+2: train the lRLA teacher and distill it ===\n";
+  Interpreter metis;
+  api::DistillOverrides o;
+  o.max_leaves = 50;
+  auto run = metis.distill("flowsched", o);
+  auto ctx = flowsched_context(run.system);
+  std::cout << "tree: " << run.result.tree.leaf_count()
+            << " leaves, fidelity " << std::fixed << std::setprecision(1)
+            << run.result.fidelity * 100.0
             << "%\n\nScheduling policy (top layers):\n";
   tree::PrintOptions opts;
   opts.max_depth = 2;
-  tree::print_tree(t, std::cout, opts);
+  tree::print_tree(run.result.tree, std::cout, opts);
 
   std::cout << "\n=== Step 3: coverage and FCT on a fresh workload ===\n";
+  FlowGenConfig gen;
+  gen.family = WorkloadFamily::kDataMining;
+  gen.load = 0.45;
+  gen.duration_s = 0.35;
   auto test = generate_workload(gen, 999);
-  TreeLrlaScheduler tree_sched(t, fabric.mlfq.queue_count());
+  LrlaScheduler dnn_sched(
+      [agent = ctx->agent.get()](const Flow& f, double sent) {
+        return agent->priority_for(f, sent);
+      },
+      kDnnDecisionLatency);
+  TreeLrlaScheduler tree_sched(run.result.tree,
+                               ctx->fabric.mlfq.queue_count());
+  FabricSim sim(ctx->fabric);
   auto dnn_results = sim.run(test, &dnn_sched);
   auto tree_results = sim.run(test, &tree_sched);
 
   const Coverage c_dnn = coverage_of(dnn_results);
   const Coverage c_tree = coverage_of(tree_results);
-  const FctStats f_dnn = fct_stats(dnn_results, fabric.link_bps);
-  const FctStats f_tree = fct_stats(tree_results, fabric.link_bps);
+  const FctStats f_dnn = fct_stats(dnn_results, ctx->fabric.link_bps);
+  const FctStats f_tree = fct_stats(tree_results, ctx->fabric.link_bps);
 
   Table table({"scheduler", "decision latency", "flows covered",
                "bytes covered", "avg FCT slowdown"});
@@ -85,7 +66,7 @@ int main() {
   std::cout << "\n=== Step 4: data-plane offload (SmartNIC, §6.4) ===\n";
   // The tree compiles to branching clauses only — the form the paper
   // ported to a Netronome NFP-4000 in ~1000 LoC.
-  tree::DecisionTree small = t.clone();
+  tree::DecisionTree small = run.result.tree.clone();
   tree::prune_to_leaf_count(small, 6);
   tree::collapse_redundant_splits(small);
   const std::string c_src = tree::emit_c_source(small, "lrla_priority");

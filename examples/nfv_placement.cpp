@@ -1,89 +1,36 @@
-// Appendix B.1 scenario: interpreting a network-function placement system
-// with the hypergraph formulation — NFs are hyperedges, physical servers
-// are vertices, and I_ev = 1 means an instance of NF e runs on server v.
+// Appendix B.1 scenario through the facade: interpret a network-function
+// placement system with the hypergraph formulation — NFs are hyperedges,
+// physical servers are vertices, and I_ev = 1 means an instance of NF e
+// runs on server v.
 //
-// The placement "system" here is a small differentiable load-balancing
-// model: each NF spreads its traffic across its placed instances in
-// proportion to remaining server headroom. Metis' critical-connection
-// search then reveals which (NF, server) placements the behaviour actually
-// depends on — e.g. the only instance of a hot NF is critical, while a
-// redundant replica on a loaded server is not.
+// The "nfv" scenario builds the paper's fixed Figure-21 instance (4 NFs
+// over 4 servers, one hot server) behind a differentiable load-balancing
+// model; the critical-connection search reveals which (NF, server)
+// placements the behaviour actually depends on — e.g. the only instance
+// of a hot NF is critical, while a redundant replica on a loaded server
+// is not.
 //
 // Run:  ./examples/nfv_placement
 #include <iomanip>
 #include <iostream>
 
-#include "metis/core/hypergraph_interpreter.h"
-#include "metis/hypergraph/hypergraph.h"
-#include "metis/nn/autodiff.h"
+#include "metis/api/interpreter.h"
 #include "metis/util/table.h"
 
-namespace {
-
-using namespace metis;
-
-// Differentiable placement model (Appendix B.1): per NF, a softmax over
-// servers weighted by masked placement and server headroom.
-class NfvPlacementModel final : public core::MaskableModel {
- public:
-  NfvPlacementModel() : graph_(4, 4) {
-    graph_.vertex_names = {"server1", "server2", "server3", "server4"};
-    graph_.edge_names = {"NF1", "NF2", "NF3", "NF4"};
-    // The Figure-21 placement: NF1 on servers {1,2,3}; NF2 on {1,3};
-    // NF3 on {2,4}; NF4 on {2,3,4}.
-    for (std::size_t v : {0, 1, 2}) graph_.connect(0, v);
-    for (std::size_t v : {0, 2}) graph_.connect(1, v);
-    for (std::size_t v : {1, 3}) graph_.connect(2, v);
-    for (std::size_t v : {1, 2, 3}) graph_.connect(3, v);
-    // Server headroom (capacity minus background load): server2 is hot.
-    headroom_ = nn::Tensor(1, 4, std::vector<double>{1.0, 0.15, 0.8, 0.9});
-    graph_.vertex_features = headroom_.transposed();
-    graph_.edge_features =
-        nn::Tensor(4, 1, std::vector<double>{0.9, 0.4, 0.5, 0.7});
-    graph_.validate();
-  }
-
-  const hypergraph::Hypergraph& graph() const override { return graph_; }
-
-  nn::Var decisions(const nn::Var& mask) const override {
-    // logits_ev = gain * mask_ev * headroom_v; softmax across servers gives
-    // each NF's traffic split. Suppressing a placement (mask -> 0) removes
-    // that instance from the split.
-    nn::Tensor head_rows(4, 4);
-    for (std::size_t e = 0; e < 4; ++e) {
-      for (std::size_t v = 0; v < 4; ++v) {
-        head_rows(e, v) = headroom_(0, v);
-      }
-    }
-    nn::Var weighted = nn::mul(mask, nn::constant(head_rows));
-    // Give non-placements a strongly negative logit so they never receive
-    // traffic: logit = 4*w*h - 3.
-    nn::Var logits = nn::add_scalar(nn::scale(weighted, 4.0), -3.0);
-    return nn::softmax_rows(logits);
-  }
-
- private:
-  hypergraph::Hypergraph graph_;
-  nn::Tensor headroom_;
-};
-
-}  // namespace
-
 int main() {
-  NfvPlacementModel model;
-  std::cout << "NFV placement hypergraph (Appendix B.1):\n"
-            << "  4 NFs placed across 4 servers, "
-            << model.graph().connection_count() << " placements\n\n";
+  using namespace metis;
 
-  core::InterpretConfig cfg;
-  cfg.lambda1 = 0.25;
-  cfg.lambda2 = 1.0;
-  cfg.steps = 400;
-  auto interp = core::find_critical_connections(model, cfg);
+  Interpreter metis;
+  auto run = metis.interpret_hypergraph("nfv");
+  const auto& graph = run.system.model->graph();
+  std::cout << "NFV placement hypergraph (Appendix B.1):\n"
+            << "  " << graph.edge_count() << " NFs placed across "
+            << graph.vertex_count() << " servers, "
+            << graph.connection_count() << " placements\n\n";
 
   std::cout << "Placement criticality (all connections, ranked):\n";
   Table table({"NF", "server", "mask W_ev", "reading"});
-  for (const auto& c : interp.ranked) {
+  for (const auto& c : run.result.ranked) {
     std::string reading;
     if (c.mask > 0.7) {
       reading = "critical — traffic split depends on this instance";
@@ -92,15 +39,14 @@ int main() {
     } else {
       reading = "partially critical";
     }
-    table.add_row({model.graph().edge_names[c.edge],
-                   model.graph().vertex_names[c.vertex],
+    table.add_row({graph.edge_names[c.edge], graph.vertex_names[c.vertex],
                    Table::num(c.mask), reading});
   }
   table.print(std::cout);
 
   std::cout << "\nLoss terms: divergence " << std::fixed
-            << std::setprecision(4) << interp.divergence << ", ||W|| "
-            << interp.mask_l1 << ", H(W) " << interp.entropy << "\n"
+            << std::setprecision(4) << run.result.divergence << ", ||W|| "
+            << run.result.mask_l1 << ", H(W) " << run.result.entropy << "\n"
             << "\nOperators can use the 'redundant' rows as consolidation\n"
                "candidates (Appendix B.1) without re-running the optimizer.\n";
   return 0;

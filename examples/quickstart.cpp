@@ -1,75 +1,43 @@
-// Quickstart: interpret a DL-based ABR policy with Metis in ~30 lines of
-// API surface.
+// Quickstart: interpret a DL-based ABR policy with Metis through the
+// public facade.
 //
-//   1. Build the ABR environment (video + network traces).
-//   2. Train a small Pensieve-style DNN teacher with A2C.
-//   3. Distill it into a decision tree (trace collection -> Eq. 1
-//      resampling -> CART -> CCP pruning).
-//   4. Print the interpretable policy and explain a single decision.
+//   metis::Interpreter metis;
+//   auto run = metis.distill("abr");   // §3.2 pipeline, end to end
+//
+// One call builds the scenario (HSDPA-like traces, behavior-cloned +
+// A2C-finetuned Pensieve-style teacher), collects traces with batched
+// teacher inference, resamples by Eq. 1, and fits + prunes the decision
+// tree. The run keeps the live teacher/env pair, so follow-up questions
+// (held-out fidelity, single-decision explanations) need no re-wiring.
 //
 // Run:  ./examples/quickstart
 #include <iostream>
 
-#include "metis/abr/distill_adapter.h"
 #include "metis/abr/env.h"
-#include "metis/abr/pensieve.h"
-#include "metis/abr/trace_gen.h"
-#include "metis/abr/tree_policy.h"
-#include "metis/core/distill.h"
+#include "metis/api/interpreter.h"
 #include "metis/tree/tree_io.h"
 
 int main() {
   using namespace metis;
 
-  // 1. Environment: a 30-chunk video over HSDPA-like 3G traces.
-  abr::Video video(30, /*seed=*/7);
-  abr::TraceGenConfig traces;
-  traces.family = abr::TraceFamily::kHsdpa;
-  traces.duration_seconds = 600.0;
-  abr::AbrEnv env(video, abr::generate_corpus(traces, 16, /*seed=*/21));
+  Interpreter metis;
 
-  // 2. Teacher: Pensieve-style actor-critic DNN — behavior-cloned from
-  // the causal MPC expert, then finetuned with A2C (the library's
-  // "finetuned model" recipe; see PensieveAgent::pretrain).
-  std::cout << "Training the DNN teacher (clone + A2C finetune)...\n";
-  abr::PensieveConfig pc;
-  pc.seed = 5;
-  pc.train.episodes = 150;
-  pc.train.max_steps = 40;
-  pc.train.actor_lr = 1e-4;
-  pc.train.entropy_bonus = 0.005;
-  abr::PensieveAgent agent(pc);
-  abr::PensieveAgent::PretrainConfig pt;
-  pt.bc.epochs = 300;
-  pt.offsets_per_trace = 1;
-  pt.dagger_rounds = 1;
-  agent.pretrain(env, pt);
-  auto train_result = agent.train(env);
-  std::cout << "  teacher mean QoE/chunk: "
-            << train_result.final_mean_return / 30.0 << "\n\n";
+  std::cout << "Distilling the \"abr\" scenario (teacher training included; "
+               "~a minute)...\n";
+  api::DistillOverrides o;
+  o.max_leaves = 16;  // keep the printed policy small enough to read
+  auto run = metis.distill("abr", o);
+  std::cout << "  samples: " << run.result.samples_collected
+            << ", leaves: " << run.result.tree.leaf_count()
+            << ", fidelity to DNN: " << run.result.fidelity * 100.0 << "%\n\n";
 
-  // 3. Metis: distill the DNN into a small decision tree.
-  std::cout << "Distilling with Metis (§3.2)...\n";
-  core::PolicyNetTeacher teacher(&agent.net());
-  abr::AbrRolloutEnv rollout(&env);
-  core::DistillConfig dc;
-  dc.collect.episodes = 16;
-  dc.collect.max_steps = 40;
-  dc.dagger_iterations = 2;
-  dc.max_leaves = 16;  // keep it small enough to read
-  dc.feature_names = abr::tree_feature_names();
-  core::DistillResult distilled = core::distill_policy(teacher, rollout, dc);
-  std::cout << "  samples: " << distilled.samples_collected
-            << ", leaves: " << distilled.tree.leaf_count()
-            << ", fidelity to DNN: " << distilled.fidelity * 100.0 << "%\n\n";
-
-  // 4. The interpretable policy (Figure-7 style view).
+  // The interpretable policy (Figure-7 style view).
   tree::PrintOptions opts;
   opts.max_depth = 3;
   opts.class_labels = {"300kbps",  "750kbps",  "1200kbps",
                        "1850kbps", "2850kbps", "4300kbps"};
   std::cout << "Decision tree (top 3 layers):\n";
-  tree::print_tree(distilled.tree, std::cout, opts);
+  tree::print_tree(run.result.tree, std::cout, opts);
 
   // Explain one concrete decision: moderate throughput, low buffer.
   abr::AbrObservation probe;
@@ -80,8 +48,12 @@ int main() {
   probe.download_seconds = {3.4, 3.2, 3.0};
   probe.chunks_remaining = 12;
   std::cout << "\nWhy this decision?\n  "
-            << tree::explain_decision(distilled.tree,
+            << tree::explain_decision(run.result.tree,
                                       abr::tree_features(probe), opts)
             << "\n";
+
+  // Held-out fidelity (Appendix E): fresh episodes, tree driving.
+  std::cout << "\nHeld-out fidelity over 8 fresh episodes: "
+            << metis.evaluate_fidelity(run) * 100.0 << "%\n";
   return 0;
 }

@@ -24,16 +24,17 @@ std::vector<double> AbrRolloutEnv::interpretable_features() const {
   return tree_features(env_->current_observation());
 }
 
-std::vector<double> AbrRolloutEnv::q_values(const core::Teacher& teacher,
-                                            double gamma) const {
-  // Model-based bootstrap: Q(s,a) = r(s,a) + γ·V(s') with s' from the
-  // deterministic session simulator (Appendix A, Eq. 11).
-  std::vector<double> qs(env_->action_count());
-  for (std::size_t a = 0; a < qs.size(); ++a) {
+std::vector<core::Lookahead> AbrRolloutEnv::lookahead() const {
+  // Model-based bootstrap inputs: (r(s,a), s') from the deterministic
+  // session simulator (Appendix A, Eq. 11). The collector turns these into
+  // Q(s,a) = r + γ·V(s') with a single batched value pass.
+  std::vector<core::Lookahead> la(env_->action_count());
+  for (std::size_t a = 0; a < la.size(); ++a) {
     auto [reward, next_state] = env_->peek_step(a);
-    qs[a] = reward + gamma * teacher.value(next_state);
+    la[a].reward = reward;
+    la[a].next_state = std::move(next_state);
   }
-  return qs;
+  return la;
 }
 
 }  // namespace metis::abr

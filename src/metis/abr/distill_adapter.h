@@ -16,8 +16,7 @@ class AbrRolloutEnv final : public core::RolloutEnv {
   std::vector<double> reset(std::size_t episode) override;
   nn::StepResult step(std::size_t action) override;
   [[nodiscard]] std::vector<double> interpretable_features() const override;
-  [[nodiscard]] std::vector<double> q_values(const core::Teacher& teacher,
-                                             double gamma) const override;
+  [[nodiscard]] std::vector<core::Lookahead> lookahead() const override;
 
  private:
   AbrEnv* env_;

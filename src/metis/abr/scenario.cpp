@@ -1,0 +1,79 @@
+#include "metis/abr/scenario.h"
+
+#include <string>
+
+#include "metis/abr/distill_adapter.h"
+#include "metis/abr/trace_gen.h"
+#include "metis/core/teacher.h"
+#include "metis/util/check.h"
+
+namespace metis::abr {
+namespace {
+
+class AbrScenario final : public api::Scenario {
+ public:
+  std::string key() const override { return "abr"; }
+  std::vector<std::string> aliases() const override { return {"pensieve"}; }
+  std::string description() const override {
+    return "Adaptive bitrate streaming: Pensieve-style A2C teacher over "
+           "DASH playback, distilled to the Figure-7 decision tree";
+  }
+
+  api::LocalSystem make_local(
+      const api::ScenarioOptions& options) const override {
+    const double scale = options.scale;
+
+    // Environment: a 30-chunk video over HSDPA-like 3G traces.
+    TraceGenConfig traces;
+    traces.family = TraceFamily::kHsdpa;
+    traces.duration_seconds = 600.0;
+    auto corpus = generate_corpus(traces, api::scaled(16, scale, 4),
+                                  options.seed + 20);
+
+    // Teacher: behavior-cloned from the causal MPC expert, then
+    // A2C-finetuned (the library's "finetuned model" recipe).
+    PensieveConfig pc;
+    pc.seed = options.seed + 4;
+    pc.train.episodes = api::scaled(150, scale, 0);
+    pc.train.max_steps = 40;
+    pc.train.actor_lr = 1e-4;
+    pc.train.entropy_bonus = 0.005;
+    auto ctx = std::make_shared<AbrScenarioContext>(
+        Video(30, options.seed + 6), std::move(corpus), pc);
+
+    PensieveAgent::PretrainConfig pt;
+    pt.bc.epochs = api::scaled(300, scale, 40);
+    pt.offsets_per_trace = 1;
+    pt.dagger_rounds = scale >= 0.5 ? 1 : 0;
+    ctx->agent.pretrain(ctx->env, pt);
+    if (pc.train.episodes > 0) ctx->agent.train(ctx->env);
+
+    api::LocalSystem sys;
+    sys.teacher = std::make_shared<core::PolicyNetTeacher>(&ctx->agent.net());
+    sys.env = std::make_shared<AbrRolloutEnv>(&ctx->env);
+    sys.keepalive = ctx;
+
+    sys.distill_defaults.collect.episodes = api::scaled(16, scale, 4);
+    sys.distill_defaults.collect.max_steps = 40;
+    sys.distill_defaults.dagger_iterations = 2;
+    sys.distill_defaults.max_leaves = 200;  // the paper's Table-4 setting
+    sys.distill_defaults.feature_names = tree_feature_names();
+    sys.distill_defaults.seed = options.seed;
+    return sys;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<AbrScenarioContext> abr_context(
+    const api::LocalSystem& system) {
+  MET_CHECK_MSG(system.keepalive != nullptr,
+                "local system has no backing context");
+  return std::static_pointer_cast<AbrScenarioContext>(system.keepalive);
+}
+
+void register_abr_scenario(api::ScenarioRegistry& registry) {
+  registry.add(std::make_unique<AbrScenario>());
+}
+
+}  // namespace metis::abr

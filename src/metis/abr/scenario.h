@@ -1,0 +1,39 @@
+// Facade registration for the ABR / Pensieve family (§6.1-6.4).
+//
+// make_local builds the full "finetuned teacher" recipe — HSDPA-style
+// trace corpus, behavior-cloned + A2C-finetuned PensieveAgent — and wires
+// it to the Figure-7 interpretable feature view. Registered under "abr"
+// (alias "pensieve").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metis/abr/env.h"
+#include "metis/abr/pensieve.h"
+#include "metis/api/registry.h"
+
+namespace metis::abr {
+
+// Backing objects of the built local system, reachable from
+// LocalSystem::keepalive for walkthroughs that need more than the Teacher
+// interface (QoE comparisons against heuristics, §6.3 oversampling fixes).
+struct AbrScenarioContext {
+  Video video;
+  std::vector<NetworkTrace> corpus;
+  AbrEnv env;
+  PensieveAgent agent;
+
+  AbrScenarioContext(Video v, std::vector<NetworkTrace> traces,
+                     const PensieveConfig& cfg)
+      : video(v), corpus(std::move(traces)), env(video, corpus), agent(cfg) {}
+};
+
+// Downcasts a LocalSystem built by the "abr" scenario. Returns nullptr-free
+// shared context; only valid on systems built by this scenario.
+[[nodiscard]] std::shared_ptr<AbrScenarioContext> abr_context(
+    const api::LocalSystem& system);
+
+void register_abr_scenario(api::ScenarioRegistry& registry);
+
+}  // namespace metis::abr

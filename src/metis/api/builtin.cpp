@@ -1,0 +1,22 @@
+// Registration of the six built-in scenario families. Each family's
+// directory owns its Scenario subclass; this translation unit only stitches
+// them into the registry (static-library safe: no global-constructor
+// tricks, the global registry calls this explicitly on first use).
+#include "metis/abr/scenario.h"
+#include "metis/api/registry.h"
+#include "metis/flowsched/scenario.h"
+#include "metis/routing/scenario.h"
+#include "metis/scenarios/register.h"
+
+namespace metis::api {
+
+void register_builtin_scenarios(ScenarioRegistry& registry) {
+  abr::register_abr_scenario(registry);
+  flowsched::register_flowsched_scenario(registry);
+  routing::register_routing_scenario(registry);
+  scenarios::register_cluster_scenario(registry);
+  scenarios::register_nfv_scenario(registry);
+  scenarios::register_cellular_scenario(registry);
+}
+
+}  // namespace metis::api

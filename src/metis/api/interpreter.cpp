@@ -1,0 +1,115 @@
+#include "metis/api/interpreter.h"
+
+#include <utility>
+
+#include "metis/core/trace_collector.h"
+#include "metis/util/check.h"
+
+namespace metis::api {
+
+const ScenarioRegistry& Interpreter::registry() const {
+  return registry_ != nullptr ? *registry_ : ScenarioRegistry::global();
+}
+
+LocalSystem& Interpreter::local_system(const Scenario& scenario) {
+  auto it = local_cache_.find(scenario.key());
+  if (it == local_cache_.end()) {
+    LocalSystem built = scenario.make_local(options_);
+    MET_CHECK_MSG(built.teacher != nullptr && built.env != nullptr,
+                  "scenario '" + scenario.key() +
+                      "' built an incomplete local system");
+    it = local_cache_.emplace(scenario.key(), std::move(built)).first;
+  }
+  return it->second;
+}
+
+GlobalSystem& Interpreter::global_system(const Scenario& scenario) {
+  auto it = global_cache_.find(scenario.key());
+  if (it == global_cache_.end()) {
+    GlobalSystem built = scenario.make_global(options_);
+    MET_CHECK_MSG(built.model != nullptr,
+                  "scenario '" + scenario.key() +
+                      "' built an incomplete global system");
+    it = global_cache_.emplace(scenario.key(), std::move(built)).first;
+  }
+  return it->second;
+}
+
+DistillRun Interpreter::distill(std::string_view scenario_key,
+                                const DistillOverrides& overrides) {
+  const Scenario& scenario = registry().get(scenario_key);
+  LocalSystem& sys = local_system(scenario);
+
+  core::DistillConfig cfg = sys.distill_defaults;
+  if (overrides.episodes) cfg.collect.episodes = *overrides.episodes;
+  if (overrides.max_steps) cfg.collect.max_steps = *overrides.max_steps;
+  if (overrides.dagger_iterations) {
+    cfg.dagger_iterations = *overrides.dagger_iterations;
+  }
+  if (overrides.max_leaves) cfg.max_leaves = *overrides.max_leaves;
+  if (overrides.resample) cfg.resample = *overrides.resample;
+  if (overrides.batched_inference) {
+    cfg.collect.batched_inference = *overrides.batched_inference;
+  }
+  if (overrides.seed) cfg.seed = *overrides.seed;
+
+  DistillRun run;
+  run.scenario = scenario.key();
+  run.system = sys;  // shared_ptrs: teacher/env stay alive with the run
+  run.config = cfg;
+  run.result = core::distill_policy(*sys.teacher, *sys.env, cfg);
+  return run;
+}
+
+InterpretRun Interpreter::interpret_hypergraph(
+    std::string_view scenario_key, const InterpretOverrides& overrides) {
+  const Scenario& scenario = registry().get(scenario_key);
+  GlobalSystem& sys = global_system(scenario);
+
+  core::InterpretConfig cfg = sys.interpret_defaults;
+  if (overrides.lambda1) cfg.lambda1 = *overrides.lambda1;
+  if (overrides.lambda2) cfg.lambda2 = *overrides.lambda2;
+  if (overrides.steps) cfg.steps = *overrides.steps;
+  if (overrides.lr) cfg.lr = *overrides.lr;
+  if (overrides.seed) cfg.seed = *overrides.seed;
+
+  InterpretRun run;
+  run.scenario = scenario.key();
+  run.system = sys;  // shared_ptrs: the model stays alive with the run
+  run.config = cfg;
+  run.result = core::find_critical_connections(*sys.model, cfg);
+  return run;
+}
+
+double Interpreter::evaluate_fidelity(const DistillRun& run,
+                                      std::size_t episodes) {
+  MET_CHECK(episodes > 0);
+  MET_CHECK(run.system.teacher != nullptr && run.system.env != nullptr);
+  const core::Teacher& teacher = *run.system.teacher;
+  core::RolloutEnv& env = *run.system.env;
+
+  // Fresh episode indices, far from the training offsets, with the tree
+  // driving — the deployment state distribution, not the teacher's.
+  core::CollectConfig cc = run.config.collect;
+  cc.episodes = episodes;
+  cc.weight_by_advantage = false;
+  const tree::DecisionTree& tree = run.result.tree;
+  core::StudentPolicy student = [&tree](std::span<const double> f) {
+    return static_cast<std::size_t>(tree.predict(f));
+  };
+  const auto samples = core::collect_traces(
+      teacher, env, cc, &student,
+      /*episode_offset=*/run.config.collect.episodes *
+          (run.config.dagger_iterations + 7));
+
+  if (samples.empty()) return 0.0;
+  std::size_t agree = 0;
+  for (const auto& s : samples) {
+    if (static_cast<std::size_t>(tree.predict(s.features)) == s.action) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(samples.size());
+}
+
+}  // namespace metis::api

@@ -1,0 +1,111 @@
+// metis::Interpreter — the one-stop facade over the paper's two
+// interpretation pipelines.
+//
+//   metis::Interpreter metis;
+//   auto run = metis.distill("abr");                 // §3.2 pipeline
+//   tree::print_tree(run.result.tree, std::cout);
+//   auto hg = metis.interpret_hypergraph("routing"); // §4.2 pipeline
+//
+// Scenarios are resolved through a ScenarioRegistry (the process-global
+// one by default); built systems are cached per key so repeated distill /
+// evaluate calls share one finetuned teacher.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "metis/api/registry.h"
+#include "metis/api/scenario.h"
+
+namespace metis::api {
+
+// Sparse overrides applied on top of a scenario's DistillConfig defaults.
+struct DistillOverrides {
+  std::optional<std::size_t> episodes;           // collection episodes/round
+  std::optional<std::size_t> max_steps;          // per-episode cap
+  std::optional<std::size_t> dagger_iterations;
+  std::optional<std::size_t> max_leaves;
+  std::optional<bool> resample;                  // Eq. 1 on/off
+  std::optional<bool> batched_inference;         // batched teacher path
+  std::optional<std::uint64_t> seed;
+};
+
+// Sparse overrides on top of a scenario's InterpretConfig defaults.
+struct InterpretOverrides {
+  std::optional<double> lambda1;
+  std::optional<double> lambda2;
+  std::optional<std::size_t> steps;
+  std::optional<double> lr;
+  std::optional<std::uint64_t> seed;
+};
+
+// A completed distillation: the tree plus everything needed to keep
+// interrogating it (the live teacher/env pair and the exact config used).
+struct DistillRun {
+  std::string scenario;
+  LocalSystem system;
+  core::DistillConfig config;
+  core::DistillResult result;
+};
+
+// A completed hypergraph interpretation.
+struct InterpretRun {
+  std::string scenario;
+  GlobalSystem system;
+  core::InterpretConfig config;
+  core::InterpretResult result;
+};
+
+class Interpreter {
+ public:
+  // Uses ScenarioRegistry::global().
+  Interpreter() = default;
+  explicit Interpreter(const ScenarioRegistry* registry)
+      : registry_(registry) {}
+  explicit Interpreter(ScenarioOptions options) : options_(options) {}
+  Interpreter(const ScenarioRegistry* registry, ScenarioOptions options)
+      : registry_(registry), options_(options) {}
+
+  [[nodiscard]] const ScenarioRegistry& registry() const;
+  [[nodiscard]] const ScenarioOptions& options() const { return options_; }
+
+  // Resolves the scenario, builds (or reuses) its teacher/env pair, and
+  // runs the full §3.2 conversion with the scenario defaults + overrides.
+  [[nodiscard]] DistillRun distill(std::string_view scenario_key,
+                                   const DistillOverrides& overrides = {});
+
+  // Resolves the scenario, builds (or reuses) its maskable model, and
+  // runs the Figure-6 critical-connection search.
+  [[nodiscard]] InterpretRun interpret_hypergraph(
+      std::string_view scenario_key, const InterpretOverrides& overrides = {});
+
+  // Held-out fidelity (Appendix E's accuracy): replays fresh episodes with
+  // the distilled tree driving and reports the fraction of visited states
+  // where tree and teacher agree.
+  [[nodiscard]] double evaluate_fidelity(const DistillRun& run,
+                                         std::size_t episodes = 8);
+
+  // Drops cached systems (e.g. to rebuild teachers under new options).
+  void clear_cache() {
+    local_cache_.clear();
+    global_cache_.clear();
+  }
+
+ private:
+  [[nodiscard]] LocalSystem& local_system(const Scenario& scenario);
+  [[nodiscard]] GlobalSystem& global_system(const Scenario& scenario);
+
+  const ScenarioRegistry* registry_ = nullptr;  // nullptr = global()
+  ScenarioOptions options_;
+  std::map<std::string, LocalSystem, std::less<>> local_cache_;
+  std::map<std::string, GlobalSystem, std::less<>> global_cache_;
+};
+
+}  // namespace metis::api
+
+namespace metis {
+// The facade is the intended public entry point; export it at top level.
+using api::Interpreter;
+}  // namespace metis

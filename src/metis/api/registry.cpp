@@ -1,0 +1,59 @@
+#include "metis/api/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metis/util/check.h"
+
+namespace metis::api {
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
+  MET_CHECK(scenario != nullptr);
+  const Scenario* raw = scenario.get();
+  std::vector<std::string> keys = {raw->key()};
+  for (auto& alias : raw->aliases()) keys.push_back(alias);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto& k = keys[i];
+    MET_CHECK_MSG(!k.empty(), "scenario keys must be non-empty");
+    MET_CHECK_MSG(find(k) == nullptr, "duplicate scenario key '" + k + "'");
+    // A scenario's alias may not repeat its own key or another alias.
+    for (std::size_t j = 0; j < i; ++j) {
+      MET_CHECK_MSG(keys[j] != k, "duplicate scenario key '" + k + "'");
+    }
+  }
+  scenarios_.push_back(std::move(scenario));
+  for (auto& k : keys) index_.push_back({std::move(k), raw});
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view key) const {
+  for (const auto& e : index_) {
+    if (e.key == key) return e.scenario;
+  }
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::get(std::string_view key) const {
+  if (const Scenario* s = find(key)) return *s;
+  std::string msg = "unknown scenario '" + std::string(key) + "'; known keys:";
+  for (const auto& k : keys()) msg += " " + k;
+  throw std::invalid_argument(msg);
+}
+
+std::vector<std::string> ScenarioRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s->key());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace metis::api

@@ -1,0 +1,57 @@
+// String-keyed scenario registry.
+//
+// The six built-in families (ABR/Pensieve, flow scheduling/AuTO,
+// routing/RouteNet*, cluster DAG scheduling, NFV placement, ultra-dense
+// cellular) self-register into the global() registry on first use; user
+// code can also build private registries for custom scenarios (tests do).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metis/api/scenario.h"
+
+namespace metis::api {
+
+class ScenarioRegistry {
+ public:
+  ScenarioRegistry() = default;
+  ScenarioRegistry(const ScenarioRegistry&) = delete;
+  ScenarioRegistry& operator=(const ScenarioRegistry&) = delete;
+
+  // Process-wide registry pre-populated with the built-in families.
+  static ScenarioRegistry& global();
+
+  // Registers under scenario->key() and every alias. Throws on duplicate
+  // keys.
+  void add(std::unique_ptr<Scenario> scenario);
+
+  // nullptr when the key is unknown.
+  [[nodiscard]] const Scenario* find(std::string_view key) const;
+  // Throws std::invalid_argument (message lists the known keys) when the
+  // key is unknown.
+  [[nodiscard]] const Scenario& get(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  // Primary keys, sorted (aliases excluded).
+  [[nodiscard]] std::vector<std::string> keys() const;
+  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;  // primary or alias
+    const Scenario* scenario = nullptr;
+  };
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+  std::vector<Entry> index_;
+};
+
+// Registers the six built-in scenario families (idempotent per registry —
+// callers must pass a fresh registry). global() calls this once.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace metis::api

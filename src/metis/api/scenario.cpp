@@ -1,0 +1,25 @@
+#include "metis/api/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metis/util/check.h"
+
+namespace metis::api {
+
+LocalSystem Scenario::make_local(const ScenarioOptions&) const {
+  throw std::logic_error("scenario '" + key() +
+                         "' does not support local-system distillation");
+}
+
+GlobalSystem Scenario::make_global(const ScenarioOptions&) const {
+  throw std::logic_error("scenario '" + key() +
+                         "' does not support hypergraph interpretation");
+}
+
+std::size_t scaled(std::size_t base, double scale, std::size_t floor) {
+  const double v = std::round(static_cast<double>(base) * scale);
+  return std::max(floor, static_cast<std::size_t>(std::max(0.0, v)));
+}
+
+}  // namespace metis::api

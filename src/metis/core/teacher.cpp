@@ -4,6 +4,30 @@
 
 namespace metis::core {
 
+std::vector<std::size_t> Teacher::act_batch(
+    const std::vector<std::vector<double>>& states) const {
+  std::vector<std::size_t> out;
+  out.reserve(states.size());
+  for (const auto& s : states) out.push_back(act(s));
+  return out;
+}
+
+std::vector<double> Teacher::value_batch(
+    const std::vector<std::vector<double>>& states) const {
+  std::vector<double> out;
+  out.reserve(states.size());
+  for (const auto& s : states) out.push_back(value(s));
+  return out;
+}
+
+std::vector<std::vector<double>> Teacher::action_probs_batch(
+    const std::vector<std::vector<double>>& states) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(states.size());
+  for (const auto& s : states) out.push_back(action_probs(s));
+  return out;
+}
+
 PolicyNetTeacher::PolicyNetTeacher(const nn::PolicyNet* net) : net_(net) {
   MET_CHECK(net != nullptr);
 }
@@ -23,6 +47,32 @@ double PolicyNetTeacher::value(std::span<const double> state) const {
 std::vector<double> PolicyNetTeacher::action_probs(
     std::span<const double> state) const {
   return net_->action_probs(state);
+}
+
+std::vector<std::size_t> PolicyNetTeacher::act_batch(
+    const std::vector<std::vector<double>>& states) const {
+  return net_->greedy_actions(states);
+}
+
+std::vector<double> PolicyNetTeacher::value_batch(
+    const std::vector<std::vector<double>>& states) const {
+  return net_->values_batch(states);
+}
+
+std::vector<std::vector<double>> PolicyNetTeacher::action_probs_batch(
+    const std::vector<std::vector<double>>& states) const {
+  return net_->action_probs_batch(states);
+}
+
+std::vector<double> RolloutEnv::q_values(const Teacher& teacher,
+                                         double gamma) const {
+  const std::vector<Lookahead> la = lookahead();
+  if (la.empty()) return {};
+  std::vector<double> qs(la.size());
+  for (std::size_t a = 0; a < la.size(); ++a) {
+    qs[a] = la[a].reward + gamma * teacher.value(la[a].next_state);
+  }
+  return qs;
 }
 
 }  // namespace metis::core

@@ -26,6 +26,17 @@ class Teacher {
   // Action distribution π(·|s) — used by fidelity metrics and baselines.
   [[nodiscard]] virtual std::vector<double> action_probs(
       std::span<const double> state) const = 0;
+
+  // Batched inference over N states. Results must match the scalar calls
+  // element-for-element; the defaults loop, while DNN-backed teachers
+  // override with a single matrix-level forward pass (the hot path of
+  // trace collection and Eq. 1 advantage computation).
+  [[nodiscard]] virtual std::vector<std::size_t> act_batch(
+      const std::vector<std::vector<double>>& states) const;
+  [[nodiscard]] virtual std::vector<double> value_batch(
+      const std::vector<std::vector<double>>& states) const;
+  [[nodiscard]] virtual std::vector<std::vector<double>> action_probs_batch(
+      const std::vector<std::vector<double>>& states) const;
 };
 
 // Teacher backed by an actor-critic PolicyNet (Pensieve, AuTO-lRLA).
@@ -37,9 +48,21 @@ class PolicyNetTeacher final : public Teacher {
   [[nodiscard]] double value(std::span<const double> state) const override;
   [[nodiscard]] std::vector<double> action_probs(
       std::span<const double> state) const override;
+  [[nodiscard]] std::vector<std::size_t> act_batch(
+      const std::vector<std::vector<double>>& states) const override;
+  [[nodiscard]] std::vector<double> value_batch(
+      const std::vector<std::vector<double>>& states) const override;
+  [[nodiscard]] std::vector<std::vector<double>> action_probs_batch(
+      const std::vector<std::vector<double>>& states) const override;
 
  private:
   const nn::PolicyNet* net_;
+};
+
+// One-step lookahead successor for Eq. 1's model-based Q estimates.
+struct Lookahead {
+  double reward = 0.0;
+  std::vector<double> next_state;  // full (DNN-view) successor state
 };
 
 // Environment view used by the trace collector. Reset/step mirror
@@ -54,11 +77,20 @@ class RolloutEnv {
   // Interpretable features of the current (pre-action) state.
   [[nodiscard]] virtual std::vector<double> interpretable_features()
       const = 0;
+  // Per-action (reward, next state) lookahead at the current state,
+  // simulated without mutating the live episode. Returns empty if the
+  // environment cannot simulate lookahead (then Eq. 1 weighting degrades
+  // to uniform). Environments that can peek should implement this — it is
+  // what lets the collector batch all V(s') evaluations into one forward.
+  [[nodiscard]] virtual std::vector<Lookahead> lookahead() const {
+    return {};
+  }
   // Q(s,a) ≈ r(s,a) + γ V_teacher(s') for every action at the current
-  // state. Returns empty if the environment cannot simulate lookahead
-  // (then Eq. 1 weighting degrades to uniform).
+  // state. The default derives Q from lookahead() with one teacher.value
+  // call per action (the scalar reference path); environments may override
+  // with bespoke estimates instead of lookahead().
   [[nodiscard]] virtual std::vector<double> q_values(const Teacher& teacher,
-                                                     double gamma) const = 0;
+                                                     double gamma) const;
 };
 
 }  // namespace metis::core

@@ -27,14 +27,36 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
       sample.features = env.interpretable_features();
       sample.action = teacher_action;
       if (cfg.weight_by_advantage) {
-        const auto qs = env.q_values(teacher, cfg.gamma);
-        if (!qs.empty()) {
-          MET_CHECK(qs.size() == teacher.action_count());
-          const double v = teacher.value(state);
-          const double min_q = *std::min_element(qs.begin(), qs.end());
-          // Eq. 1:  p(s,a) ∝ V(s) − min_a' Q(s,a').  Clamp at a small
-          // positive floor so no visited state is entirely discarded.
-          sample.weight = std::max(v - min_q, 1e-3);
+        // Eq. 1:  p(s,a) ∝ V(s) − min_a' Q(s,a').  Clamp at a small
+        // positive floor so no visited state is entirely discarded.
+        bool weighted = false;
+        if (cfg.batched_inference) {
+          const std::vector<Lookahead> la = env.lookahead();
+          if (!la.empty()) {
+            MET_CHECK(la.size() == teacher.action_count());
+            // One forward for V(s) and every V(s') of the lookahead.
+            std::vector<std::vector<double>> batch;
+            batch.reserve(la.size() + 1);
+            batch.push_back(state);
+            for (const auto& l : la) batch.push_back(l.next_state);
+            const std::vector<double> vals = teacher.value_batch(batch);
+            MET_CHECK(vals.size() == batch.size());
+            double min_q = la[0].reward + cfg.gamma * vals[1];
+            for (std::size_t a = 1; a < la.size(); ++a) {
+              min_q = std::min(min_q, la[a].reward + cfg.gamma * vals[a + 1]);
+            }
+            sample.weight = std::max(vals[0] - min_q, 1e-3);
+            weighted = true;
+          }
+        }
+        if (!weighted) {
+          const auto qs = env.q_values(teacher, cfg.gamma);
+          if (!qs.empty()) {
+            MET_CHECK(qs.size() == teacher.action_count());
+            const double v = teacher.value(state);
+            const double min_q = *std::min_element(qs.begin(), qs.end());
+            sample.weight = std::max(v - min_q, 1e-3);
+          }
         }
       }
       samples.push_back(std::move(sample));

@@ -24,6 +24,10 @@ struct CollectConfig {
   std::size_t deviation_limit = 3;
   // …and keeps it for this many steps before handing back.
   std::size_t takeover_steps = 8;
+  // Batch V(s) and the per-action V(s') lookaheads of Eq. 1 into a single
+  // teacher.value_batch call per step (environments exposing lookahead()
+  // only). Off = the scalar reference path; results are identical.
+  bool batched_inference = true;
 };
 
 struct CollectedSample {

@@ -1,0 +1,33 @@
+// Facade registration for the AuTO flow-scheduling family (§5, §6.4).
+//
+// make_local CEM-trains the lRLA long-flow agent on synthetic datacenter
+// workloads, replays it through the fabric simulator to record its
+// per-flow decision points, and exposes those as a replay distillation
+// surface. Registered under "flowsched" (aliases "auto", "lrla").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metis/api/registry.h"
+#include "metis/flowsched/auto_agents.h"
+#include "metis/flowsched/fabric_sim.h"
+
+namespace metis::flowsched {
+
+// Backing objects of the built local system (see LocalSystem::keepalive):
+// deployment walkthroughs reuse the fabric/workloads to score DNN vs tree
+// schedulers at their respective decision latencies.
+struct FlowschedScenarioContext {
+  FabricConfig fabric;
+  std::vector<std::vector<Flow>> workloads;
+  std::unique_ptr<LrlaAgent> agent;
+};
+
+// Downcasts a LocalSystem built by the "flowsched" scenario.
+[[nodiscard]] std::shared_ptr<FlowschedScenarioContext> flowsched_context(
+    const api::LocalSystem& system);
+
+void register_flowsched_scenario(api::ScenarioRegistry& registry);
+
+}  // namespace metis::flowsched

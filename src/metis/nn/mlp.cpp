@@ -111,6 +111,45 @@ double PolicyNet::value(std::span<const double> state) const {
   return values(constant(Tensor::row(state)))->value()(0, 0);
 }
 
+std::vector<std::vector<double>> PolicyNet::action_probs_batch(
+    const std::vector<std::vector<double>>& states) const {
+  if (states.empty()) return {};
+  const Var p = softmax_rows(logits(constant(Tensor::from_rows(states))));
+  const Tensor& probs = p->value();
+  std::vector<std::vector<double>> out(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    out[r].resize(probs.cols());
+    for (std::size_t c = 0; c < probs.cols(); ++c) out[r][c] = probs(r, c);
+  }
+  return out;
+}
+
+std::vector<std::size_t> PolicyNet::greedy_actions(
+    const std::vector<std::vector<double>>& states) const {
+  if (states.empty()) return {};
+  const Var p = softmax_rows(logits(constant(Tensor::from_rows(states))));
+  const Tensor& probs = p->value();
+  std::vector<std::size_t> out(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < probs.cols(); ++c) {
+      if (probs(r, c) > probs(r, best)) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+std::vector<double> PolicyNet::values_batch(
+    const std::vector<std::vector<double>>& states) const {
+  if (states.empty()) return {};
+  const Var v = values(constant(Tensor::from_rows(states)));
+  const Tensor& vals = v->value();
+  std::vector<double> out(vals.rows());
+  for (std::size_t r = 0; r < vals.rows(); ++r) out[r] = vals(r, 0);
+  return out;
+}
+
 std::vector<Var> PolicyNet::parameters() const {
   std::vector<Var> ps;
   for (const auto& l : hidden_) {

@@ -59,6 +59,17 @@ class PolicyNet {
   // V(s) for one state.
   [[nodiscard]] double value(std::span<const double> state) const;
 
+  // Batched inference: one matrix-level forward pass for N states. Row i of
+  // every result is bitwise identical to the corresponding single-state
+  // call (the row-major matmul computes each output row independently, in
+  // the same operation order).
+  [[nodiscard]] std::vector<std::vector<double>> action_probs_batch(
+      const std::vector<std::vector<double>>& states) const;
+  [[nodiscard]] std::vector<std::size_t> greedy_actions(
+      const std::vector<std::vector<double>>& states) const;
+  [[nodiscard]] std::vector<double> values_batch(
+      const std::vector<std::vector<double>>& states) const;
+
   [[nodiscard]] std::vector<Var> parameters() const;
   [[nodiscard]] std::size_t state_dim() const { return state_dim_; }
   [[nodiscard]] std::size_t action_count() const { return action_count_; }

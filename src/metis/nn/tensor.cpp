@@ -29,6 +29,18 @@ Tensor Tensor::column(std::span<const double> values) {
                 std::vector<double>(values.begin(), values.end()));
 }
 
+Tensor Tensor::from_rows(const std::vector<std::vector<double>>& rows) {
+  MET_CHECK_MSG(!rows.empty(), "from_rows needs at least one row");
+  const std::size_t cols = rows.front().size();
+  std::vector<double> data;
+  data.reserve(rows.size() * cols);
+  for (const auto& r : rows) {
+    MET_CHECK_MSG(r.size() == cols, "from_rows rows must have equal length");
+    data.insert(data.end(), r.begin(), r.end());
+  }
+  return Tensor(rows.size(), cols, std::move(data));
+}
+
 Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
   return Tensor(rows, cols, 0.0);
 }

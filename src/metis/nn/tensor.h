@@ -24,6 +24,8 @@ class Tensor {
   static Tensor row(std::initializer_list<double> values);
   // N x 1 column vector from values.
   static Tensor column(std::span<const double> values);
+  // N x d matrix stacking equal-length rows (batched inference inputs).
+  static Tensor from_rows(const std::vector<std::vector<double>>& rows);
   // Identity-free convenience constructors.
   static Tensor zeros(std::size_t rows, std::size_t cols);
   static Tensor ones(std::size_t rows, std::size_t cols);
