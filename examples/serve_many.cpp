@@ -1,0 +1,69 @@
+// Serve-path demo: every registered scenario family, concurrently,
+// through one asynchronous metis::Service.
+//
+//   serve::Service svc({.workers = 3});
+//   for (key : registry.keys()) handles.push_back(svc.submit_distill(key));
+//   ... poll statuses while the pool works ...
+//
+// Six submissions return immediately; a fixed pool of three workers
+// builds the teachers (different scenarios in parallel, repeated keys
+// sharing one cached build) and runs the §3.2 conversions. The main
+// thread polls job statuses while the pool drains — the serving shape the
+// ROADMAP's north star asks for, in ~40 lines of user code.
+//
+// Run:  ./examples/serve_many
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "metis/serve/service.h"
+#include "metis/util/table.h"
+
+int main() {
+  using namespace metis;
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 3;          // three scenario builds in flight at once
+  cfg.collect_workers = 2;  // and each collection round sharded two ways
+  cfg.options.scale = 0.2;  // demo-grade teachers (seconds, not minutes)
+  serve::Service svc(cfg);
+
+  const auto keys = svc.registry().keys();
+  std::vector<serve::JobHandle> jobs;
+  jobs.reserve(keys.size());
+  for (const auto& key : keys) {
+    jobs.push_back(svc.submit_distill(key));
+    std::cout << "submitted job " << jobs.back().id() << " (" << key << ")\n";
+  }
+
+  // Poll until every job lands — this thread stays free for status pages,
+  // new submissions, cancellations, ...
+  for (bool all_done = false; !all_done;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    std::string line = "status:";
+    all_done = true;
+    for (const auto& job : jobs) {
+      line += " " + job.scenario() + "=" + serve::to_string(job.status());
+      all_done = all_done && job.finished();
+    }
+    std::cout << line << "\n";
+  }
+
+  Table table({"scenario", "status", "samples", "leaves", "fidelity"});
+  for (auto& job : jobs) {
+    if (job.status() != serve::JobStatus::kDone) {
+      table.add_row({job.scenario(), serve::to_string(job.status()),
+                     "-", "-", job.error()});
+      continue;
+    }
+    const api::DistillRun& run = job.distill_run();
+    table.add_row({job.scenario(), "done",
+                   std::to_string(run.result.samples_collected),
+                   std::to_string(run.result.tree.leaf_count()),
+                   Table::pct(run.result.fidelity)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

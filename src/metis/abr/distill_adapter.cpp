@@ -1,11 +1,22 @@
 #include "metis/abr/distill_adapter.h"
 
+#include <utility>
+
 #include "metis/util/check.h"
 
 namespace metis::abr {
 
 AbrRolloutEnv::AbrRolloutEnv(AbrEnv* env) : env_(env) {
   MET_CHECK(env != nullptr);
+}
+
+AbrRolloutEnv::AbrRolloutEnv(std::unique_ptr<AbrEnv> env)
+    : owned_(std::move(env)), env_(owned_.get()) {
+  MET_CHECK(env_ != nullptr);
+}
+
+std::shared_ptr<core::RolloutEnv> AbrRolloutEnv::clone() const {
+  return std::make_shared<AbrRolloutEnv>(env_->clone_fresh());
 }
 
 std::size_t AbrRolloutEnv::action_count() const {

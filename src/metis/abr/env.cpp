@@ -214,21 +214,29 @@ const std::vector<std::string>& tree_feature_names() {
 }
 
 AbrEnv::AbrEnv(Video video, std::vector<NetworkTrace> corpus)
+    : AbrEnv(std::make_shared<const Video>(std::move(video)),
+             std::make_shared<const std::vector<NetworkTrace>>(
+                 std::move(corpus))) {}
+
+AbrEnv::AbrEnv(std::shared_ptr<const Video> video,
+               std::shared_ptr<const std::vector<NetworkTrace>> corpus)
     : video_(std::move(video)), corpus_(std::move(corpus)) {
-  MET_CHECK(!corpus_.empty());
+  MET_CHECK(!corpus_->empty());
 }
 
 std::vector<double> AbrEnv::reset(std::size_t episode_index) {
-  active_trace_ = episode_index % corpus_.size();
+  active_trace_ = episode_index % corpus_->size();
   // Deterministic per-episode start offset: later laps over the corpus
-  // start at different points of the (long) trace.
-  metis::Rng offset_rng(0x5eedULL + episode_index);
+  // start at different points of the (long) trace. Split-style derivation
+  // keeps the episode a pure function of its index, so sharded collection
+  // replays it identically on any worker.
+  metis::Rng offset_rng = metis::Rng::derive(0x5eedULL, episode_index);
   const double max_offset =
-      std::max(corpus_[active_trace_].duration_seconds() / 2.0, 1.0);
+      std::max((*corpus_)[active_trace_].duration_seconds() / 2.0, 1.0);
   const double offset = offset_rng.uniform(0.0, max_offset);
-  session_ = std::make_unique<AbrSession>(&video_, &corpus_[active_trace_],
-                                          offset);
-  return featurize(session_->observe(), video_);
+  session_ = std::make_unique<AbrSession>(
+      video_.get(), &(*corpus_)[active_trace_], offset);
+  return featurize(session_->observe(), *video_);
 }
 
 nn::StepResult AbrEnv::step(std::size_t action) {
@@ -237,7 +245,7 @@ nn::StepResult AbrEnv::step(std::size_t action) {
   nn::StepResult sr;
   sr.reward = rec.qoe;
   sr.done = session_->done();
-  sr.next_state = featurize(session_->observe(), video_);
+  sr.next_state = featurize(session_->observe(), *video_);
   return sr;
 }
 
@@ -251,7 +259,7 @@ std::pair<double, std::vector<double>> AbrEnv::peek_step(
   MET_CHECK(session_ != nullptr);
   AbrSession copy = *session_;  // value semantics: cheap, deterministic
   const ChunkRecord rec = copy.step(action);
-  return {rec.qoe, featurize(copy.observe(), video_)};
+  return {rec.qoe, featurize(copy.observe(), *video_)};
 }
 
 }  // namespace metis::abr

@@ -128,9 +128,9 @@ class AbrEnv final : public nn::DiscreteEnv {
   std::vector<double> reset(std::size_t episode_index) override;
   nn::StepResult step(std::size_t action) override;
 
-  [[nodiscard]] const Video& video() const { return video_; }
+  [[nodiscard]] const Video& video() const { return *video_; }
   [[nodiscard]] const std::vector<NetworkTrace>& corpus() const {
-    return corpus_;
+    return *corpus_;
   }
   [[nodiscard]] AbrObservation current_observation() const;
 
@@ -140,9 +140,23 @@ class AbrEnv final : public nn::DiscreteEnv {
   [[nodiscard]] std::pair<double, std::vector<double>> peek_step(
       std::size_t action) const;
 
+  // Fresh env with no live session, sharing this env's (immutable) video
+  // and corpus rather than copying them. reset(e) on the clone replays
+  // exactly the episode reset(e) starts here (episodes are pure functions
+  // of the index), which is what lets the sharded trace collector hand
+  // one cheap clone to each worker every round.
+  [[nodiscard]] std::unique_ptr<AbrEnv> clone_fresh() const {
+    return std::unique_ptr<AbrEnv>(new AbrEnv(video_, corpus_));
+  }
+
  private:
-  Video video_;
-  std::vector<NetworkTrace> corpus_;
+  AbrEnv(std::shared_ptr<const Video> video,
+         std::shared_ptr<const std::vector<NetworkTrace>> corpus);
+
+  // Shared and immutable: clones point at the same video/corpus, and
+  // AbrSessions hold raw pointers into them.
+  std::shared_ptr<const Video> video_;
+  std::shared_ptr<const std::vector<NetworkTrace>> corpus_;
   std::size_t active_trace_ = 0;
   std::unique_ptr<AbrSession> session_;
 };

@@ -3,82 +3,69 @@
 #include <utility>
 
 #include "metis/core/trace_collector.h"
+#include "metis/serve/service.h"
 #include "metis/util/check.h"
 
 namespace metis::api {
+
+Interpreter::Interpreter() = default;
+Interpreter::Interpreter(const ScenarioRegistry* registry)
+    : registry_(registry) {}
+Interpreter::Interpreter(ScenarioOptions options) : options_(options) {}
+Interpreter::Interpreter(const ScenarioRegistry* registry,
+                         ScenarioOptions options)
+    : registry_(registry), options_(options) {}
+Interpreter::~Interpreter() = default;
+Interpreter::Interpreter(Interpreter&&) noexcept = default;
+Interpreter& Interpreter::operator=(Interpreter&&) noexcept = default;
 
 const ScenarioRegistry& Interpreter::registry() const {
   return registry_ != nullptr ? *registry_ : ScenarioRegistry::global();
 }
 
-LocalSystem& Interpreter::local_system(const Scenario& scenario) {
-  auto it = local_cache_.find(scenario.key());
-  if (it == local_cache_.end()) {
-    LocalSystem built = scenario.make_local(options_);
-    MET_CHECK_MSG(built.teacher != nullptr && built.env != nullptr,
-                  "scenario '" + scenario.key() +
-                      "' built an incomplete local system");
-    it = local_cache_.emplace(scenario.key(), std::move(built)).first;
+serve::Service& Interpreter::service() {
+  if (service_ == nullptr) {
+    serve::ServiceConfig cfg;
+    cfg.workers = 1;  // the facade is synchronous: one call, one job
+    cfg.registry = registry_;
+    cfg.options = options_;
+    service_ = std::make_unique<serve::Service>(std::move(cfg));
   }
-  return it->second;
+  return *service_;
 }
 
-GlobalSystem& Interpreter::global_system(const Scenario& scenario) {
-  auto it = global_cache_.find(scenario.key());
-  if (it == global_cache_.end()) {
-    GlobalSystem built = scenario.make_global(options_);
-    MET_CHECK_MSG(built.model != nullptr,
-                  "scenario '" + scenario.key() +
-                      "' built an incomplete global system");
-    it = global_cache_.emplace(scenario.key(), std::move(built)).first;
+namespace {
+
+// Wait for the job, move its run out, and evict it from the job table —
+// whether it succeeded or threw — so repeated facade calls do not
+// accumulate entries.
+template <typename TakeRun>
+auto take_and_evict(serve::Service& service, serve::JobHandle job,
+                    TakeRun take_run) {
+  try {
+    auto run = take_run(job);
+    service.forget(job.id());
+    return run;
+  } catch (...) {
+    service.forget(job.id());
+    throw;
   }
-  return it->second;
 }
+
+}  // namespace
 
 DistillRun Interpreter::distill(std::string_view scenario_key,
                                 const DistillOverrides& overrides) {
-  const Scenario& scenario = registry().get(scenario_key);
-  LocalSystem& sys = local_system(scenario);
-
-  core::DistillConfig cfg = sys.distill_defaults;
-  if (overrides.episodes) cfg.collect.episodes = *overrides.episodes;
-  if (overrides.max_steps) cfg.collect.max_steps = *overrides.max_steps;
-  if (overrides.dagger_iterations) {
-    cfg.dagger_iterations = *overrides.dagger_iterations;
-  }
-  if (overrides.max_leaves) cfg.max_leaves = *overrides.max_leaves;
-  if (overrides.resample) cfg.resample = *overrides.resample;
-  if (overrides.batched_inference) {
-    cfg.collect.batched_inference = *overrides.batched_inference;
-  }
-  if (overrides.seed) cfg.seed = *overrides.seed;
-
-  DistillRun run;
-  run.scenario = scenario.key();
-  run.system = sys;  // shared_ptrs: teacher/env stay alive with the run
-  run.config = cfg;
-  run.result = core::distill_policy(*sys.teacher, *sys.env, cfg);
-  return run;
+  return take_and_evict(
+      service(), service().submit_distill(scenario_key, overrides),
+      [](serve::JobHandle& job) { return job.take_distill_run(); });
 }
 
 InterpretRun Interpreter::interpret_hypergraph(
     std::string_view scenario_key, const InterpretOverrides& overrides) {
-  const Scenario& scenario = registry().get(scenario_key);
-  GlobalSystem& sys = global_system(scenario);
-
-  core::InterpretConfig cfg = sys.interpret_defaults;
-  if (overrides.lambda1) cfg.lambda1 = *overrides.lambda1;
-  if (overrides.lambda2) cfg.lambda2 = *overrides.lambda2;
-  if (overrides.steps) cfg.steps = *overrides.steps;
-  if (overrides.lr) cfg.lr = *overrides.lr;
-  if (overrides.seed) cfg.seed = *overrides.seed;
-
-  InterpretRun run;
-  run.scenario = scenario.key();
-  run.system = sys;  // shared_ptrs: the model stays alive with the run
-  run.config = cfg;
-  run.result = core::find_critical_connections(*sys.model, cfg);
-  return run;
+  return take_and_evict(
+      service(), service().submit_interpret(scenario_key, overrides),
+      [](serve::JobHandle& job) { return job.take_interpret_run(); });
 }
 
 double Interpreter::evaluate_fidelity(const DistillRun& run,
@@ -110,6 +97,10 @@ double Interpreter::evaluate_fidelity(const DistillRun& run,
     }
   }
   return static_cast<double>(agree) / static_cast<double>(samples.size());
+}
+
+void Interpreter::clear_cache() {
+  if (service_ != nullptr) service_->clear_cache();
 }
 
 }  // namespace metis::api

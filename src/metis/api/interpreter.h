@@ -1,72 +1,46 @@
-// metis::Interpreter — the one-stop facade over the paper's two
-// interpretation pipelines.
+// metis::Interpreter — the synchronous one-stop facade over the paper's
+// two interpretation pipelines.
 //
 //   metis::Interpreter metis;
 //   auto run = metis.distill("abr");                 // §3.2 pipeline
 //   tree::print_tree(run.result.tree, std::cout);
 //   auto hg = metis.interpret_hypergraph("routing"); // §4.2 pipeline
 //
+// Since the serve-path redesign this facade is a thin blocking wrapper
+// over metis::serve::Service (each call is submit + wait on a private
+// single-worker service), so the sync and async surfaces share one code
+// path, one per-scenario system cache, and one set of override semantics.
+// Code that wants concurrency, polling, or cancellation should hold a
+// serve::Service directly.
+//
 // Scenarios are resolved through a ScenarioRegistry (the process-global
 // one by default); built systems are cached per key so repeated distill /
 // evaluate calls share one finetuned teacher.
 #pragma once
 
-#include <map>
-#include <optional>
-#include <string>
+#include <memory>
 #include <string_view>
 
 #include "metis/api/registry.h"
+#include "metis/api/runs.h"
 #include "metis/api/scenario.h"
 
+namespace metis::serve {
+class Service;
+}  // namespace metis::serve
+
 namespace metis::api {
-
-// Sparse overrides applied on top of a scenario's DistillConfig defaults.
-struct DistillOverrides {
-  std::optional<std::size_t> episodes;           // collection episodes/round
-  std::optional<std::size_t> max_steps;          // per-episode cap
-  std::optional<std::size_t> dagger_iterations;
-  std::optional<std::size_t> max_leaves;
-  std::optional<bool> resample;                  // Eq. 1 on/off
-  std::optional<bool> batched_inference;         // batched teacher path
-  std::optional<std::uint64_t> seed;
-};
-
-// Sparse overrides on top of a scenario's InterpretConfig defaults.
-struct InterpretOverrides {
-  std::optional<double> lambda1;
-  std::optional<double> lambda2;
-  std::optional<std::size_t> steps;
-  std::optional<double> lr;
-  std::optional<std::uint64_t> seed;
-};
-
-// A completed distillation: the tree plus everything needed to keep
-// interrogating it (the live teacher/env pair and the exact config used).
-struct DistillRun {
-  std::string scenario;
-  LocalSystem system;
-  core::DistillConfig config;
-  core::DistillResult result;
-};
-
-// A completed hypergraph interpretation.
-struct InterpretRun {
-  std::string scenario;
-  GlobalSystem system;
-  core::InterpretConfig config;
-  core::InterpretResult result;
-};
 
 class Interpreter {
  public:
   // Uses ScenarioRegistry::global().
-  Interpreter() = default;
-  explicit Interpreter(const ScenarioRegistry* registry)
-      : registry_(registry) {}
-  explicit Interpreter(ScenarioOptions options) : options_(options) {}
-  Interpreter(const ScenarioRegistry* registry, ScenarioOptions options)
-      : registry_(registry), options_(options) {}
+  Interpreter();
+  explicit Interpreter(const ScenarioRegistry* registry);
+  explicit Interpreter(ScenarioOptions options);
+  Interpreter(const ScenarioRegistry* registry, ScenarioOptions options);
+  ~Interpreter();
+  Interpreter(Interpreter&&) noexcept;
+  Interpreter& operator=(Interpreter&&) noexcept;
 
   [[nodiscard]] const ScenarioRegistry& registry() const;
   [[nodiscard]] const ScenarioOptions& options() const { return options_; }
@@ -88,19 +62,14 @@ class Interpreter {
                                          std::size_t episodes = 8);
 
   // Drops cached systems (e.g. to rebuild teachers under new options).
-  void clear_cache() {
-    local_cache_.clear();
-    global_cache_.clear();
-  }
+  void clear_cache();
 
  private:
-  [[nodiscard]] LocalSystem& local_system(const Scenario& scenario);
-  [[nodiscard]] GlobalSystem& global_system(const Scenario& scenario);
+  [[nodiscard]] serve::Service& service();
 
   const ScenarioRegistry* registry_ = nullptr;  // nullptr = global()
   ScenarioOptions options_;
-  std::map<std::string, LocalSystem, std::less<>> local_cache_;
-  std::map<std::string, GlobalSystem, std::less<>> global_cache_;
+  std::unique_ptr<serve::Service> service_;  // lazily built on first call
 };
 
 }  // namespace metis::api

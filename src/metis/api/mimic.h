@@ -38,14 +38,20 @@ class ReplayRolloutEnv final : public core::RolloutEnv {
   std::vector<double> reset(std::size_t episode) override;
   nn::StepResult step(std::size_t action) override;
   [[nodiscard]] std::vector<double> interpretable_features() const override;
+  // The replayed rows are immutable and behind shared_ptrs, so the
+  // member-wise copy shares them — clones per collection worker cost a
+  // few words, not a corpus copy.
+  [[nodiscard]] std::shared_ptr<core::RolloutEnv> clone() const override {
+    return std::make_shared<ReplayRolloutEnv>(*this);
+  }
 
-  [[nodiscard]] std::size_t size() const { return full_states_.size(); }
+  [[nodiscard]] std::size_t size() const { return full_states_->size(); }
 
  private:
   [[nodiscard]] std::size_t row() const;
 
-  std::vector<std::vector<double>> full_states_;
-  std::vector<std::vector<double>> features_;
+  std::shared_ptr<const std::vector<std::vector<double>>> full_states_;
+  std::shared_ptr<const std::vector<std::vector<double>>> features_;
   std::size_t action_count_;
   std::size_t start_ = 0;
   std::size_t walked_ = 0;

@@ -1,6 +1,7 @@
 #include "metis/api/registry.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "metis/util/check.h"
@@ -8,6 +9,8 @@
 namespace metis::api {
 
 ScenarioRegistry& ScenarioRegistry::global() {
+  // Magic-static init is itself thread-safe; concurrent first callers all
+  // see one fully built registry.
   static ScenarioRegistry* registry = [] {
     auto* r = new ScenarioRegistry();
     register_builtin_scenarios(*r);
@@ -21,10 +24,13 @@ void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
   const Scenario* raw = scenario.get();
   std::vector<std::string> keys = {raw->key()};
   for (auto& alias : raw->aliases()) keys.push_back(alias);
+
+  std::unique_lock lock(mu_);
   for (std::size_t i = 0; i < keys.size(); ++i) {
     const auto& k = keys[i];
     MET_CHECK_MSG(!k.empty(), "scenario keys must be non-empty");
-    MET_CHECK_MSG(find(k) == nullptr, "duplicate scenario key '" + k + "'");
+    MET_CHECK_MSG(find_locked(k) == nullptr,
+                  "duplicate scenario key '" + k + "'");
     // A scenario's alias may not repeat its own key or another alias.
     for (std::size_t j = 0; j < i; ++j) {
       MET_CHECK_MSG(keys[j] != k, "duplicate scenario key '" + k + "'");
@@ -34,11 +40,16 @@ void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
   for (auto& k : keys) index_.push_back({std::move(k), raw});
 }
 
-const Scenario* ScenarioRegistry::find(std::string_view key) const {
+const Scenario* ScenarioRegistry::find_locked(std::string_view key) const {
   for (const auto& e : index_) {
     if (e.key == key) return e.scenario;
   }
   return nullptr;
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view key) const {
+  std::shared_lock lock(mu_);
+  return find_locked(key);
 }
 
 const Scenario& ScenarioRegistry::get(std::string_view key) const {
@@ -49,11 +60,17 @@ const Scenario& ScenarioRegistry::get(std::string_view key) const {
 }
 
 std::vector<std::string> ScenarioRegistry::keys() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> out;
   out.reserve(scenarios_.size());
   for (const auto& s : scenarios_) out.push_back(s->key());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::size_t ScenarioRegistry::size() const {
+  std::shared_lock lock(mu_);
+  return scenarios_.size();
 }
 
 }  // namespace metis::api

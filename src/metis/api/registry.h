@@ -4,9 +4,16 @@
 // routing/RouteNet*, cluster DAG scheduling, NFV placement, ultra-dense
 // cellular) self-register into the global() registry on first use; user
 // code can also build private registries for custom scenarios (tests do).
+//
+// Thread-safe: lookups take a shared lock and may run concurrently with
+// each other and with add() from other threads (serve::Service workers
+// resolve scenarios while user code registers new ones). Scenario objects
+// are never removed, so a const Scenario* stays valid for the registry's
+// lifetime even across concurrent add() calls.
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,13 +46,16 @@ class ScenarioRegistry {
 
   // Primary keys, sorted (aliases excluded).
   [[nodiscard]] std::vector<std::string> keys() const;
-  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
  private:
   struct Entry {
     std::string key;  // primary or alias
     const Scenario* scenario = nullptr;
   };
+  [[nodiscard]] const Scenario* find_locked(std::string_view key) const;
+
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Scenario>> scenarios_;
   std::vector<Entry> index_;
 };

@@ -28,6 +28,15 @@ std::vector<std::vector<double>> Teacher::action_probs_batch(
   return out;
 }
 
+Teacher::ActValues Teacher::act_and_values(
+    const std::vector<std::vector<double>>& states) const {
+  MET_CHECK(!states.empty());
+  ActValues out;
+  out.action = act(states.front());
+  out.values = value_batch(states);
+  return out;
+}
+
 PolicyNetTeacher::PolicyNetTeacher(const nn::PolicyNet* net) : net_(net) {
   MET_CHECK(net != nullptr);
 }
@@ -62,6 +71,12 @@ std::vector<double> PolicyNetTeacher::value_batch(
 std::vector<std::vector<double>> PolicyNetTeacher::action_probs_batch(
     const std::vector<std::vector<double>>& states) const {
   return net_->action_probs_batch(states);
+}
+
+Teacher::ActValues PolicyNetTeacher::act_and_values(
+    const std::vector<std::vector<double>>& states) const {
+  auto [action, values] = net_->act_and_values(states);
+  return {action, std::move(values)};
 }
 
 std::vector<double> RolloutEnv::q_values(const Teacher& teacher,

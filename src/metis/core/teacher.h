@@ -6,6 +6,7 @@
 // (e.g. Pensieve's 25-dim DNN state vs the 4 decision variables of Fig. 7).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,22 @@ class Teacher {
       const std::vector<std::vector<double>>& states) const;
   [[nodiscard]] virtual std::vector<std::vector<double>> action_probs_batch(
       const std::vector<std::vector<double>>& states) const;
+
+  // Fused policy+value inference over a pre-assembled batch whose row 0
+  // is the acting state (rows 1.. are value probes, e.g. Eq. 1's
+  // lookahead successors): the greedy action for row 0 plus V for every
+  // row. Must match act(states[0]) followed by value_batch(states)
+  // element-for-element; the default does exactly that, while DNN-backed
+  // teachers override with a single trunk forward shared between the two
+  // heads — this removes the last scalar per-step forward from the
+  // trace-collection hot path. Callers build the batch once; the batch
+  // shape avoids re-copying probe rows per step.
+  struct ActValues {
+    std::size_t action = 0;
+    std::vector<double> values;  // values[i] = V(states[i])
+  };
+  [[nodiscard]] virtual ActValues act_and_values(
+      const std::vector<std::vector<double>>& states) const;
 };
 
 // Teacher backed by an actor-critic PolicyNet (Pensieve, AuTO-lRLA).
@@ -53,6 +70,8 @@ class PolicyNetTeacher final : public Teacher {
   [[nodiscard]] std::vector<double> value_batch(
       const std::vector<std::vector<double>>& states) const override;
   [[nodiscard]] std::vector<std::vector<double>> action_probs_batch(
+      const std::vector<std::vector<double>>& states) const override;
+  [[nodiscard]] ActValues act_and_values(
       const std::vector<std::vector<double>>& states) const override;
 
  private:
@@ -72,6 +91,12 @@ class RolloutEnv {
  public:
   virtual ~RolloutEnv() = default;
   [[nodiscard]] virtual std::size_t action_count() const = 0;
+  // Starts episode `episode`. The episode must be a pure function of the
+  // index: any stochastic choices (trace selection, start offsets, state
+  // noise) must derive from it deterministically, e.g. via
+  // Rng::derive(seed, episode) — never from generator state carried over
+  // from earlier episodes. This contract is what lets the sharded
+  // collector replay episodes on different workers bit-for-bit.
   virtual std::vector<double> reset(std::size_t episode) = 0;
   virtual nn::StepResult step(std::size_t action) = 0;
   // Interpretable features of the current (pre-action) state.
@@ -91,6 +116,14 @@ class RolloutEnv {
   // with bespoke estimates instead of lookahead().
   [[nodiscard]] virtual std::vector<double> q_values(const Teacher& teacher,
                                                      double gamma) const;
+  // Independent copy sharing no mutable state with this env, equivalent
+  // under reset(e) for every e (the episode-determinism contract above).
+  // Parallel trace collection and concurrent serve jobs give each worker
+  // its own clone; envs returning nullptr (the default) are collected
+  // sequentially and serialize concurrent jobs instead.
+  [[nodiscard]] virtual std::shared_ptr<RolloutEnv> clone() const {
+    return nullptr;
+  }
 };
 
 }  // namespace metis::core

@@ -1,10 +1,118 @@
 #include "metis/core/trace_collector.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "metis/util/check.h"
 
 namespace metis::core {
+namespace {
+
+// One episode of §3.2 step 1. Everything the episode touches is local to
+// the call — the env instance, the per-step teacher queries, the takeover
+// bookkeeping — so episodes can run concurrently on distinct envs and
+// still reproduce the sequential trajectory bit for bit.
+std::vector<CollectedSample> collect_episode(const Teacher& teacher,
+                                             RolloutEnv& env,
+                                             const CollectConfig& cfg,
+                                             const StudentPolicy* student,
+                                             std::size_t episode_index) {
+  std::vector<CollectedSample> samples;
+  std::vector<double> state = env.reset(episode_index);
+  std::size_t deviations = 0;
+  std::size_t teacher_control_left = 0;
+
+  for (std::size_t t = 0; t < cfg.max_steps; ++t) {
+    CollectedSample sample;
+    sample.features = env.interpretable_features();
+
+    // Teacher label + Eq. 1 weight. The batched path fuses the policy
+    // head and every value probe of the step into one act_and_values
+    // trunk forward; the scalar path issues the reference per-state calls.
+    std::size_t teacher_action;
+    bool weighted = false;
+    if (cfg.weight_by_advantage && cfg.batched_inference) {
+      std::vector<Lookahead> la = env.lookahead();
+      if (!la.empty()) {
+        MET_CHECK(la.size() == teacher.action_count());
+        // Row 0 = s, rows 1.. = the per-action successors s' — one batch,
+        // built once, both heads in one trunk forward.
+        std::vector<std::vector<double>> batch;
+        batch.reserve(la.size() + 1);
+        batch.push_back(state);
+        for (auto& l : la) batch.push_back(std::move(l.next_state));
+        const Teacher::ActValues av = teacher.act_and_values(batch);
+        MET_CHECK(av.values.size() == la.size() + 1);
+        teacher_action = av.action;
+        // Eq. 1:  p(s,a) ∝ V(s) − min_a' Q(s,a').  Clamp at a small
+        // positive floor so no visited state is entirely discarded.
+        double min_q = la[0].reward + cfg.gamma * av.values[1];
+        for (std::size_t a = 1; a < la.size(); ++a) {
+          min_q = std::min(min_q, la[a].reward + cfg.gamma * av.values[a + 1]);
+        }
+        sample.weight = std::max(av.values[0] - min_q, 1e-3);
+        weighted = true;
+      } else {
+        teacher_action = teacher.act(state);
+      }
+    } else {
+      teacher_action = teacher.act(state);
+    }
+    if (cfg.weight_by_advantage && !weighted) {
+      const auto qs = env.q_values(teacher, cfg.gamma);
+      if (!qs.empty()) {
+        MET_CHECK(qs.size() == teacher.action_count());
+        const double v = teacher.value(state);
+        const double min_q = *std::min_element(qs.begin(), qs.end());
+        sample.weight = std::max(v - min_q, 1e-3);
+      }
+    }
+    sample.action = teacher_action;
+    samples.push_back(std::move(sample));
+
+    // Who drives this step?
+    std::size_t executed = teacher_action;
+    if (student != nullptr && teacher_control_left == 0) {
+      executed = (*student)(samples.back().features);
+      MET_CHECK(executed < env.action_count());
+      if (executed != teacher_action) {
+        if (++deviations >= cfg.deviation_limit) {
+          // §3.2: the DNN takes over on the deviated trajectory.
+          teacher_control_left = cfg.takeover_steps;
+          deviations = 0;
+        }
+      } else {
+        deviations = 0;
+      }
+    } else if (teacher_control_left > 0) {
+      --teacher_control_left;
+    }
+
+    nn::StepResult sr = env.step(executed);
+    if (sr.done) break;
+    state = std::move(sr.next_state);
+  }
+  return samples;
+}
+
+std::vector<CollectedSample> merge_in_episode_order(
+    std::vector<std::vector<CollectedSample>>&& per_episode) {
+  std::size_t total = 0;
+  for (const auto& ep : per_episode) total += ep.size();
+  std::vector<CollectedSample> samples;
+  samples.reserve(total);
+  for (auto& ep : per_episode) {
+    for (auto& s : ep) samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace
 
 std::vector<CollectedSample> collect_traces(const Teacher& teacher,
                                             RolloutEnv& env,
@@ -14,77 +122,60 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
   MET_CHECK(cfg.episodes > 0 && cfg.max_steps > 0);
   MET_CHECK(teacher.action_count() == env.action_count());
 
-  std::vector<CollectedSample> samples;
-  for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
-    std::vector<double> state = env.reset(episode_offset + ep);
-    std::size_t deviations = 0;
-    std::size_t teacher_control_left = 0;
-
-    for (std::size_t t = 0; t < cfg.max_steps; ++t) {
-      const std::size_t teacher_action = teacher.act(state);
-
-      CollectedSample sample;
-      sample.features = env.interpretable_features();
-      sample.action = teacher_action;
-      if (cfg.weight_by_advantage) {
-        // Eq. 1:  p(s,a) ∝ V(s) − min_a' Q(s,a').  Clamp at a small
-        // positive floor so no visited state is entirely discarded.
-        bool weighted = false;
-        if (cfg.batched_inference) {
-          const std::vector<Lookahead> la = env.lookahead();
-          if (!la.empty()) {
-            MET_CHECK(la.size() == teacher.action_count());
-            // One forward for V(s) and every V(s') of the lookahead.
-            std::vector<std::vector<double>> batch;
-            batch.reserve(la.size() + 1);
-            batch.push_back(state);
-            for (const auto& l : la) batch.push_back(l.next_state);
-            const std::vector<double> vals = teacher.value_batch(batch);
-            MET_CHECK(vals.size() == batch.size());
-            double min_q = la[0].reward + cfg.gamma * vals[1];
-            for (std::size_t a = 1; a < la.size(); ++a) {
-              min_q = std::min(min_q, la[a].reward + cfg.gamma * vals[a + 1]);
-            }
-            sample.weight = std::max(vals[0] - min_q, 1e-3);
-            weighted = true;
-          }
-        }
-        if (!weighted) {
-          const auto qs = env.q_values(teacher, cfg.gamma);
-          if (!qs.empty()) {
-            MET_CHECK(qs.size() == teacher.action_count());
-            const double v = teacher.value(state);
-            const double min_q = *std::min_element(qs.begin(), qs.end());
-            sample.weight = std::max(v - min_q, 1e-3);
-          }
-        }
-      }
-      samples.push_back(std::move(sample));
-
-      // Who drives this step?
-      std::size_t executed = teacher_action;
-      if (student != nullptr && teacher_control_left == 0) {
-        executed = (*student)(samples.back().features);
-        MET_CHECK(executed < env.action_count());
-        if (executed != teacher_action) {
-          if (++deviations >= cfg.deviation_limit) {
-            // §3.2: the DNN takes over on the deviated trajectory.
-            teacher_control_left = cfg.takeover_steps;
-            deviations = 0;
-          }
-        } else {
-          deviations = 0;
-        }
-      } else if (teacher_control_left > 0) {
-        --teacher_control_left;
-      }
-
-      nn::StepResult sr = env.step(executed);
-      if (sr.done) break;
-      state = std::move(sr.next_state);
+  const std::size_t workers =
+      std::min(std::max<std::size_t>(cfg.parallel.workers, 1), cfg.episodes);
+  if (workers > 1) {
+    // Shard episodes across workers, each driving its own env clone.
+    // Episodes are claimed dynamically (whichever worker frees up takes
+    // the next index), which cannot affect the result: episode k's
+    // trajectory depends only on k, and the merge is by episode order.
+    std::vector<std::shared_ptr<RolloutEnv>> envs;
+    envs.reserve(workers);
+    bool cloneable = true;
+    for (std::size_t w = 0; w < workers && cloneable; ++w) {
+      envs.push_back(env.clone());
+      cloneable = envs.back() != nullptr;
     }
+    if (cloneable) {
+      std::vector<std::vector<CollectedSample>> per_episode(cfg.episodes);
+      std::atomic<std::size_t> next{0};
+      std::atomic<bool> failed{false};
+      std::exception_ptr error;
+      std::mutex error_mu;
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          try {
+            for (;;) {
+              const std::size_t ep = next.fetch_add(1);
+              // One failed episode aborts the round: stop claiming so the
+              // caller sees the error promptly, not after the full round.
+              if (ep >= cfg.episodes || failed.load()) return;
+              per_episode[ep] = collect_episode(teacher, *envs[w], cfg,
+                                                student, episode_offset + ep);
+            }
+          } catch (...) {
+            failed.store(true);
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) error = std::current_exception();
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      if (error) std::rethrow_exception(error);
+      return merge_in_episode_order(std::move(per_episode));
+    }
+    // Env cannot clone: fall through to the sequential reference path.
   }
-  return samples;
+
+  std::vector<std::vector<CollectedSample>> per_episode;
+  per_episode.reserve(cfg.episodes);
+  for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
+    per_episode.push_back(
+        collect_episode(teacher, env, cfg, student, episode_offset + ep));
+  }
+  return merge_in_episode_order(std::move(per_episode));
 }
 
 }  // namespace metis::core

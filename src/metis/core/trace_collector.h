@@ -15,6 +15,24 @@
 
 namespace metis::core {
 
+// Episode sharding for one collection round. The round's episodes are
+// independent by the RolloutEnv episode-determinism contract (each episode
+// is a pure function of its index), so they can run on `workers` threads —
+// each worker drives its own env clone, and every episode derives its
+// randomness from the episode index (Rng::derive-style), never from
+// whichever worker happens to run it. Results are merged in episode order,
+// so the dataset is bitwise identical to the sequential path at any worker
+// count. Envs that do not support clone() fall back to the sequential path.
+//
+// Precondition at workers > 1: the Teacher and (in DAgger rounds) the
+// StudentPolicy are invoked from several threads at once, so their const
+// call paths must be safe to call concurrently — pure functions of their
+// inputs, no internal mutable scratch. The built-in teachers
+// (PolicyNetTeacher, TabularTeacher) and tree-backed students qualify.
+struct ParallelCollectConfig {
+  std::size_t workers = 1;  // <= 1: sequential reference path
+};
+
 struct CollectConfig {
   std::size_t episodes = 32;      // per collection round
   std::size_t max_steps = 1000;   // per-episode cap
@@ -24,10 +42,12 @@ struct CollectConfig {
   std::size_t deviation_limit = 3;
   // …and keeps it for this many steps before handing back.
   std::size_t takeover_steps = 8;
-  // Batch V(s) and the per-action V(s') lookaheads of Eq. 1 into a single
-  // teacher.value_batch call per step (environments exposing lookahead()
-  // only). Off = the scalar reference path; results are identical.
+  // Fuse the per-step teacher queries — act(s), V(s), and the per-action
+  // V(s') lookaheads of Eq. 1 — into a single act_and_values trunk forward
+  // (environments exposing lookahead() only). Off = the scalar reference
+  // path; results are identical.
   bool batched_inference = true;
+  ParallelCollectConfig parallel;
 };
 
 struct CollectedSample {

@@ -41,6 +41,8 @@ class FlowschedScenario final : public api::Scenario {
     CemConfig cem;
     cem.iterations = api::scaled(5, scale, 1);
     cem.population = api::scaled(10, scale, 4);
+    // Small scales floor the population at 4; keep the elite set legal.
+    cem.elites = std::min(cem.elites, cem.population - 1);
     ctx->agent->train(ctx->workloads, ctx->fabric, cem);
 
     // Decision points: replay the trained teacher over its workloads; each

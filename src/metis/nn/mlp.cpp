@@ -75,7 +75,12 @@ Var PolicyNet::trunk(const Var& states) const {
 }
 
 Var PolicyNet::logits(const Var& states) const {
-  Var h = trunk(states);
+  return policy_logits_from_trunk(trunk(states), states);
+}
+
+Var PolicyNet::policy_logits_from_trunk(const Var& h_in,
+                                        const Var& states) const {
+  Var h = h_in;
   if (skip_feature_ >= 0) {
     // Modified structure (Fig. 10b): route the significant input feature
     // straight into the policy head. Inputs carry no gradient, so lifting
@@ -148,6 +153,24 @@ std::vector<double> PolicyNet::values_batch(
   std::vector<double> out(vals.rows());
   for (std::size_t r = 0; r < vals.rows(); ++r) out[r] = vals(r, 0);
   return out;
+}
+
+std::pair<std::size_t, std::vector<double>> PolicyNet::act_and_values(
+    const std::vector<std::vector<double>>& states) const {
+  MET_CHECK(!states.empty());
+  const Var x = constant(Tensor::from_rows(states));
+  const Var h = trunk(x);  // shared by both heads
+  const Var p = softmax_rows(policy_logits_from_trunk(h, x));
+  const Tensor& probs = p->value();
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < probs.cols(); ++c) {
+    if (probs(0, c) > probs(0, best)) best = c;
+  }
+  const Var v = value_head_.forward(h);
+  const Tensor& vals = v->value();
+  std::vector<double> out(vals.rows());
+  for (std::size_t r = 0; r < vals.rows(); ++r) out[r] = vals(r, 0);
+  return {best, std::move(out)};
 }
 
 std::vector<Var> PolicyNet::parameters() const {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "metis/nn/layers.h"
@@ -70,6 +71,15 @@ class PolicyNet {
   [[nodiscard]] std::vector<double> values_batch(
       const std::vector<std::vector<double>>& states) const;
 
+  // Fused policy+value inference for the trace-collection hot path: one
+  // trunk forward over all rows feeds BOTH heads — the greedy action is
+  // read from row 0, the value column from every row. Bitwise identical
+  // to greedy_action(states[0]) + values_batch(states) (each matrix row is
+  // computed independently, in the same operation order), at roughly half
+  // the trunk cost of issuing the two calls separately.
+  [[nodiscard]] std::pair<std::size_t, std::vector<double>> act_and_values(
+      const std::vector<std::vector<double>>& states) const;
+
   [[nodiscard]] std::vector<Var> parameters() const;
   [[nodiscard]] std::size_t state_dim() const { return state_dim_; }
   [[nodiscard]] std::size_t action_count() const { return action_count_; }
@@ -77,6 +87,8 @@ class PolicyNet {
 
  private:
   [[nodiscard]] Var trunk(const Var& states) const;
+  [[nodiscard]] Var policy_logits_from_trunk(const Var& h,
+                                             const Var& states) const;
 
   std::size_t state_dim_;
   std::size_t action_count_;

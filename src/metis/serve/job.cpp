@@ -1,0 +1,128 @@
+#include "metis/serve/job.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "metis/util/check.h"
+
+namespace metis::serve {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobId JobHandle::id() const {
+  MET_CHECK(valid());
+  return state_->id;
+}
+
+JobKind JobHandle::kind() const {
+  MET_CHECK(valid());
+  return state_->kind;
+}
+
+const std::string& JobHandle::scenario() const {
+  MET_CHECK(valid());
+  return state_->scenario;
+}
+
+JobStatus JobHandle::status() const {
+  MET_CHECK(valid());
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->status;
+}
+
+void JobHandle::wait() const {
+  MET_CHECK(valid());
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return is_terminal(state_->status); });
+}
+
+bool JobHandle::cancel() const {
+  MET_CHECK(valid());
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->status != JobStatus::kQueued) return false;
+  state_->status = JobStatus::kCancelled;
+  state_->cv.notify_all();
+  return true;
+}
+
+std::string JobHandle::error() const {
+  MET_CHECK(valid());
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->error;
+}
+
+namespace {
+
+[[noreturn]] void throw_unfinished(const detail::JobState& state) {
+  if (state.status == JobStatus::kFailed) {
+    if (state.exception) std::rethrow_exception(state.exception);
+    throw std::runtime_error("job '" + state.scenario +
+                             "' failed: " + state.error);
+  }
+  if (state.status == JobStatus::kDone) {
+    throw std::logic_error("job '" + state.scenario +
+                           "': result already taken");
+  }
+  throw std::logic_error("job '" + state.scenario + "' was cancelled");
+}
+
+}  // namespace
+
+const api::DistillRun& JobHandle::distill_run() const {
+  MET_CHECK(valid());
+  wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->kind != JobKind::kDistill) {
+    throw std::logic_error("job is not a distillation job");
+  }
+  if (!state_->distill_run) throw_unfinished(*state_);
+  return *state_->distill_run;
+}
+
+const api::InterpretRun& JobHandle::interpret_run() const {
+  MET_CHECK(valid());
+  wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->kind != JobKind::kInterpret) {
+    throw std::logic_error("job is not an interpretation job");
+  }
+  if (!state_->interpret_run) throw_unfinished(*state_);
+  return *state_->interpret_run;
+}
+
+api::DistillRun JobHandle::take_distill_run() {
+  MET_CHECK(valid());
+  wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->kind != JobKind::kDistill) {
+    throw std::logic_error("job is not a distillation job");
+  }
+  if (!state_->distill_run) throw_unfinished(*state_);
+  api::DistillRun run = std::move(*state_->distill_run);
+  state_->distill_run.reset();
+  return run;
+}
+
+api::InterpretRun JobHandle::take_interpret_run() {
+  MET_CHECK(valid());
+  wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->kind != JobKind::kInterpret) {
+    throw std::logic_error("job is not an interpretation job");
+  }
+  if (!state_->interpret_run) throw_unfinished(*state_);
+  api::InterpretRun run = std::move(*state_->interpret_run);
+  state_->interpret_run.reset();
+  return run;
+}
+
+}  // namespace metis::serve

@@ -1,0 +1,109 @@
+// Job handles for the asynchronous metis::serve::Service.
+//
+// submit_*() returns a JobHandle immediately; the caller polls status(),
+// blocks on wait(), or cancels a job that has not started. Handles are
+// cheap shared references into the service's job table — copying one does
+// not copy results, and a handle stays valid after the run completes (the
+// table keeps finished jobs until the service is destroyed).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "metis/api/runs.h"
+
+namespace metis::serve {
+
+using JobId = std::uint64_t;
+
+enum class JobKind { kDistill, kInterpret };
+
+// kQueued -> kRunning -> kDone | kFailed
+// kQueued -> kCancelled            (cancel() before a worker picks it up)
+enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+[[nodiscard]] const char* to_string(JobStatus status);
+[[nodiscard]] inline bool is_terminal(JobStatus status) {
+  return status == JobStatus::kDone || status == JobStatus::kFailed ||
+         status == JobStatus::kCancelled;
+}
+
+namespace detail {
+
+// Shared record behind a JobHandle. The service's workers write it; any
+// number of handle holders read it. All fields below `mu` are guarded.
+struct JobState {
+  JobId id = 0;
+  JobKind kind = JobKind::kDistill;
+  std::string scenario;
+  api::DistillOverrides distill_overrides;
+  api::InterpretOverrides interpret_overrides;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;
+  std::optional<api::DistillRun> distill_run;
+  std::optional<api::InterpretRun> interpret_run;
+  // Set when status == kFailed: the message for polling callers, and the
+  // original exception so result accessors rethrow the submitted
+  // pipeline's own error type (unknown key stays std::invalid_argument).
+  std::string error;
+  std::exception_ptr exception;
+};
+
+}  // namespace detail
+
+class JobHandle {
+ public:
+  JobHandle() = default;  // invalid until assigned from a submit_*()
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] JobId id() const;
+  [[nodiscard]] JobKind kind() const;
+  [[nodiscard]] const std::string& scenario() const;
+
+  // Current status (non-blocking poll).
+  [[nodiscard]] JobStatus status() const;
+  [[nodiscard]] bool finished() const { return is_terminal(status()); }
+
+  // Blocks until the job reaches a terminal state.
+  void wait() const;
+
+  // Cancels the job iff it has not started; returns whether it did. A
+  // running or finished job is not interrupted (returns false).
+  bool cancel() const;
+
+  // Result accessors: wait(), then return the run or throw — the failed
+  // job's own exception (rethrown as submitted, e.g. std::invalid_argument
+  // for an unknown scenario key), or std::logic_error when the job was
+  // cancelled or is of the other kind. The references borrow the job
+  // table's storage: they stay valid while any handle to the job exists
+  // AND nobody calls take_*() — like std::future::get(), taking is a
+  // single-consumer operation, so readers that share a job with a taker
+  // must coordinate (or copy what they need while the borrow is live).
+  [[nodiscard]] const api::DistillRun& distill_run() const;
+  [[nodiscard]] const api::InterpretRun& interpret_run() const;
+
+  // Moves the run out of the job table (runs hold move-only pieces, e.g.
+  // the fitted DecisionTree). Single consumer: afterwards the accessors
+  // above throw for every handle to this job.
+  [[nodiscard]] api::DistillRun take_distill_run();
+  [[nodiscard]] api::InterpretRun take_interpret_run();
+
+  // Failure message when status() == kFailed, empty otherwise.
+  [[nodiscard]] std::string error() const;
+
+ private:
+  friend class Service;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
+}  // namespace metis::serve

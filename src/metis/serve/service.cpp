@@ -1,0 +1,261 @@
+#include "metis/serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "metis/core/distill.h"
+#include "metis/core/hypergraph_interpreter.h"
+#include "metis/util/check.h"
+
+namespace metis::serve {
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      pool_(std::max<std::size_t>(config_.workers, 1)) {}
+
+Service::~Service() {
+  // Flip the flag first: workers that pick up still-queued jobs mark them
+  // cancelled instead of running them. pool_ is the last member, so its
+  // destructor (drain + join) runs before anything else is torn down.
+  stopping_.store(true);
+}
+
+const api::ScenarioRegistry& Service::registry() const {
+  return config_.registry != nullptr ? *config_.registry
+                                     : api::ScenarioRegistry::global();
+}
+
+JobHandle Service::enqueue(std::shared_ptr<detail::JobState> state) {
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    state->id = next_id_++;
+    table_.emplace(state->id, state);
+  }
+  JobHandle handle(state);
+  pool_.submit([this, state = std::move(state)] { run_job(state); });
+  return handle;
+}
+
+JobHandle Service::submit_distill(std::string_view key,
+                                  const api::DistillOverrides& overrides) {
+  auto state = std::make_shared<detail::JobState>();
+  state->kind = JobKind::kDistill;
+  state->scenario = std::string(key);
+  state->distill_overrides = overrides;
+  return enqueue(std::move(state));
+}
+
+JobHandle Service::submit_interpret(std::string_view key,
+                                    const api::InterpretOverrides& overrides) {
+  auto state = std::make_shared<detail::JobState>();
+  state->kind = JobKind::kInterpret;
+  state->scenario = std::string(key);
+  state->interpret_overrides = overrides;
+  return enqueue(std::move(state));
+}
+
+JobHandle Service::find(JobId id) const {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_.find(id);
+  return it == table_.end() ? JobHandle() : JobHandle(it->second);
+}
+
+std::vector<JobHandle> Service::jobs() const {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  std::vector<JobHandle> out;
+  out.reserve(table_.size());
+  for (const auto& [id, state] : table_) out.push_back(JobHandle(state));
+  return out;
+}
+
+void Service::wait_all() {
+  // Waiting can race new submissions; loop until a full snapshot is
+  // terminal.
+  for (;;) {
+    const std::vector<JobHandle> snapshot = jobs();
+    for (const auto& j : snapshot) j.wait();
+    bool all_terminal = true;
+    for (const auto& j : jobs()) all_terminal = all_terminal && j.finished();
+    if (all_terminal) return;
+  }
+}
+
+bool Service::forget(JobId id) {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return false;
+  {
+    std::lock_guard<std::mutex> state_lock(it->second->mu);
+    if (!is_terminal(it->second->status)) return false;
+  }
+  table_.erase(it);
+  return true;
+}
+
+std::size_t Service::prune_finished() {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  std::size_t evicted = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    bool terminal;
+    {
+      std::lock_guard<std::mutex> state_lock(it->second->mu);
+      terminal = is_terminal(it->second->status);
+    }
+    if (terminal) {
+      it = table_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void Service::clear_cache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  // Slots shared with in-flight jobs stay alive through their shared_ptr;
+  // future jobs start from fresh slots (and rebuild).
+  local_.clear();
+  global_.clear();
+}
+
+std::shared_ptr<Service::LocalSlot> Service::local_slot(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto& slot = local_[key];
+  if (slot == nullptr) slot = std::make_shared<LocalSlot>();
+  return slot;
+}
+
+std::shared_ptr<Service::GlobalSlot> Service::global_slot(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto& slot = global_[key];
+  if (slot == nullptr) slot = std::make_shared<GlobalSlot>();
+  return slot;
+}
+
+void Service::run_job(const std::shared_ptr<detail::JobState>& state) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->status != JobStatus::kQueued) return;  // cancelled
+    if (stopping_.load()) {
+      state->status = JobStatus::kCancelled;
+      state->cv.notify_all();
+      return;
+    }
+    state->status = JobStatus::kRunning;
+  }
+
+  JobStatus final_status = JobStatus::kDone;
+  std::string error;
+  std::exception_ptr exception;
+  api::DistillRun distill_run;
+  api::InterpretRun interpret_run;
+  try {
+    if (state->kind == JobKind::kDistill) {
+      run_distill(*state, distill_run);
+    } else {
+      run_interpret(*state, interpret_run);
+    }
+  } catch (const std::exception& e) {
+    final_status = JobStatus::kFailed;
+    error = e.what();
+    exception = std::current_exception();
+  } catch (...) {
+    final_status = JobStatus::kFailed;
+    error = "unknown error";
+    exception = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (final_status == JobStatus::kDone) {
+      if (state->kind == JobKind::kDistill) {
+        state->distill_run = std::move(distill_run);
+      } else {
+        state->interpret_run = std::move(interpret_run);
+      }
+    } else {
+      state->error = std::move(error);
+      state->exception = exception;
+    }
+    state->status = final_status;
+  }
+  state->cv.notify_all();
+}
+
+void Service::run_distill(const detail::JobState& state,
+                          api::DistillRun& out) {
+  const api::Scenario& scenario = registry().get(state.scenario);
+  const auto slot = local_slot(scenario.key());
+
+  // Build (or reuse) the scenario's system under the per-key lock: the
+  // first job for a key pays the teacher training, concurrent jobs for
+  // the same key block here and share it, other keys proceed in parallel.
+  api::LocalSystem sys;
+  {
+    std::lock_guard<std::mutex> lock(slot->build_mu);
+    if (!slot->built) {
+      slot->system = scenario.make_local(config_.options);
+      MET_CHECK_MSG(
+          slot->system.teacher != nullptr && slot->system.env != nullptr,
+          "scenario '" + scenario.key() + "' built an incomplete local system");
+      slot->built = true;
+    }
+    sys = slot->system;  // shared_ptr copies
+  }
+
+  core::DistillConfig cfg = sys.distill_defaults;
+  if (config_.collect_workers > 0) {
+    cfg.collect.parallel.workers = config_.collect_workers;
+  }
+  api::apply_overrides(cfg, state.distill_overrides);
+
+  // Rollouts mutate the env: give this job its own clone (the run then
+  // owns it outright), or — for envs that cannot clone — hold the slot's
+  // env lock so concurrent same-key jobs serialize instead of racing one
+  // live episode. In that fallback the returned run still references the
+  // shared env (see the class comment for the caller-side caveat).
+  std::unique_lock<std::mutex> env_lock;
+  if (auto cloned = sys.env->clone()) {
+    sys.env = std::move(cloned);
+  } else {
+    env_lock = std::unique_lock<std::mutex>(slot->env_mu);
+  }
+
+  out.scenario = scenario.key();
+  out.system = sys;
+  out.config = cfg;
+  out.result = core::distill_policy(*sys.teacher, *sys.env, cfg);
+}
+
+void Service::run_interpret(const detail::JobState& state,
+                            api::InterpretRun& out) {
+  const api::Scenario& scenario = registry().get(state.scenario);
+  const auto slot = global_slot(scenario.key());
+
+  api::GlobalSystem sys;
+  {
+    std::lock_guard<std::mutex> lock(slot->build_mu);
+    if (!slot->built) {
+      slot->system = scenario.make_global(config_.options);
+      MET_CHECK_MSG(slot->system.model != nullptr,
+                    "scenario '" + scenario.key() +
+                        "' built an incomplete global system");
+      slot->built = true;
+    }
+    sys = slot->system;
+  }
+
+  core::InterpretConfig cfg = sys.interpret_defaults;
+  api::apply_overrides(cfg, state.interpret_overrides);
+
+  out.scenario = scenario.key();
+  out.system = sys;
+  out.config = cfg;
+  std::lock_guard<std::mutex> run_lock(slot->run_mu);
+  out.result = core::find_critical_connections(*sys.model, cfg);
+}
+
+}  // namespace metis::serve

@@ -1,0 +1,149 @@
+// metis::serve::Service — the asynchronous, multi-tenant front door of
+// the library (the ROADMAP's serving north star; Net2Vec makes the same
+// case that network-ML needs a serving architecture, not per-call
+// scripts).
+//
+//   serve::Service svc({.workers = 4});
+//   auto abr = svc.submit_distill("abr");         // returns immediately
+//   auto nfv = svc.submit_interpret("nfv");
+//   while (!abr.finished()) { ... poll abr.status() ... }
+//   tree::print_tree(abr.distill_run().result.tree, std::cout);
+//
+// A fixed pool of workers drains a FIFO job queue. Built teacher/env
+// systems are cached per scenario key behind per-key locks, so concurrent
+// jobs for the SAME scenario share one built (finetuned) teacher while
+// DIFFERENT scenarios build in parallel. Each distill job drives its own
+// env clone when the scenario's env supports clone(); envs that cannot
+// clone serialize same-key JOBS on a per-key lock instead of racing the
+// shared env. Note the limit of that fallback: the run returned for a
+// non-cloneable env still references the live shared env, so callers who
+// roll it out themselves (e.g. evaluate_fidelity) while more jobs for
+// that key are in flight must coordinate — implement clone() to get
+// fully independent runs.
+//
+// The synchronous metis::Interpreter facade is a thin wrapper over this
+// class (submit + wait), so both surfaces share one cache and one code
+// path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metis/api/registry.h"
+#include "metis/api/runs.h"
+#include "metis/serve/job.h"
+#include "metis/util/thread_pool.h"
+
+namespace metis::serve {
+
+struct ServiceConfig {
+  // Fixed worker pool size: how many jobs make progress concurrently.
+  std::size_t workers = 2;
+  // Scenario resolution; nullptr = ScenarioRegistry::global().
+  const api::ScenarioRegistry* registry = nullptr;
+  // Build options (seed, teacher-training scale) for cached systems.
+  api::ScenarioOptions options;
+  // Default episode shards per distill collection round (see
+  // ParallelCollectConfig); jobs may override per submission via
+  // DistillOverrides::collect_workers. 0 keeps each scenario's default.
+  std::size_t collect_workers = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  // Cancels every queued job, waits for running jobs, joins the pool.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Enqueue the §3.2 conversion / the Figure-6 hypergraph search for the
+  // scenario under `key`. Unknown keys are reported through the handle
+  // (the job fails), not at submit time — submission never blocks on the
+  // registry or the build cache.
+  JobHandle submit_distill(std::string_view key,
+                           const api::DistillOverrides& overrides = {});
+  JobHandle submit_interpret(std::string_view key,
+                             const api::InterpretOverrides& overrides = {});
+
+  // Job-table lookups. find() returns an invalid handle for unknown ids.
+  [[nodiscard]] JobHandle find(JobId id) const;
+  [[nodiscard]] std::vector<JobHandle> jobs() const;
+
+  // Blocks until every submitted job has reached a terminal state.
+  void wait_all();
+
+  // Evicts a terminal job from the table so a long-lived service does not
+  // pin every result forever; returns false for unknown ids and jobs
+  // still queued/running. Live handles keep their state (and result, if
+  // untaken) alive; find() just stops returning the id.
+  bool forget(JobId id);
+  // forget() for every terminal job; returns how many were evicted.
+  std::size_t prune_finished();
+
+  // Drops cached built systems (e.g. to rebuild teachers under new
+  // options). Running jobs keep their already-resolved systems alive.
+  void clear_cache();
+
+  [[nodiscard]] std::size_t worker_count() const { return pool_.size(); }
+  [[nodiscard]] const api::ScenarioRegistry& registry() const;
+  [[nodiscard]] const api::ScenarioOptions& options() const {
+    return config_.options;
+  }
+
+ private:
+  // Per-scenario cache slot. `build_mu` serializes the (expensive) build
+  // of one key while leaving other keys free to build concurrently;
+  // `env_mu` serializes distill jobs that must share a non-cloneable env.
+  struct LocalSlot {
+    std::mutex build_mu;
+    bool built = false;
+    api::LocalSystem system;
+    std::mutex env_mu;
+  };
+  struct GlobalSlot {
+    std::mutex build_mu;
+    bool built = false;
+    api::GlobalSystem system;
+    // The Figure-6 search backpropagates through the model, accumulating
+    // (unused) gradients into its weight nodes — concurrent searches over
+    // one model would race on those tensors, so same-key interpret jobs
+    // serialize here. Different keys have different models and overlap.
+    std::mutex run_mu;
+  };
+
+  JobHandle enqueue(std::shared_ptr<detail::JobState> state);
+  void run_job(const std::shared_ptr<detail::JobState>& state);
+  void run_distill(const detail::JobState& state, api::DistillRun& out);
+  void run_interpret(const detail::JobState& state, api::InterpretRun& out);
+  [[nodiscard]] std::shared_ptr<LocalSlot> local_slot(const std::string& key);
+  [[nodiscard]] std::shared_ptr<GlobalSlot> global_slot(const std::string& key);
+
+  ServiceConfig config_;
+
+  mutable std::mutex table_mu_;
+  std::map<JobId, std::shared_ptr<detail::JobState>> table_;
+  JobId next_id_ = 1;
+
+  std::mutex cache_mu_;  // guards the slot maps, never held while building
+  std::map<std::string, std::shared_ptr<LocalSlot>, std::less<>> local_;
+  std::map<std::string, std::shared_ptr<GlobalSlot>, std::less<>> global_;
+
+  std::atomic<bool> stopping_{false};
+  util::ThreadPool pool_;  // last member: jobs may touch everything above
+};
+
+}  // namespace metis::serve
+
+namespace metis {
+// Export alongside metis::Interpreter as the intended public entry points.
+using serve::Service;
+}  // namespace metis

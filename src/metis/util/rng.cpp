@@ -139,4 +139,11 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }
 
+Rng Rng::derive(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream index through splitmix64 before folding it into the
+  // seed; adjacent stream indices must land in unrelated states.
+  std::uint64_t sm = stream ^ 0x6a09e667f3bcc909ULL;
+  return Rng(seed ^ splitmix64(sm));
+}
+
 }  // namespace metis

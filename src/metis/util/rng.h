@@ -58,6 +58,14 @@ class Rng {
   // sub-experiments that must not share state).
   Rng split();
 
+  // Stateless split(): derives stream `stream` of `seed` without
+  // constructing (or advancing) a parent generator. Shards that process
+  // per-index work units in parallel (e.g. the episode-sharded trace
+  // collector) use this so episode k's randomness is a pure function of
+  // (seed, k) — identical no matter which worker runs it, or how many
+  // workers there are.
+  static Rng derive(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
   bool has_spare_ = false;

@@ -1,0 +1,61 @@
+#include "metis/util/thread_pool.h"
+
+#include <utility>
+
+#include "metis/util/check.h"
+
+namespace metis::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  MET_CHECK(threads >= 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MET_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MET_CHECK_MSG(!stopping_, "ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+    }
+    task();  // tasks must not throw; Service wraps job bodies in try/catch
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+      if (queue_.empty() && busy_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace metis::util

@@ -1,0 +1,51 @@
+// Minimal fixed-size worker pool.
+//
+// Backs metis::serve::Service's job execution and any other component that
+// needs "run these closures on N long-lived threads" without re-spawning
+// threads per task. Tasks are run in FIFO submission order (each worker
+// pops the oldest queued task); there is deliberately no future/result
+// plumbing — callers that need completion signalling layer their own
+// (Service's job table does).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace metis::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  // Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Must not be called after destruction begins.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait_idle() waits for drain
+  std::deque<std::function<void()>> queue_;
+  std::size_t busy_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace metis::util

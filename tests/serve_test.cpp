@@ -1,0 +1,495 @@
+// Tests for the serve-path redesign: deterministic sharded trace
+// collection, the asynchronous job Service (thread-safe job table, shared
+// per-scenario builds, cancellation), the fused act_and_values teacher
+// path, and thread-safe ScenarioRegistry access.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "metis/abr/distill_adapter.h"
+#include "metis/abr/env.h"
+#include "metis/abr/trace_gen.h"
+#include "metis/api/interpreter.h"
+#include "metis/api/registry.h"
+#include "metis/core/trace_collector.h"
+#include "metis/nn/mlp.h"
+#include "metis/serve/service.h"
+
+namespace metis {
+namespace {
+
+// ---- fixtures ---------------------------------------------------------------
+
+// Rule policy over a 1-D feature; cheap enough to hammer from many threads.
+class RuleTeacher final : public core::Teacher {
+ public:
+  std::size_t action_count() const override { return 2; }
+  std::size_t act(std::span<const double> state) const override {
+    return state[0] > 0.5 ? 1 : 0;
+  }
+  double value(std::span<const double>) const override { return 0.0; }
+  std::vector<double> action_probs(
+      std::span<const double> state) const override {
+    return act(state) == 1 ? std::vector<double>{0.1, 0.9}
+                           : std::vector<double>{0.9, 0.1};
+  }
+};
+
+// Stochastic episodes that honour the episode-determinism contract: every
+// random draw comes from Rng::derive(seed, episode), so episode k replays
+// identically on any worker.
+class SplitLineEnv final : public core::RolloutEnv {
+ public:
+  explicit SplitLineEnv(std::uint64_t seed, bool cloneable = true)
+      : seed_(seed), cloneable_(cloneable) {}
+
+  std::size_t action_count() const override { return 2; }
+  std::vector<double> reset(std::size_t episode) override {
+    rng_ = metis::Rng::derive(seed_, episode);
+    t_ = 0;
+    x_ = rng_.uniform();
+    return {x_, 1.0 - x_};
+  }
+  nn::StepResult step(std::size_t) override {
+    x_ = rng_.uniform();
+    ++t_;
+    nn::StepResult sr;
+    sr.done = t_ >= 25;
+    sr.next_state = {x_, 1.0 - x_};
+    return sr;
+  }
+  std::vector<double> interpretable_features() const override { return {x_}; }
+  std::shared_ptr<core::RolloutEnv> clone() const override {
+    if (!cloneable_) return nullptr;
+    return std::make_shared<SplitLineEnv>(seed_, cloneable_);
+  }
+
+ private:
+  std::uint64_t seed_;
+  bool cloneable_;
+  metis::Rng rng_{0};
+  double x_ = 0.0;
+  std::size_t t_ = 0;
+};
+
+class LineScenario final : public api::Scenario {
+ public:
+  explicit LineScenario(std::string key, std::atomic<int>* builds = nullptr)
+      : key_(std::move(key)), builds_(builds) {}
+  std::string key() const override { return key_; }
+  std::string description() const override { return "synthetic rule policy"; }
+  api::LocalSystem make_local(const api::ScenarioOptions&) const override {
+    if (builds_ != nullptr) ++*builds_;
+    api::LocalSystem sys;
+    sys.teacher = std::make_shared<RuleTeacher>();
+    sys.env = std::make_shared<SplitLineEnv>(77);
+    sys.distill_defaults.collect.episodes = 6;
+    sys.distill_defaults.collect.max_steps = 25;
+    sys.distill_defaults.dagger_iterations = 2;
+    sys.distill_defaults.max_leaves = 8;
+    sys.distill_defaults.feature_names = {"x"};
+    return sys;
+  }
+
+ private:
+  std::string key_;
+  std::atomic<int>* builds_;
+};
+
+void expect_identical(const std::vector<core::CollectedSample>& a,
+                      const std::vector<core::CollectedSample>& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].action, b[i].action) << what << " sample " << i;
+    ASSERT_EQ(a[i].weight, b[i].weight) << what << " sample " << i;  // bitwise
+    ASSERT_EQ(a[i].features, b[i].features) << what << " sample " << i;
+  }
+}
+
+// ---- deterministic parallel collection --------------------------------------
+
+TEST(ParallelCollection, BitwiseIdenticalAcrossWorkerCounts) {
+  RuleTeacher teacher;
+  SplitLineEnv env(123);
+  core::CollectConfig cc;
+  cc.episodes = 9;
+  cc.max_steps = 25;
+
+  const auto sequential = core::collect_traces(teacher, env, cc, nullptr, 0);
+  ASSERT_GT(sequential.size(), 100u);
+  for (std::size_t workers : {2u, 3u, 4u, 8u}) {
+    cc.parallel.workers = workers;
+    const auto parallel = core::collect_traces(teacher, env, cc, nullptr, 0);
+    expect_identical(sequential, parallel,
+                     "workers=" + std::to_string(workers));
+  }
+}
+
+TEST(ParallelCollection, DaggerStudentPathAlsoIdentical) {
+  RuleTeacher teacher;
+  SplitLineEnv env(321);
+  core::CollectConfig cc;
+  cc.episodes = 8;
+  cc.max_steps = 25;
+  // A slightly-off student so deviations and teacher takeovers happen.
+  core::StudentPolicy student = [](std::span<const double> f) {
+    return static_cast<std::size_t>(f[0] > 0.42 ? 1 : 0);
+  };
+
+  cc.parallel.workers = 1;
+  const auto sequential =
+      core::collect_traces(teacher, env, cc, &student, 40);
+  for (std::size_t workers : {2u, 3u, 4u}) {
+    cc.parallel.workers = workers;
+    const auto parallel =
+        core::collect_traces(teacher, env, cc, &student, 40);
+    expect_identical(sequential, parallel,
+                     "workers=" + std::to_string(workers));
+  }
+}
+
+// The full Eq. 1 path (lookahead + fused value probes) over the real ABR
+// environment, sharded: still bitwise identical at every worker count.
+TEST(ParallelCollection, AbrEq1PathIdenticalAcrossWorkerCounts) {
+  abr::Video video(12, 3);
+  abr::TraceGenConfig tcfg;
+  tcfg.duration_seconds = 200.0;
+  abr::AbrEnv env(video, abr::generate_corpus(tcfg, 3, 11));
+  metis::Rng rng(36);
+  nn::PolicyNet net(abr::kStateDim, 16, 1, 6, rng);  // untrained is fine
+  core::PolicyNetTeacher teacher(&net);
+  abr::AbrRolloutEnv rollout(&env);
+
+  core::CollectConfig cc;
+  cc.episodes = 6;
+  cc.max_steps = 12;
+  const auto sequential = core::collect_traces(teacher, rollout, cc, nullptr, 0);
+  ASSERT_GT(sequential.size(), 40u);
+  bool nonuniform = false;
+  for (const auto& s : sequential) nonuniform = nonuniform || s.weight != 1.0;
+  EXPECT_TRUE(nonuniform) << "Eq. 1 weighting should be active";
+
+  for (std::size_t workers : {2u, 3u, 4u}) {
+    cc.parallel.workers = workers;
+    const auto parallel =
+        core::collect_traces(teacher, rollout, cc, nullptr, 0);
+    expect_identical(sequential, parallel,
+                     "workers=" + std::to_string(workers));
+  }
+}
+
+TEST(ParallelCollection, NonCloneableEnvFallsBackToSequential) {
+  RuleTeacher teacher;
+  SplitLineEnv env(55, /*cloneable=*/false);
+  core::CollectConfig cc;
+  cc.episodes = 5;
+  cc.max_steps = 25;
+  const auto sequential = core::collect_traces(teacher, env, cc, nullptr, 0);
+  cc.parallel.workers = 4;
+  const auto fallback = core::collect_traces(teacher, env, cc, nullptr, 0);
+  expect_identical(sequential, fallback, "fallback");
+}
+
+// ---- fused act_and_values ---------------------------------------------------
+
+TEST(FusedActValues, MatchesSeparateCallsBitwise) {
+  metis::Rng rng(91);
+  nn::PolicyNet net(/*state_dim=*/9, /*hidden_dim=*/16, /*hidden_layers=*/2,
+                    /*action_count=*/5, rng);
+  core::PolicyNetTeacher teacher(&net);
+
+  std::vector<std::vector<double>> batch(7, std::vector<double>(9));
+  for (auto& row : batch) {
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+  }
+
+  const auto fused = teacher.act_and_values(batch);
+  EXPECT_EQ(fused.action, teacher.act(batch.front()));
+  const auto values = teacher.value_batch(batch);
+  ASSERT_EQ(fused.values.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(fused.values[i], values[i]) << i;  // bitwise
+  }
+}
+
+TEST(FusedActValues, SkipFeatureStructureAlsoMatches) {
+  metis::Rng rng(92);
+  nn::PolicyNet net(6, 12, 2, 4, rng, /*skip_feature=*/1);
+  core::PolicyNetTeacher teacher(&net);
+  std::vector<std::vector<double>> batch(4, std::vector<double>(6));
+  for (auto& row : batch) {
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+  }
+  const auto fused = teacher.act_and_values(batch);
+  EXPECT_EQ(fused.action, teacher.act(batch.front()));
+  EXPECT_EQ(fused.values[0], teacher.value(batch.front()));
+}
+
+// ---- Service ----------------------------------------------------------------
+
+TEST(Service, MixedSubmitsFromManyThreadsLoseNothing) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line-a"));
+  reg.add(std::make_unique<LineScenario>("line-b"));
+  reg.add(std::make_unique<LineScenario>("line-c"));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 6;
+  std::vector<std::vector<serve::JobHandle>> handles(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const char* keys[] = {"line-a", "line-b", "line-c"};
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          handles[t].push_back(svc.submit_distill(keys[(t + i) % 3]));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  svc.wait_all();
+
+  std::set<serve::JobId> ids;
+  for (const auto& per_thread : handles) {
+    for (const auto& h : per_thread) {
+      EXPECT_EQ(h.status(), serve::JobStatus::kDone) << h.error();
+      EXPECT_GT(h.distill_run().result.samples_collected, 0u);
+      ids.insert(h.id());
+    }
+  }
+  EXPECT_EQ(ids.size(), kThreads * kPerThread);  // no lost/duplicated ids
+  EXPECT_EQ(svc.jobs().size(), kThreads * kPerThread);
+  for (const auto& h : svc.jobs()) {
+    EXPECT_TRUE(h.finished());
+    EXPECT_TRUE(svc.find(h.id()).valid());
+  }
+  EXPECT_FALSE(svc.find(9999).valid());
+}
+
+TEST(Service, ConcurrentSameKeyJobsShareOneBuild) {
+  std::atomic<int> builds_a{0};
+  std::atomic<int> builds_b{0};
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line-a", &builds_a));
+  reg.add(std::make_unique<LineScenario>("line-b", &builds_b));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  std::vector<serve::JobHandle> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(svc.submit_distill("line-a"));
+  for (int i = 0; i < 3; ++i) jobs.push_back(svc.submit_distill("line-b"));
+  svc.wait_all();
+
+  EXPECT_EQ(builds_a.load(), 1);  // 4 concurrent jobs, one teacher build
+  EXPECT_EQ(builds_b.load(), 1);
+  const core::Teacher* teacher_a = jobs[0].distill_run().system.teacher.get();
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(jobs[i].distill_run().system.teacher.get(), teacher_a);
+  }
+  EXPECT_NE(jobs[4].distill_run().system.teacher.get(), teacher_a);
+
+  svc.clear_cache();
+  auto fresh = svc.submit_distill("line-a");
+  EXPECT_NE(fresh.distill_run().system.teacher.get(), teacher_a);
+  EXPECT_EQ(builds_a.load(), 2);
+}
+
+// A scenario whose build blocks until released, to pin jobs in the queue.
+class GatedScenario final : public api::Scenario {
+ public:
+  GatedScenario(std::string key, std::shared_future<void> gate)
+      : key_(std::move(key)), gate_(std::move(gate)) {}
+  std::string key() const override { return key_; }
+  std::string description() const override { return "blocks until released"; }
+  api::LocalSystem make_local(const api::ScenarioOptions&) const override {
+    gate_.wait();
+    api::LocalSystem sys;
+    sys.teacher = std::make_shared<RuleTeacher>();
+    sys.env = std::make_shared<SplitLineEnv>(7);
+    sys.distill_defaults.collect.episodes = 2;
+    sys.distill_defaults.collect.max_steps = 10;
+    sys.distill_defaults.dagger_iterations = 1;
+    sys.distill_defaults.feature_names = {"x"};
+    return sys;
+  }
+
+ private:
+  std::string key_;
+  std::shared_future<void> gate_;
+};
+
+TEST(Service, CancelBeforeStartAndNotAfter) {
+  std::promise<void> release;
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<GatedScenario>("gated",
+                                          release.get_future().share()));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;  // one worker: the second submission must queue
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  auto running = svc.submit_distill("gated");
+  auto queued = svc.submit_distill("gated");
+  while (running.status() == serve::JobStatus::kQueued) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(queued.status(), serve::JobStatus::kQueued);
+
+  EXPECT_TRUE(queued.cancel());
+  EXPECT_EQ(queued.status(), serve::JobStatus::kCancelled);
+  EXPECT_FALSE(queued.cancel());      // idempotent: already terminal
+  EXPECT_FALSE(running.cancel());     // already running: not interrupted
+
+  release.set_value();
+  running.wait();
+  EXPECT_EQ(running.status(), serve::JobStatus::kDone);
+  EXPECT_THROW((void)queued.distill_run(), std::logic_error);
+  svc.wait_all();  // terminal cancelled jobs must not wedge wait_all
+}
+
+TEST(Service, ForgetEvictsOnlyTerminalJobs) {
+  std::promise<void> release;
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<GatedScenario>("gated",
+                                          release.get_future().share()));
+  reg.add(std::make_unique<LineScenario>("line"));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  auto blocked = svc.submit_distill("gated");
+  auto queued = svc.submit_distill("line");
+  EXPECT_FALSE(svc.forget(blocked.id()));  // running (or about to): kept
+  EXPECT_FALSE(svc.forget(queued.id()));   // queued: kept
+  EXPECT_EQ(svc.prune_finished(), 0u);
+
+  release.set_value();
+  svc.wait_all();
+  EXPECT_TRUE(svc.forget(blocked.id()));
+  EXPECT_FALSE(svc.forget(blocked.id()));  // already evicted
+  EXPECT_FALSE(svc.find(blocked.id()).valid());
+  // The live handle still owns the state and its (untaken) result.
+  EXPECT_EQ(blocked.status(), serve::JobStatus::kDone);
+  EXPECT_GT(blocked.distill_run().result.samples_collected, 0u);
+
+  EXPECT_EQ(svc.prune_finished(), 1u);  // the remaining 'line' job
+  EXPECT_TRUE(svc.jobs().empty());
+}
+
+TEST(Service, UnknownScenarioFailsThroughTheHandle) {
+  serve::Service svc;
+  auto job = svc.submit_distill("no-such-scenario");
+  job.wait();
+  EXPECT_EQ(job.status(), serve::JobStatus::kFailed);
+  EXPECT_NE(job.error().find("unknown scenario"), std::string::npos);
+  EXPECT_THROW((void)job.distill_run(), std::invalid_argument);
+}
+
+TEST(Service, DistillAndInterpretJobsRunConcurrently) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 3;
+  cfg.options.scale = 0.5;
+  serve::Service svc(cfg);
+
+  api::InterpretOverrides io;
+  io.steps = 25;
+  std::vector<serve::JobHandle> jobs;
+  for (const char* key : {"cluster", "nfv", "cellular"}) {
+    jobs.push_back(svc.submit_distill(key));
+    jobs.push_back(svc.submit_interpret(key, io));
+  }
+  svc.wait_all();
+  for (auto& job : jobs) {
+    ASSERT_EQ(job.status(), serve::JobStatus::kDone)
+        << job.scenario() << ": " << job.error();
+    if (job.kind() == serve::JobKind::kDistill) {
+      EXPECT_GE(job.distill_run().result.fidelity, 0.99) << job.scenario();
+    } else {
+      EXPECT_EQ(job.interpret_run().config.steps, 25u) << job.scenario();
+      EXPECT_FALSE(job.interpret_run().result.ranked.empty());
+    }
+  }
+}
+
+// The sync facade and a parallel-collection service must produce the very
+// same dataset/tree: sharding cannot leak into results.
+TEST(Service, ShardedCollectionMatchesFacadeBitwise) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line"));
+
+  Interpreter facade(&reg);
+  api::DistillOverrides o;
+  o.seed = 5;
+  auto reference = facade.distill("line", o);
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.registry = &reg;
+  cfg.collect_workers = 4;  // shard every collection round four ways
+  serve::Service svc(cfg);
+  auto sharded = svc.submit_distill("line", o).take_distill_run();
+
+  ASSERT_EQ(sharded.result.samples_collected,
+            reference.result.samples_collected);
+  ASSERT_EQ(sharded.result.fidelity, reference.result.fidelity);  // bitwise
+  const auto& a = sharded.result.train_data;
+  const auto& b = reference.result.train_data;
+  ASSERT_EQ(a.x, b.x);
+  ASSERT_EQ(a.y, b.y);
+  ASSERT_EQ(a.weight, b.weight);
+}
+
+// ---- registry thread-safety -------------------------------------------------
+
+TEST(Registry, ConcurrentLookupsAndRegistrationsAreSafe) {
+  api::ScenarioRegistry reg;
+  api::register_builtin_scenarios(reg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> lookups{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        ASSERT_NE(reg.find("abr"), nullptr);
+        ASSERT_EQ(reg.get("pensieve").key(), "abr");
+        ASSERT_GE(reg.keys().size(), 6u);
+        ASSERT_GE(reg.size(), 6u);
+        ++lookups;
+      }
+    });
+  }
+  for (int i = 0; i < 40; ++i) {
+    reg.add(std::make_unique<LineScenario>("line-" + std::to_string(i)));
+  }
+  while (lookups.load() < 500) std::this_thread::yield();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(reg.size(), 46u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(reg.contains("line-" + std::to_string(i)));
+  }
+}
+
+}  // namespace
+}  // namespace metis
