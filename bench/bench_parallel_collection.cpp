@@ -1,11 +1,11 @@
-// Episode-sharded trace collection (serve-path redesign).
+// Episode-sharded + cross-episode lockstep trace collection.
 //
-// Claim: the K episodes of a collection round are independent, so sharding
-// them across a worker pool (each worker on its own env clone, per-episode
-// randomness derived from the episode index) scales collection throughput
-// with cores while producing a bitwise-identical dataset at any worker
-// count. Expected ~2x at 4 workers on a 4-core machine; on fewer cores the
-// speedup shrinks toward 1x but the identity always holds.
+// Claim: the K episodes of a collection round are independent, so (a)
+// sharding them across a worker pool scales collection with cores, and
+// (b) advancing a block of episodes in lockstep lets the teacher batch
+// every step's policy/value queries into ONE trunk forward for the whole
+// block (Teacher::act_and_values_multi) instead of one per episode —
+// and the two compose. All modes produce a bitwise-identical dataset.
 //
 // Run:  ./bench/bench_parallel_collection
 #include <chrono>
@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "metis/core/teacher.h"
 #include "metis/core/trace_collector.h"
+#include "metis/nn/gemm.h"
 
 namespace {
 
@@ -42,14 +43,21 @@ bool identical(const std::vector<core::CollectedSample>& a,
   return true;
 }
 
+struct Mode {
+  std::size_t workers;
+  bool lockstep;
+  nn::gemm::Backend backend;
+  const char* label;
+};
+
 }  // namespace
 
 int main() {
   using namespace metis;
   benchx::print_header(
       "bench_parallel_collection",
-      "episode-sharded collection: speedup vs workers at Pensieve scale, "
-      "dataset bitwise identical to the sequential path");
+      "sharded vs lockstep vs sharded+lockstep collection at Pensieve "
+      "scale; dataset bitwise identical to the sequential path");
 
   // Paper-scale Pensieve teacher dimensions (25-dim state, 6 bitrates).
   // Untrained weights — collection cost does not depend on weight values.
@@ -67,23 +75,36 @@ int main() {
   cc.episodes = 20;
   cc.max_steps = 60;
 
-  // Warm-up (page in code + touch the corpus), then best-of-3 per count.
+  // Warm-up (page in code + touch the corpus), then best-of-3 per mode.
   (void)collect_seconds(teacher, rollout, cc, nullptr);
 
   constexpr int kReps = 3;
-  const std::vector<std::size_t> worker_counts = {1, 2, 4};
+  constexpr auto kNaive = nn::gemm::Backend::kNaive;
+  constexpr auto kBlocked = nn::gemm::Backend::kBlocked;
+  const std::vector<Mode> modes = {
+      {1, false, kNaive, "sequential (naive gemm)"},
+      {2, false, kNaive, "sharded x2"},
+      {4, false, kNaive, "sharded x4"},
+      {1, true, kNaive, "lockstep"},
+      {4, true, kNaive, "sharded x4 + lockstep"},
+      {1, false, kBlocked, "sequential + blocked gemm"},
+      {1, true, kBlocked, "lockstep + blocked gemm"},
+      {4, true, kBlocked, "sharded x4 + lockstep + blocked"},
+  };
   std::vector<core::CollectedSample> reference;
-  std::vector<double> best_seconds(worker_counts.size(), 1e100);
+  std::vector<double> best_seconds(modes.size(), 1e100);
   bool all_identical = true;
-  for (std::size_t w = 0; w < worker_counts.size(); ++w) {
-    cc.parallel.workers = worker_counts[w];
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    cc.parallel.workers = modes[m].workers;
+    cc.parallel.lockstep = modes[m].lockstep;
+    nn::gemm::BackendScope backend(modes[m].backend);
     for (int r = 0; r < kReps; ++r) {
       std::vector<core::CollectedSample> samples;
       const double s = collect_seconds(teacher, rollout, cc,
                                        r == 0 ? &samples : nullptr);
-      best_seconds[w] = std::min(best_seconds[w], s);
+      best_seconds[m] = std::min(best_seconds[m], s);
       if (r == 0) {
-        if (w == 0) {
+        if (m == 0) {
           reference = std::move(samples);
         } else {
           all_identical = all_identical && identical(reference, samples);
@@ -92,33 +113,39 @@ int main() {
     }
   }
   if (!all_identical) {
-    std::cout << "ERROR: sharded collection diverged from sequential\n";
+    std::cout << "ERROR: parallel collection diverged from sequential\n";
     return EXIT_FAILURE;
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
-  Table table({"workers", "best wall-clock (ms)", "speedup"});
+  Table table({"mode", "workers", "best wall-clock (ms)", "speedup"});
   std::vector<double> speedups;
-  for (std::size_t w = 0; w < worker_counts.size(); ++w) {
-    speedups.push_back(best_seconds[0] / best_seconds[w]);
-    table.add_row({std::to_string(worker_counts[w]),
-                   Table::num(best_seconds[w] * 1e3),
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    speedups.push_back(best_seconds[0] / best_seconds[m]);
+    table.add_row({modes[m].label, std::to_string(modes[m].workers),
+                   Table::num(best_seconds[m] * 1e3),
                    Table::num(speedups.back()) + "x"});
   }
   table.print(std::cout);
   std::cout << "\nsamples/round: " << reference.size()
-            << "  (datasets bitwise identical at every worker count; "
-            << hw << " hardware threads)\n";
+            << "  (datasets bitwise identical in every mode; " << hw
+            << " hardware threads)\n";
 
   benchx::JsonReport json("parallel_collection");
   json.set("episodes", cc.episodes);
   json.set("max_steps", cc.max_steps);
   json.set("samples", reference.size());
-  json.set("workers", std::vector<double>(worker_counts.begin(),
-                                          worker_counts.end()));
   {
-    std::vector<double> ms;
+    std::vector<double> workers, lockstep, blocked, ms;
+    for (const Mode& m : modes) {
+      workers.push_back(static_cast<double>(m.workers));
+      lockstep.push_back(m.lockstep ? 1.0 : 0.0);
+      blocked.push_back(m.backend == kBlocked ? 1.0 : 0.0);
+    }
     for (double s : best_seconds) ms.push_back(s * 1e3);
+    json.set("workers", workers);
+    json.set("lockstep", lockstep);
+    json.set("blocked_gemm", blocked);
     json.set("best_ms", ms);
   }
   json.set("speedups", speedups);

@@ -10,6 +10,7 @@ void apply_overrides(core::DistillConfig& cfg, const DistillOverrides& o) {
   if (o.resample) cfg.resample = *o.resample;
   if (o.batched_inference) cfg.collect.batched_inference = *o.batched_inference;
   if (o.collect_workers) cfg.collect.parallel.workers = *o.collect_workers;
+  if (o.collect_lockstep) cfg.collect.parallel.lockstep = *o.collect_lockstep;
   if (o.seed) cfg.seed = *o.seed;
 }
 

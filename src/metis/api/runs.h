@@ -21,6 +21,7 @@ struct DistillOverrides {
   std::optional<bool> resample;                  // Eq. 1 on/off
   std::optional<bool> batched_inference;         // fused teacher path
   std::optional<std::size_t> collect_workers;    // episode shards per round
+  std::optional<bool> collect_lockstep;          // cross-episode batching
   std::optional<std::uint64_t> seed;
 };
 

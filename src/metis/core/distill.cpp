@@ -44,6 +44,7 @@ DistillResult distill_policy(const Teacher& teacher, RolloutEnv& env,
   // Round 0: pure teacher trajectories.
   std::vector<CollectedSample> all =
       collect_traces(teacher, env, collect, nullptr, 0);
+  if (cfg.on_round_done) cfg.on_round_done();
 
   tree::DecisionTree student = fit_and_prune(dataset_of(all), cfg);
 
@@ -56,6 +57,7 @@ DistillResult distill_policy(const Teacher& teacher, RolloutEnv& env,
     };
     auto round = collect_traces(teacher, env, collect, &policy,
                                 iter * cfg.collect.episodes);
+    if (cfg.on_round_done) cfg.on_round_done();
     all.insert(all.end(), round.begin(), round.end());
     student = fit_and_prune(dataset_of(all), cfg);
   }

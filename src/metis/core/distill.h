@@ -5,6 +5,7 @@
 //   step 4 the pruned tree is the deployable, interpretable policy
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,10 @@ struct DistillConfig {
   tree::FitConfig fit;                // leaf size, depth, ...
   std::vector<std::string> feature_names;
   std::uint64_t seed = 1;
+  // Invoked after each collection round completes (round 0 and every
+  // DAgger round — dagger_iterations calls total), from the distilling
+  // thread. Serve-path progress reporting; tree fits are not covered.
+  std::function<void()> on_round_done;
 
   DistillConfig() {
     fit.task = tree::Task::kClassification;

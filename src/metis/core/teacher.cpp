@@ -37,6 +37,23 @@ Teacher::ActValues Teacher::act_and_values(
   return out;
 }
 
+std::vector<Teacher::ActValues> Teacher::act_and_values_multi(
+    const std::vector<std::vector<double>>& states,
+    std::span<const std::size_t> group_sizes) const {
+  std::vector<ActValues> out;
+  out.reserve(group_sizes.size());
+  std::size_t base = 0;
+  for (std::size_t g : group_sizes) {
+    MET_CHECK(g >= 1 && base + g <= states.size());
+    out.push_back(act_and_values(
+        {states.begin() + static_cast<std::ptrdiff_t>(base),
+         states.begin() + static_cast<std::ptrdiff_t>(base + g)}));
+    base += g;
+  }
+  MET_CHECK(base == states.size());
+  return out;
+}
+
 PolicyNetTeacher::PolicyNetTeacher(const nn::PolicyNet* net) : net_(net) {
   MET_CHECK(net != nullptr);
 }
@@ -77,6 +94,18 @@ Teacher::ActValues PolicyNetTeacher::act_and_values(
     const std::vector<std::vector<double>>& states) const {
   auto [action, values] = net_->act_and_values(states);
   return {action, std::move(values)};
+}
+
+std::vector<Teacher::ActValues> PolicyNetTeacher::act_and_values_multi(
+    const std::vector<std::vector<double>>& states,
+    std::span<const std::size_t> group_sizes) const {
+  auto results = net_->act_and_values_multi(states, group_sizes);
+  std::vector<ActValues> out;
+  out.reserve(results.size());
+  for (auto& [action, values] : results) {
+    out.push_back({action, std::move(values)});
+  }
+  return out;
 }
 
 std::vector<double> RolloutEnv::q_values(const Teacher& teacher,

@@ -54,6 +54,17 @@ class Teacher {
   };
   [[nodiscard]] virtual ActValues act_and_values(
       const std::vector<std::vector<double>>& states) const;
+
+  // Cross-episode lockstep variant of act_and_values: `states` stacks the
+  // per-episode batches of a whole lockstep block, and group_sizes[i]
+  // gives episode i's row count (first row = its acting state). Result i
+  // must match act_and_values(rows of group i) element-for-element — the
+  // default slices and loops, while DNN-backed teachers override with ONE
+  // trunk forward over all rows, collapsing a collection round's trunk
+  // forwards from episodes x steps to ~steps.
+  [[nodiscard]] virtual std::vector<ActValues> act_and_values_multi(
+      const std::vector<std::vector<double>>& states,
+      std::span<const std::size_t> group_sizes) const;
 };
 
 // Teacher backed by an actor-critic PolicyNet (Pensieve, AuTO-lRLA).
@@ -73,6 +84,9 @@ class PolicyNetTeacher final : public Teacher {
       const std::vector<std::vector<double>>& states) const override;
   [[nodiscard]] ActValues act_and_values(
       const std::vector<std::vector<double>>& states) const override;
+  [[nodiscard]] std::vector<ActValues> act_and_values_multi(
+      const std::vector<std::vector<double>>& states,
+      std::span<const std::size_t> group_sizes) const override;
 
  private:
   const nn::PolicyNet* net_;

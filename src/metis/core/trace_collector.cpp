@@ -5,13 +5,37 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "metis/util/check.h"
 
 namespace metis::core {
 namespace {
+
+// The lockstep batches push the forward pass's intermediate tensors past
+// glibc's default mmap/trim thresholds (128 KiB): every step's graph
+// would then hand its pages back to the kernel on free and fault them in
+// again on the next step — measured ~12k minor faults and a ~30%
+// collection slowdown per Pensieve-scale round. Raise both thresholds
+// once so the allocator keeps recycling those chunks. Process-wide and
+// glibc-specific (no-op elsewhere): a few MB of retained heap in
+// exchange for fault-free steady-state collection.
+void retain_large_alloc_pages() {
+#if defined(__GLIBC__)
+  static const bool once = [] {
+    mallopt(M_MMAP_THRESHOLD, 32 << 20);
+    mallopt(M_TRIM_THRESHOLD, 32 << 20);
+    return true;
+  }();
+  (void)once;
+#endif
+}
 
 // One episode of §3.2 step 1. Everything the episode touches is local to
 // the call — the env instance, the per-step teacher queries, the takeover
@@ -100,6 +124,156 @@ std::vector<CollectedSample> collect_episode(const Teacher& teacher,
   return samples;
 }
 
+// --- cross-episode lockstep path ---------------------------------------------
+
+// Sentinel for "this episode contributed no row to that batch this step".
+constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+
+// Live state of one episode advancing in lockstep with its block. The
+// fields mirror collect_episode's locals exactly; the per-step logic below
+// must stay in sync with collect_episode (the sequential reference).
+struct LockstepEpisode {
+  std::size_t slot = 0;  // index into the round's per_episode output
+  std::shared_ptr<RolloutEnv> env;
+  std::vector<double> state;
+  std::size_t deviations = 0;
+  std::size_t teacher_control_left = 0;
+};
+
+// Runs episodes [first, first + count) of the round in lockstep: all of
+// them advance through step t together, and the step's teacher queries
+// are batched — fused Eq. 1 groups ([s, s'_1..s'_A] per episode) into one
+// act_and_values_multi call, plain policy queries into one act_batch
+// call. Episodes that terminate drop out of the batch; per-episode rows
+// are independent, so every episode's samples are bitwise identical to
+// collect_episode's.
+void collect_block_lockstep(const Teacher& teacher,
+                            std::span<const std::shared_ptr<RolloutEnv>> envs,
+                            const CollectConfig& cfg,
+                            const StudentPolicy* student,
+                            std::size_t episode_offset, std::size_t first,
+                            std::size_t count,
+                            std::vector<std::vector<CollectedSample>>& out) {
+  std::vector<LockstepEpisode> active;
+  active.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    LockstepEpisode ep;
+    ep.slot = first + i;
+    ep.env = envs[first + i];
+    ep.state = ep.env->reset(episode_offset + first + i);
+    active.push_back(std::move(ep));
+  }
+
+  const bool fused = cfg.weight_by_advantage && cfg.batched_inference;
+  for (std::size_t t = 0; t < cfg.max_steps && !active.empty(); ++t) {
+    // Phase 1: assemble the step's queries across the block. Episode e
+    // contributes either a fused group (Eq. 1 lookahead available) or a
+    // single act row; with batched_inference off it keeps the scalar
+    // reference calls in phase 2.
+    std::vector<std::vector<double>> fused_rows;
+    std::vector<std::size_t> fused_groups;
+    std::vector<std::size_t> fused_of(active.size(), kNoRow);
+    std::vector<std::vector<Lookahead>> lookaheads(active.size());
+    std::vector<std::vector<double>> act_rows;
+    std::vector<std::size_t> act_of(active.size(), kNoRow);
+    for (std::size_t e = 0; e < active.size(); ++e) {
+      if (fused) {
+        lookaheads[e] = active[e].env->lookahead();
+        if (!lookaheads[e].empty()) {
+          MET_CHECK(lookaheads[e].size() == teacher.action_count());
+          fused_of[e] = fused_groups.size();
+          fused_groups.push_back(lookaheads[e].size() + 1);
+          fused_rows.push_back(active[e].state);
+          for (auto& l : lookaheads[e]) {
+            fused_rows.push_back(std::move(l.next_state));
+          }
+          continue;
+        }
+      }
+      if (cfg.batched_inference) {
+        act_of[e] = act_rows.size();
+        act_rows.push_back(active[e].state);
+      }
+    }
+    std::vector<Teacher::ActValues> fused_out;
+    if (!fused_rows.empty()) {
+      fused_out = teacher.act_and_values_multi(fused_rows, fused_groups);
+    }
+    std::vector<std::size_t> act_out;
+    if (!act_rows.empty()) act_out = teacher.act_batch(act_rows);
+
+    // Phase 2: per-episode labeling, control handoff, and stepping — in
+    // episode order, mirroring collect_episode line for line.
+    std::vector<LockstepEpisode> still;
+    still.reserve(active.size());
+    for (std::size_t e = 0; e < active.size(); ++e) {
+      LockstepEpisode& ep = active[e];
+      CollectedSample sample;
+      sample.features = ep.env->interpretable_features();
+
+      std::size_t teacher_action;
+      bool weighted = false;
+      if (fused_of[e] != kNoRow) {
+        const Teacher::ActValues& av = fused_out[fused_of[e]];
+        const std::vector<Lookahead>& la = lookaheads[e];
+        MET_CHECK(av.values.size() == la.size() + 1);
+        teacher_action = av.action;
+        double min_q = la[0].reward + cfg.gamma * av.values[1];
+        for (std::size_t a = 1; a < la.size(); ++a) {
+          min_q = std::min(min_q, la[a].reward + cfg.gamma * av.values[a + 1]);
+        }
+        sample.weight = std::max(av.values[0] - min_q, 1e-3);
+        weighted = true;
+      } else if (act_of[e] != kNoRow) {
+        teacher_action = act_out[act_of[e]];
+      } else {
+        teacher_action = teacher.act(ep.state);
+      }
+      if (cfg.weight_by_advantage && !weighted) {
+        const auto qs = ep.env->q_values(teacher, cfg.gamma);
+        if (!qs.empty()) {
+          MET_CHECK(qs.size() == teacher.action_count());
+          const double v = teacher.value(ep.state);
+          const double min_q = *std::min_element(qs.begin(), qs.end());
+          sample.weight = std::max(v - min_q, 1e-3);
+        }
+      }
+      sample.action = teacher_action;
+      std::vector<CollectedSample>& samples = out[ep.slot];
+      samples.push_back(std::move(sample));
+
+      std::size_t executed = teacher_action;
+      if (student != nullptr && ep.teacher_control_left == 0) {
+        executed = (*student)(samples.back().features);
+        MET_CHECK(executed < ep.env->action_count());
+        if (executed != teacher_action) {
+          if (++ep.deviations >= cfg.deviation_limit) {
+            ep.teacher_control_left = cfg.takeover_steps;
+            ep.deviations = 0;
+          }
+        } else {
+          ep.deviations = 0;
+        }
+      } else if (ep.teacher_control_left > 0) {
+        --ep.teacher_control_left;
+      }
+
+      nn::StepResult sr = ep.env->step(executed);
+      if (sr.done) {
+        if (cfg.on_episode_done) cfg.on_episode_done();
+      } else {
+        ep.state = std::move(sr.next_state);
+        still.push_back(std::move(ep));
+      }
+    }
+    active = std::move(still);
+  }
+  // Episodes that exhausted max_steps without terminating complete here.
+  if (cfg.on_episode_done) {
+    for (std::size_t e = 0; e < active.size(); ++e) cfg.on_episode_done();
+  }
+}
+
 std::vector<CollectedSample> merge_in_episode_order(
     std::vector<std::vector<CollectedSample>>&& per_episode) {
   std::size_t total = 0;
@@ -124,6 +298,54 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
 
   const std::size_t workers =
       std::min(std::max<std::size_t>(cfg.parallel.workers, 1), cfg.episodes);
+
+  if (cfg.parallel.lockstep) {
+    retain_large_alloc_pages();
+    // Every episode of the round is live at once, each on its own clone;
+    // workers > 1 additionally splits the round into contiguous blocks,
+    // one lockstep batch per worker. Block boundaries cannot affect the
+    // result: each episode's rows are independent inside any batch.
+    std::vector<std::shared_ptr<RolloutEnv>> envs;
+    envs.reserve(cfg.episodes);
+    bool cloneable = true;
+    for (std::size_t i = 0; i < cfg.episodes && cloneable; ++i) {
+      envs.push_back(env.clone());
+      cloneable = envs.back() != nullptr;
+    }
+    if (cloneable) {
+      std::vector<std::vector<CollectedSample>> per_episode(cfg.episodes);
+      if (workers <= 1) {
+        collect_block_lockstep(teacher, envs, cfg, student, episode_offset, 0,
+                               cfg.episodes, per_episode);
+      } else {
+        const std::size_t base = cfg.episodes / workers;
+        const std::size_t rem = cfg.episodes % workers;
+        std::exception_ptr error;
+        std::mutex error_mu;
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+          const std::size_t count = base + (w < rem ? 1 : 0);
+          const std::size_t block_first = w * base + std::min(w, rem);
+          threads.emplace_back([&, block_first, count] {
+            try {
+              collect_block_lockstep(teacher, envs, cfg, student,
+                                     episode_offset, block_first, count,
+                                     per_episode);
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (!error) error = std::current_exception();
+            }
+          });
+        }
+        for (auto& t : threads) t.join();
+        if (error) std::rethrow_exception(error);
+      }
+      return merge_in_episode_order(std::move(per_episode));
+    }
+    // Env cannot clone: fall through to the sharded/sequential path.
+  }
+
   if (workers > 1) {
     // Shard episodes across workers, each driving its own env clone.
     // Episodes are claimed dynamically (whichever worker frees up takes
@@ -154,6 +376,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
               if (ep >= cfg.episodes || failed.load()) return;
               per_episode[ep] = collect_episode(teacher, *envs[w], cfg,
                                                 student, episode_offset + ep);
+              if (cfg.on_episode_done) cfg.on_episode_done();
             }
           } catch (...) {
             failed.store(true);
@@ -174,6 +397,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
   for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
     per_episode.push_back(
         collect_episode(teacher, env, cfg, student, episode_offset + ep));
+    if (cfg.on_episode_done) cfg.on_episode_done();
   }
   return merge_in_episode_order(std::move(per_episode));
 }

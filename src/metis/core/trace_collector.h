@@ -31,6 +31,19 @@ namespace metis::core {
 // (PolicyNetTeacher, TabularTeacher) and tree-backed students qualify.
 struct ParallelCollectConfig {
   std::size_t workers = 1;  // <= 1: sequential reference path
+  // Cross-episode lockstep batching: the episodes of a round (or, when
+  // sharded, the episodes assigned to one worker) advance step-for-step
+  // together, and each step's per-episode teacher queries — act(s) plus
+  // Eq. 1's V(s)/V(s') probes — are stacked into ONE
+  // Teacher::act_and_values_multi batch. A DNN teacher then runs one
+  // trunk forward per step for the whole block instead of one per
+  // episode, collapsing a round's trunk forwards from episodes x steps to
+  // ~steps. Per-episode rows stay independent inside the batch, so the
+  // dataset is bitwise identical to the sequential path (and to any
+  // workers/lockstep combination). Every episode of the round is live at
+  // once, so the env must support clone(); envs that cannot clone fall
+  // back to the sharded/sequential reference path.
+  bool lockstep = false;
 };
 
 struct CollectConfig {
@@ -48,6 +61,10 @@ struct CollectConfig {
   // path; results are identical.
   bool batched_inference = true;
   ParallelCollectConfig parallel;
+  // Invoked once per completed episode (serve-path progress reporting).
+  // Called from worker threads when the round is sharded, possibly
+  // concurrently — the callback must be thread-safe.
+  std::function<void()> on_episode_done;
 };
 
 struct CollectedSample {

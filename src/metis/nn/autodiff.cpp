@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "metis/nn/gemm.h"
 #include "metis/util/check.h"
 
 namespace metis::nn {
@@ -58,13 +59,43 @@ Var parameter(Tensor value) {
 Var matmul(const Var& a, const Var& b) {
   Tensor out = Tensor::matmul(a->value(), b->value());
   return make_node(std::move(out), {a, b}, [](Node& n) {
+    // dA += dY * B^T and dB += A^T * dY through the gemm backend's
+    // transpose kernels — no transposed() copies on the backward path.
     auto& pa = *n.parents()[0];
     auto& pb = *n.parents()[1];
     if (pa.requires_grad()) {
-      pa.grad() += Tensor::matmul(n.grad(), pb.value().transposed());
+      gemm::matmul_transB_acc(n.grad(), pb.value(), pa.grad());
     }
     if (pb.requires_grad()) {
-      pb.grad() += Tensor::matmul(pa.value().transposed(), n.grad());
+      gemm::matmul_transA_acc(pa.value(), n.grad(), pb.grad());
+    }
+  });
+}
+
+Var linear(const Var& x, const Var& w, const Var& b) {
+  MET_CHECK_MSG(x->value().cols() == w->value().rows(),
+                "linear: input width mismatch");
+  MET_CHECK_MSG(
+      b->value().rows() == 1 && b->value().cols() == w->value().cols(),
+      "linear: bias must be 1 x out_dim");
+  Tensor out = gemm::matmul_add_bias(x->value(), w->value(), b->value());
+  return make_node(std::move(out), {x, w, b}, [](Node& n) {
+    auto& px = *n.parents()[0];
+    auto& pw = *n.parents()[1];
+    auto& pb = *n.parents()[2];
+    if (px.requires_grad()) {
+      gemm::matmul_transB_acc(n.grad(), pw.value(), px.grad());
+    }
+    if (pw.requires_grad()) {
+      gemm::matmul_transA_acc(px.value(), n.grad(), pw.grad());
+    }
+    if (pb.requires_grad()) {
+      // Row-major accumulation order, matching add()'s broadcast backward.
+      Tensor& bg = pb.grad();
+      const Tensor& g = n.grad();
+      for (std::size_t r = 0; r < g.rows(); ++r) {
+        for (std::size_t c = 0; c < g.cols(); ++c) bg(0, c) += g(r, c);
+      }
     }
   });
 }

@@ -1,0 +1,78 @@
+// Pluggable dense-kernel backend — the GEMM underneath every forward and
+// backward pass in the library (and therefore under the trace-collection
+// hot path that Figures 16/31 measure).
+//
+// Two implementations of every kernel are selectable at runtime:
+//
+//  - Backend::kNaive   — the seed's reference triple loop (order r, k, c
+//    with a zero-skip on the left operand), kept verbatim for A/B parity
+//    testing.
+//  - Backend::kBlocked — cache-blocked, register-tiled kernels with an
+//    explicitly vectorizable inner loop (the accumulator tile lives in
+//    registers across the whole k loop, so the hot loop has no C traffic).
+//
+// Bitwise-identity contract: every output element is the k-ascending
+// accumulation sum_k a(r,k)*b(k,c) into a single accumulator, finished by
+// at most one extra add (the bias, or the += of the _acc variants). Both
+// backends follow exactly that recipe, so for finite inputs the results
+// are bitwise identical (tests/gemm_test.cpp enforces it over randomized
+// shapes). The only divergence the naive zero-skip could introduce is
+// 0 * inf / 0 * nan; no caller feeds non-finite operands.
+//
+// Selection: set_backend() at runtime, the METIS_GEMM_BACKEND environment
+// variable ("naive" | "blocked") at startup, or the CMake option
+// METIS_GEMM_DEFAULT_BLOCKED to flip the compiled-in default (the CI job
+// that runs the full test suite on the blocked backend uses this).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "metis/nn/tensor.h"
+
+namespace metis::nn::gemm {
+
+enum class Backend { kNaive, kBlocked };
+
+[[nodiscard]] const char* to_string(Backend backend);
+// "naive"/"blocked" -> the enum; anything else -> nullopt.
+[[nodiscard]] std::optional<Backend> parse_backend(std::string_view name);
+
+// Process-wide backend selection. Initialized once from METIS_GEMM_BACKEND
+// (falling back to the compiled-in default); reads are a relaxed atomic
+// load, so flipping mid-run is safe and cheap to query on the hot path.
+[[nodiscard]] Backend backend();
+void set_backend(Backend backend);
+
+// RAII backend override for A/B parity tests and benches.
+class BackendScope {
+ public:
+  explicit BackendScope(Backend b) : saved_(backend()) { set_backend(b); }
+  ~BackendScope() { set_backend(saved_); }
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  Backend saved_;
+};
+
+// (m x k) * (k x n) -> (m x n).
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+// a * b with the 1 x n `bias` row added to every output row — the fused
+// form of Linear's forward. Each element is (completed k-sum) + bias(c),
+// bitwise identical to matmul followed by a broadcast add.
+[[nodiscard]] Tensor matmul_add_bias(const Tensor& a, const Tensor& b,
+                                     const Tensor& bias);
+
+// acc += a * b^T  (a: m x k, b: n x k, acc: m x n). Each acc element
+// receives ONE add of the completed k-sum, bitwise identical to
+// acc += matmul(a, b.transposed()) — without materializing the transpose
+// (the autodiff matmul/linear backward's dX += dY * W^T path).
+void matmul_transB_acc(const Tensor& a, const Tensor& b, Tensor& acc);
+
+// acc += a^T * b  (a: k x m, b: k x n, acc: m x n). Same single-add
+// contract; the backward's dW += X^T * dY path.
+void matmul_transA_acc(const Tensor& a, const Tensor& b, Tensor& acc);
+
+}  // namespace metis::nn::gemm

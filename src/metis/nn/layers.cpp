@@ -34,7 +34,7 @@ Linear::Linear(std::size_t in_dim, std::size_t out_dim, metis::Rng& rng)
 Var Linear::forward(const Var& x) const {
   MET_CHECK_MSG(x->value().cols() == in_dim_,
                 "Linear::forward: input width mismatch");
-  return add(matmul(x, w_), b_);
+  return linear(x, w_, b_);
 }
 
 std::size_t parameter_count(const std::vector<Var>& params) {

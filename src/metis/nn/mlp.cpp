@@ -173,6 +173,39 @@ std::pair<std::size_t, std::vector<double>> PolicyNet::act_and_values(
   return {best, std::move(out)};
 }
 
+std::vector<std::pair<std::size_t, std::vector<double>>>
+PolicyNet::act_and_values_multi(const std::vector<std::vector<double>>& rows,
+                                std::span<const std::size_t> group_sizes) const {
+  std::size_t total = 0;
+  for (std::size_t g : group_sizes) {
+    MET_CHECK_MSG(g >= 1, "act_and_values_multi: empty group");
+    total += g;
+  }
+  MET_CHECK_MSG(total == rows.size(),
+                "act_and_values_multi: group sizes must cover all rows");
+  std::vector<std::pair<std::size_t, std::vector<double>>> out;
+  if (rows.empty()) return out;
+  const Var x = constant(Tensor::from_rows(rows));
+  const Var h = trunk(x);  // one forward, shared by both heads
+  const Var p = softmax_rows(policy_logits_from_trunk(h, x));
+  const Var v = value_head_.forward(h);
+  const Tensor& probs = p->value();
+  const Tensor& vals = v->value();
+  out.reserve(group_sizes.size());
+  std::size_t base = 0;
+  for (std::size_t g : group_sizes) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < probs.cols(); ++c) {
+      if (probs(base, c) > probs(base, best)) best = c;
+    }
+    std::vector<double> values(g);
+    for (std::size_t i = 0; i < g; ++i) values[i] = vals(base + i, 0);
+    out.emplace_back(best, std::move(values));
+    base += g;
+  }
+  return out;
+}
+
 std::vector<Var> PolicyNet::parameters() const {
   std::vector<Var> ps;
   for (const auto& l : hidden_) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -79,6 +80,18 @@ class PolicyNet {
   // the trunk cost of issuing the two calls separately.
   [[nodiscard]] std::pair<std::size_t, std::vector<double>> act_and_values(
       const std::vector<std::vector<double>>& states) const;
+
+  // Cross-episode lockstep variant: `rows` stacks several independently
+  // assembled act_and_values batches ("groups") into one matrix;
+  // group_sizes[i] gives group i's row count (its first row is that
+  // group's acting state). One trunk forward feeds both heads for every
+  // group at once; result i is bitwise identical to
+  // act_and_values(rows of group i) because each matrix row is computed
+  // independently, in the same operation order, regardless of which other
+  // rows share the batch.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::vector<double>>>
+  act_and_values_multi(const std::vector<std::vector<double>>& rows,
+                       std::span<const std::size_t> group_sizes) const;
 
   [[nodiscard]] std::vector<Var> parameters() const;
   [[nodiscard]] std::size_t state_dim() const { return state_dim_; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "metis/nn/gemm.h"
 #include "metis/util/check.h"
 
 namespace metis::nn {
@@ -96,18 +97,7 @@ Tensor Tensor::transposed() const {
 }
 
 Tensor Tensor::matmul(const Tensor& a, const Tensor& b) {
-  MET_CHECK_MSG(a.cols_ == b.rows_, "matmul inner dimensions must agree");
-  Tensor out(a.rows_, b.cols_, 0.0);
-  for (std::size_t r = 0; r < a.rows_; ++r) {
-    for (std::size_t k = 0; k < a.cols_; ++k) {
-      const double av = a(r, k);
-      if (av == 0.0) continue;
-      for (std::size_t c = 0; c < b.cols_; ++c) {
-        out(r, c) += av * b(k, c);
-      }
-    }
-  }
-  return out;
+  return gemm::matmul(a, b);
 }
 
 double Tensor::sum() const {

@@ -51,7 +51,9 @@ class Tensor {
 
   [[nodiscard]] Tensor transposed() const;
 
-  // Matrix product: (r x k) * (k x c) -> (r x c).
+  // Matrix product: (r x k) * (k x c) -> (r x c). Dispatches to the
+  // runtime-selected dense-kernel backend (see nn/gemm.h); all backends
+  // produce bitwise-identical results.
   [[nodiscard]] static Tensor matmul(const Tensor& a, const Tensor& b);
 
   // Frobenius-norm squared sum of all entries.

@@ -45,6 +45,21 @@ void JobHandle::wait() const {
   state_->cv.wait(lock, [&] { return is_terminal(state_->status); });
 }
 
+JobProgress JobHandle::progress() const {
+  MET_CHECK(valid());
+  const detail::ProgressCounters& p = *state_->progress;
+  JobProgress out;
+  // Read the done counters FIRST, with acquire: the workers bump them
+  // with release AFTER the totals were stored, so any done > 0 snapshot
+  // is guaranteed to see the totals too — done can never exceed total,
+  // and skew under concurrency only ever understates progress.
+  out.rounds_done = p.rounds_done.load(std::memory_order_acquire);
+  out.episodes_done = p.episodes_done.load(std::memory_order_acquire);
+  out.rounds_total = p.rounds_total.load(std::memory_order_relaxed);
+  out.episodes_total = p.episodes_total.load(std::memory_order_relaxed);
+  return out;
+}
+
 bool JobHandle::cancel() const {
   MET_CHECK(valid());
   std::lock_guard<std::mutex> lock(state_->mu);

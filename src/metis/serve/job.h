@@ -7,6 +7,7 @@
 // table keeps finished jobs until the service is destroyed).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -33,7 +34,32 @@ enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
          status == JobStatus::kCancelled;
 }
 
+// Snapshot of a distill job's collection progress, finer-grained than the
+// queued/running/done status. All zeros until the job's pipeline starts
+// (and for interpret jobs, which have no collection rounds). Episode
+// counters are cumulative across DAgger rounds: episodes_total =
+// episodes-per-round x rounds_total, and episodes_done only ever grows.
+// Tree fitting after the last round is not covered, so a job can sit at
+// full progress briefly before status() flips to done.
+struct JobProgress {
+  std::size_t rounds_total = 0;    // collection rounds (dagger_iterations)
+  std::size_t rounds_done = 0;
+  std::size_t episodes_total = 0;  // across all rounds
+  std::size_t episodes_done = 0;
+};
+
 namespace detail {
+
+// Lock-free progress counters written by the collection threads and read
+// by any number of handle holders. Kept behind its own shared_ptr (not
+// inline in JobState) so the collector callbacks that update it can
+// outlive the job table entry without keeping the whole job alive.
+struct ProgressCounters {
+  std::atomic<std::size_t> rounds_total{0};
+  std::atomic<std::size_t> rounds_done{0};
+  std::atomic<std::size_t> episodes_total{0};
+  std::atomic<std::size_t> episodes_done{0};
+};
 
 // Shared record behind a JobHandle. The service's workers write it; any
 // number of handle holders read it. All fields below `mu` are guarded.
@@ -43,6 +69,8 @@ struct JobState {
   std::string scenario;
   api::DistillOverrides distill_overrides;
   api::InterpretOverrides interpret_overrides;
+  std::shared_ptr<ProgressCounters> progress =
+      std::make_shared<ProgressCounters>();
 
   mutable std::mutex mu;
   std::condition_variable cv;
@@ -70,6 +98,10 @@ class JobHandle {
   // Current status (non-blocking poll).
   [[nodiscard]] JobStatus status() const;
   [[nodiscard]] bool finished() const { return is_terminal(status()); }
+
+  // Collection-round/episode counters (non-blocking, lock-free poll); see
+  // JobProgress for the exact semantics.
+  [[nodiscard]] JobProgress progress() const;
 
   // Blocks until the job reaches a terminal state.
   void wait() const;

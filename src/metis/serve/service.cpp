@@ -210,7 +210,28 @@ void Service::run_distill(const detail::JobState& state,
   if (config_.collect_workers > 0) {
     cfg.collect.parallel.workers = config_.collect_workers;
   }
+  if (config_.collect_lockstep) cfg.collect.parallel.lockstep = true;
   api::apply_overrides(cfg, state.distill_overrides);
+
+  // Progress counters for JobHandle::progress(). The callbacks capture
+  // only the counters (not the job state), so storing them in the run's
+  // config cannot create a shared_ptr cycle; they are stripped from the
+  // returned config below anyway.
+  // Ordering contract with JobHandle::progress(): the totals are stored
+  // BEFORE collection starts, and every done-counter bump is a release,
+  // so a reader that acquires a non-zero done count is guaranteed to see
+  // the totals — snapshots can never show done > total.
+  const std::shared_ptr<detail::ProgressCounters> progress = state.progress;
+  progress->rounds_total.store(cfg.dagger_iterations,
+                               std::memory_order_relaxed);
+  progress->episodes_total.store(cfg.dagger_iterations * cfg.collect.episodes,
+                                 std::memory_order_relaxed);
+  cfg.collect.on_episode_done = [progress] {
+    progress->episodes_done.fetch_add(1, std::memory_order_release);
+  };
+  cfg.on_round_done = [progress] {
+    progress->rounds_done.fetch_add(1, std::memory_order_release);
+  };
 
   // Rollouts mutate the env: give this job its own clone (the run then
   // owns it outright), or — for envs that cannot clone — hold the slot's
@@ -227,6 +248,9 @@ void Service::run_distill(const detail::JobState& state,
   out.scenario = scenario.key();
   out.system = sys;
   out.config = cfg;
+  // Re-running the returned config must not tick this job's counters.
+  out.config.collect.on_episode_done = nullptr;
+  out.config.on_round_done = nullptr;
   out.result = core::distill_policy(*sys.teacher, *sys.env, cfg);
 }
 

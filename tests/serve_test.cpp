@@ -196,6 +196,158 @@ TEST(ParallelCollection, NonCloneableEnvFallsBackToSequential) {
   expect_identical(sequential, fallback, "fallback");
 }
 
+// ---- cross-episode lockstep collection --------------------------------------
+
+TEST(LockstepCollection, BitwiseIdenticalToSequential) {
+  RuleTeacher teacher;
+  SplitLineEnv env(123);
+  core::CollectConfig cc;
+  cc.episodes = 9;
+  cc.max_steps = 25;
+
+  const auto sequential = core::collect_traces(teacher, env, cc, nullptr, 0);
+  ASSERT_GT(sequential.size(), 100u);
+  cc.parallel.lockstep = true;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    cc.parallel.workers = workers;
+    const auto lockstep = core::collect_traces(teacher, env, cc, nullptr, 0);
+    expect_identical(sequential, lockstep,
+                     "lockstep workers=" + std::to_string(workers));
+  }
+}
+
+TEST(LockstepCollection, DaggerStudentPathAlsoIdentical) {
+  RuleTeacher teacher;
+  SplitLineEnv env(321);
+  core::CollectConfig cc;
+  cc.episodes = 8;
+  cc.max_steps = 25;
+  core::StudentPolicy student = [](std::span<const double> f) {
+    return static_cast<std::size_t>(f[0] > 0.42 ? 1 : 0);
+  };
+
+  const auto sequential =
+      core::collect_traces(teacher, env, cc, &student, 40);
+  cc.parallel.lockstep = true;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    cc.parallel.workers = workers;
+    const auto lockstep =
+        core::collect_traces(teacher, env, cc, &student, 40);
+    expect_identical(sequential, lockstep,
+                     "lockstep workers=" + std::to_string(workers));
+  }
+}
+
+// The full Eq. 1 path (lookahead + fused value probes) over the real ABR
+// environment: lockstep batching, alone and composed with sharding, still
+// reproduces the sequential dataset bit for bit.
+TEST(LockstepCollection, AbrEq1PathIdentical) {
+  abr::Video video(12, 3);
+  abr::TraceGenConfig tcfg;
+  tcfg.duration_seconds = 200.0;
+  abr::AbrEnv env(video, abr::generate_corpus(tcfg, 3, 11));
+  metis::Rng rng(36);
+  nn::PolicyNet net(abr::kStateDim, 16, 1, 6, rng);
+  core::PolicyNetTeacher teacher(&net);
+  abr::AbrRolloutEnv rollout(&env);
+
+  core::CollectConfig cc;
+  cc.episodes = 6;
+  cc.max_steps = 12;
+  const auto sequential = core::collect_traces(teacher, rollout, cc, nullptr, 0);
+  ASSERT_GT(sequential.size(), 40u);
+  cc.parallel.lockstep = true;
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    cc.parallel.workers = workers;
+    const auto lockstep =
+        core::collect_traces(teacher, rollout, cc, nullptr, 0);
+    expect_identical(sequential, lockstep,
+                     "lockstep workers=" + std::to_string(workers));
+  }
+}
+
+TEST(LockstepCollection, NonCloneableEnvFallsBackToSequential) {
+  RuleTeacher teacher;
+  SplitLineEnv env(55, /*cloneable=*/false);
+  core::CollectConfig cc;
+  cc.episodes = 5;
+  cc.max_steps = 25;
+  const auto sequential = core::collect_traces(teacher, env, cc, nullptr, 0);
+  cc.parallel.lockstep = true;
+  cc.parallel.workers = 4;
+  const auto fallback = core::collect_traces(teacher, env, cc, nullptr, 0);
+  expect_identical(sequential, fallback, "lockstep fallback");
+}
+
+// Counts teacher trunk queries by delegation, to pin the claimed win:
+// sequential fused collection issues one act_and_values per (episode,
+// step); lockstep collapses each step's whole block into one
+// act_and_values_multi call.
+class CountingTeacher final : public core::Teacher {
+ public:
+  explicit CountingTeacher(const core::Teacher* inner) : inner_(inner) {}
+  std::size_t action_count() const override { return inner_->action_count(); }
+  std::size_t act(std::span<const double> s) const override {
+    return inner_->act(s);
+  }
+  double value(std::span<const double> s) const override {
+    return inner_->value(s);
+  }
+  std::vector<double> action_probs(std::span<const double> s) const override {
+    return inner_->action_probs(s);
+  }
+  ActValues act_and_values(
+      const std::vector<std::vector<double>>& states) const override {
+    ++fused_calls;
+    return inner_->act_and_values(states);
+  }
+  std::vector<ActValues> act_and_values_multi(
+      const std::vector<std::vector<double>>& states,
+      std::span<const std::size_t> group_sizes) const override {
+    ++multi_calls;
+    return inner_->act_and_values_multi(states, group_sizes);
+  }
+
+  mutable std::atomic<std::size_t> fused_calls{0};
+  mutable std::atomic<std::size_t> multi_calls{0};
+
+ private:
+  const core::Teacher* inner_;
+};
+
+TEST(LockstepCollection, TrunkForwardsCollapseFromEpisodesXStepsToSteps) {
+  abr::Video video(12, 3);
+  abr::TraceGenConfig tcfg;
+  tcfg.duration_seconds = 200.0;
+  abr::AbrEnv env(video, abr::generate_corpus(tcfg, 3, 11));
+  metis::Rng rng(36);
+  nn::PolicyNet net(abr::kStateDim, 16, 1, 6, rng);
+  core::PolicyNetTeacher inner(&net);
+  abr::AbrRolloutEnv rollout(&env);
+
+  core::CollectConfig cc;
+  cc.episodes = 6;
+  cc.max_steps = 12;
+
+  CountingTeacher sequential_teacher(&inner);
+  const auto sequential =
+      core::collect_traces(sequential_teacher, rollout, cc, nullptr, 0);
+  // One fused trunk forward per collected sample (episode x step).
+  EXPECT_EQ(sequential_teacher.fused_calls.load(), sequential.size());
+  EXPECT_EQ(sequential_teacher.multi_calls.load(), 0u);
+
+  CountingTeacher lockstep_teacher(&inner);
+  cc.parallel.lockstep = true;
+  const auto lockstep =
+      core::collect_traces(lockstep_teacher, rollout, cc, nullptr, 0);
+  expect_identical(sequential, lockstep, "counting lockstep");
+  EXPECT_EQ(lockstep_teacher.fused_calls.load(), 0u);
+  EXPECT_LE(lockstep_teacher.multi_calls.load(), cc.max_steps);
+  EXPECT_GT(lockstep_teacher.multi_calls.load(), 0u);
+  EXPECT_LT(lockstep_teacher.multi_calls.load(),
+            sequential_teacher.fused_calls.load());
+}
+
 // ---- fused act_and_values ---------------------------------------------------
 
 TEST(FusedActValues, MatchesSeparateCallsBitwise) {
@@ -456,6 +608,94 @@ TEST(Service, ShardedCollectionMatchesFacadeBitwise) {
   ASSERT_EQ(a.x, b.x);
   ASSERT_EQ(a.y, b.y);
   ASSERT_EQ(a.weight, b.weight);
+}
+
+// Lockstep collection through the service front door (ServiceConfig
+// default and per-job override) must also leave results untouched.
+TEST(Service, LockstepCollectionMatchesFacadeBitwise) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line"));
+
+  Interpreter facade(&reg);
+  api::DistillOverrides o;
+  o.seed = 5;
+  auto reference = facade.distill("line", o);
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.registry = &reg;
+  cfg.collect_workers = 3;
+  cfg.collect_lockstep = true;  // sharded + lockstep
+  serve::Service svc(cfg);
+  auto lockstep = svc.submit_distill("line", o).take_distill_run();
+  EXPECT_TRUE(lockstep.config.collect.parallel.lockstep);
+
+  // Per-job override through the facade path, no service default.
+  api::DistillOverrides o2 = o;
+  o2.collect_lockstep = true;
+  o2.collect_workers = 2;
+  auto overridden = facade.distill("line", o2);
+
+  for (const api::DistillRun* run : {&lockstep, &overridden}) {
+    ASSERT_EQ(run->result.samples_collected,
+              reference.result.samples_collected);
+    ASSERT_EQ(run->result.fidelity, reference.result.fidelity);  // bitwise
+    ASSERT_EQ(run->result.train_data.x, reference.result.train_data.x);
+    ASSERT_EQ(run->result.train_data.y, reference.result.train_data.y);
+    ASSERT_EQ(run->result.train_data.weight,
+              reference.result.train_data.weight);
+  }
+}
+
+// ---- job progress -----------------------------------------------------------
+
+TEST(Service, ProgressCountersReachTheirTotals) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line"));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  auto job = svc.submit_distill("line");
+  const serve::JobProgress before = job.progress();  // may already be running
+  EXPECT_LE(before.rounds_done, before.rounds_total);
+  EXPECT_LE(before.episodes_done, before.episodes_total);
+
+  job.wait();
+  ASSERT_EQ(job.status(), serve::JobStatus::kDone) << job.error();
+  const serve::JobProgress done = job.progress();
+  // LineScenario: 2 DAgger iterations x 6 episodes.
+  EXPECT_EQ(done.rounds_total, 2u);
+  EXPECT_EQ(done.rounds_done, 2u);
+  EXPECT_EQ(done.episodes_total, 12u);
+  EXPECT_EQ(done.episodes_done, 12u);
+}
+
+TEST(Service, ProgressRespectsOverridesAndStaysZeroOnFailure) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line"));
+  serve::ServiceConfig cfg;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  api::DistillOverrides o;
+  o.episodes = 4;
+  o.dagger_iterations = 3;
+  o.collect_workers = 2;  // episode ticks come from worker threads
+  auto job = svc.submit_distill("line", o);
+  job.wait();
+  ASSERT_EQ(job.status(), serve::JobStatus::kDone) << job.error();
+  EXPECT_EQ(job.progress().rounds_done, 3u);
+  EXPECT_EQ(job.progress().episodes_done, 12u);
+  EXPECT_EQ(job.progress().episodes_total, 12u);
+
+  auto failed = svc.submit_distill("no-such-scenario");
+  failed.wait();
+  EXPECT_EQ(failed.status(), serve::JobStatus::kFailed);
+  EXPECT_EQ(failed.progress().rounds_total, 0u);
+  EXPECT_EQ(failed.progress().episodes_done, 0u);
 }
 
 // ---- registry thread-safety -------------------------------------------------
