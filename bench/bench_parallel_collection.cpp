@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "metis/core/teacher.h"
 #include "metis/core/trace_collector.h"
+#include "metis/nn/arena.h"
 #include "metis/nn/gemm.h"
 
 namespace {
@@ -47,6 +48,7 @@ struct Mode {
   std::size_t workers;
   bool lockstep;
   nn::gemm::Backend backend;
+  bool arena;  // per-thread tensor arena on/off for this mode
   const char* label;
 };
 
@@ -82,14 +84,16 @@ int main() {
   constexpr auto kNaive = nn::gemm::Backend::kNaive;
   constexpr auto kBlocked = nn::gemm::Backend::kBlocked;
   const std::vector<Mode> modes = {
-      {1, false, kNaive, "sequential (naive gemm)"},
-      {2, false, kNaive, "sharded x2"},
-      {4, false, kNaive, "sharded x4"},
-      {1, true, kNaive, "lockstep"},
-      {4, true, kNaive, "sharded x4 + lockstep"},
-      {1, false, kBlocked, "sequential + blocked gemm"},
-      {1, true, kBlocked, "lockstep + blocked gemm"},
-      {4, true, kBlocked, "sharded x4 + lockstep + blocked"},
+      {1, false, kNaive, false, "sequential (naive gemm, no arena)"},
+      {2, false, kNaive, false, "sharded x2"},
+      {4, false, kNaive, false, "sharded x4"},
+      {1, true, kNaive, false, "lockstep"},
+      {4, true, kNaive, false, "sharded x4 + lockstep"},
+      {1, false, kBlocked, false, "sequential + blocked gemm"},
+      {1, true, kBlocked, false, "lockstep + blocked gemm"},
+      {1, true, kBlocked, true, "lockstep + blocked + arena"},
+      {1, false, kBlocked, true, "sequential + blocked + arena"},
+      {4, true, kBlocked, true, "sharded x4 + lockstep + blocked + arena"},
   };
   std::vector<core::CollectedSample> reference;
   std::vector<double> best_seconds(modes.size(), 1e100);
@@ -98,6 +102,7 @@ int main() {
     cc.parallel.workers = modes[m].workers;
     cc.parallel.lockstep = modes[m].lockstep;
     nn::gemm::BackendScope backend(modes[m].backend);
+    nn::arena::set_enabled(modes[m].arena);
     for (int r = 0; r < kReps; ++r) {
       std::vector<core::CollectedSample> samples;
       const double s = collect_seconds(teacher, rollout, cc,
@@ -112,6 +117,7 @@ int main() {
       }
     }
   }
+  nn::arena::set_enabled(true);
   if (!all_identical) {
     std::cout << "ERROR: parallel collection diverged from sequential\n";
     return EXIT_FAILURE;
@@ -136,16 +142,18 @@ int main() {
   json.set("max_steps", cc.max_steps);
   json.set("samples", reference.size());
   {
-    std::vector<double> workers, lockstep, blocked, ms;
+    std::vector<double> workers, lockstep, blocked, arena, ms;
     for (const Mode& m : modes) {
       workers.push_back(static_cast<double>(m.workers));
       lockstep.push_back(m.lockstep ? 1.0 : 0.0);
       blocked.push_back(m.backend == kBlocked ? 1.0 : 0.0);
+      arena.push_back(m.arena ? 1.0 : 0.0);
     }
     for (double s : best_seconds) ms.push_back(s * 1e3);
     json.set("workers", workers);
     json.set("lockstep", lockstep);
     json.set("blocked_gemm", blocked);
+    json.set("arena", arena);
     json.set("best_ms", ms);
   }
   json.set("speedups", speedups);

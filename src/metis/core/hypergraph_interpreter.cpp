@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metis/nn/arena.h"
 #include "metis/nn/optim.h"
 #include "metis/util/check.h"
 
@@ -52,6 +53,12 @@ InterpretResult find_critical_connections(const MaskableModel& model,
   };
 
   double last_div = 0.0, last_l1 = 0.0, last_entropy = 0.0;
+  // Every optimization step builds and tears down the same graph shapes;
+  // the arena recycles those buffers across all cfg.steps iterations.
+  // The logits gradient (allocated lazily on the first backward) stays
+  // live past the scope, which is safe: arena blocks are ordinary
+  // operator-new blocks whatever their release site.
+  nn::arena::Scope arena;
   for (std::size_t step = 0; step < cfg.steps; ++step) {
     nn::Var w = masked();
     nn::Var y = model.decisions(w);

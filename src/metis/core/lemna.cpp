@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metis/nn/arena.h"
 #include "metis/util/check.h"
 
 namespace metis::core {
@@ -28,6 +29,9 @@ LemnaSurrogate LemnaSurrogate::fit(const std::vector<std::vector<double>>& x,
   MET_CHECK(targets.rows() == x.size());
   MET_CHECK(cfg.components >= 1);
   metis::Rng rng(cfg.seed);
+  // EM re-fits one weighted ridge per component per iteration — identical
+  // tensor shapes every time; park them in the arena between fits.
+  nn::arena::Scope arena;
 
   LemnaSurrogate s;
   s.clusters_ = kmeans(x, cfg.clusters, rng);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metis/nn/arena.h"
 #include "metis/util/check.h"
 
 namespace metis::core {
@@ -13,6 +14,10 @@ LimeSurrogate LimeSurrogate::fit(const std::vector<std::vector<double>>& x,
   MET_CHECK(!x.empty());
   MET_CHECK(targets.rows() == x.size());
   metis::Rng rng(cfg.seed);
+  // The per-cluster ridge fits allocate the same normal-equation tensor
+  // shapes over and over; recycle them. The coefficient tensors stored in
+  // s.coef_ outlive the scope, which the arena supports by design.
+  nn::arena::Scope arena;
 
   LimeSurrogate s;
   s.clusters_ = kmeans(x, cfg.clusters, rng);

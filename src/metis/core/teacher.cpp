@@ -1,11 +1,15 @@
 #include "metis/core/teacher.h"
 
+#include "metis/nn/autodiff.h"
 #include "metis/util/check.h"
 
 namespace metis::core {
 
 std::vector<std::size_t> Teacher::act_batch(
     const std::vector<std::vector<double>>& states) const {
+  // Pure inference: none of the batch defaults (or their scalar
+  // callees) ever backpropagate, so the whole loop runs tape-free.
+  nn::NoGradGuard no_grad;
   std::vector<std::size_t> out;
   out.reserve(states.size());
   for (const auto& s : states) out.push_back(act(s));
@@ -14,6 +18,7 @@ std::vector<std::size_t> Teacher::act_batch(
 
 std::vector<double> Teacher::value_batch(
     const std::vector<std::vector<double>>& states) const {
+  nn::NoGradGuard no_grad;
   std::vector<double> out;
   out.reserve(states.size());
   for (const auto& s : states) out.push_back(value(s));
@@ -22,6 +27,7 @@ std::vector<double> Teacher::value_batch(
 
 std::vector<std::vector<double>> Teacher::action_probs_batch(
     const std::vector<std::vector<double>>& states) const {
+  nn::NoGradGuard no_grad;
   std::vector<std::vector<double>> out;
   out.reserve(states.size());
   for (const auto& s : states) out.push_back(action_probs(s));
@@ -31,6 +37,7 @@ std::vector<std::vector<double>> Teacher::action_probs_batch(
 Teacher::ActValues Teacher::act_and_values(
     const std::vector<std::vector<double>>& states) const {
   MET_CHECK(!states.empty());
+  nn::NoGradGuard no_grad;
   ActValues out;
   out.action = act(states.front());
   out.values = value_batch(states);
@@ -110,6 +117,7 @@ std::vector<Teacher::ActValues> PolicyNetTeacher::act_and_values_multi(
 
 std::vector<double> RolloutEnv::q_values(const Teacher& teacher,
                                          double gamma) const {
+  nn::NoGradGuard no_grad;
   const std::vector<Lookahead> la = lookahead();
   if (la.empty()) return {};
   std::vector<double> qs(la.size());

@@ -13,17 +13,19 @@
 #include <malloc.h>
 #endif
 
+#include "metis/nn/arena.h"
+#include "metis/nn/autodiff.h"
 #include "metis/util/check.h"
 
 namespace metis::core {
 namespace {
 
-// The lockstep batches push the forward pass's intermediate tensors past
-// glibc's default mmap/trim thresholds (128 KiB): every step's graph
-// would then hand its pages back to the kernel on free and fault them in
-// again on the next step — measured ~12k minor faults and a ~30%
-// collection slowdown per Pensieve-scale round. Raise both thresholds
-// once so the allocator keeps recycling those chunks. Process-wide and
+// The per-thread tensor arena now keeps every batch tensor out of
+// malloc entirely, but non-tensor allocations on the lockstep path (the
+// per-step row vectors, autodiff node blocks) can still cross glibc's
+// default mmap/trim thresholds (128 KiB) and fault pages in and out
+// every step. Keep the thresholds raised as a belt-and-braces backstop
+// for whatever the arena does not cover. Process-wide and
 // glibc-specific (no-op elsewhere): a few MB of retained heap in
 // exchange for fault-free steady-state collection.
 void retain_large_alloc_pages() {
@@ -46,6 +48,9 @@ std::vector<CollectedSample> collect_episode(const Teacher& teacher,
                                              const CollectConfig& cfg,
                                              const StudentPolicy* student,
                                              std::size_t episode_index) {
+  // Collection never backpropagates: run the whole episode tape-free so
+  // every teacher forward skips parent wiring and gradient tensors.
+  nn::NoGradGuard no_grad;
   std::vector<CollectedSample> samples;
   std::vector<double> state = env.reset(episode_index);
   std::size_t deviations = 0;
@@ -154,6 +159,12 @@ void collect_block_lockstep(const Teacher& teacher,
                             std::size_t episode_offset, std::size_t first,
                             std::size_t count,
                             std::vector<std::vector<CollectedSample>>& out) {
+  // Tape-free inference + buffer recycling: each step of the block
+  // allocates the same batch/intermediate tensor shapes, so after the
+  // first step the arena serves every one from its free list
+  // (tests/alloc_test.cpp pins this to zero fresh allocations).
+  nn::NoGradGuard no_grad;
+  nn::arena::Scope arena;
   std::vector<LockstepEpisode> active;
   active.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -316,7 +327,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
       std::vector<std::vector<CollectedSample>> per_episode(cfg.episodes);
       if (workers <= 1) {
         collect_block_lockstep(teacher, envs, cfg, student, episode_offset, 0,
-                               cfg.episodes, per_episode);
+                               cfg.episodes, per_episode);  // scoped inside
       } else {
         const std::size_t base = cfg.episodes / workers;
         const std::size_t rem = cfg.episodes % workers;
@@ -369,6 +380,9 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
       for (std::size_t w = 0; w < workers; ++w) {
         threads.emplace_back([&, w] {
           try {
+            // One arena per worker thread: buffers recycle across all the
+            // episodes this worker claims, not just within one.
+            nn::arena::Scope arena;
             for (;;) {
               const std::size_t ep = next.fetch_add(1);
               // One failed episode aborts the round: stop claiming so the
@@ -394,6 +408,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
 
   std::vector<std::vector<CollectedSample>> per_episode;
   per_episode.reserve(cfg.episodes);
+  nn::arena::Scope arena;  // recycle buffers across the whole round
   for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
     per_episode.push_back(
         collect_episode(teacher, env, cfg, student, episode_offset + ep));

@@ -1,0 +1,140 @@
+#include "metis/nn/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace metis::nn::arena {
+namespace {
+
+bool initial_enabled() {
+  if (const char* env = std::getenv("METIS_TENSOR_ARENA")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::atomic<bool>& enabled_slot() {
+  static std::atomic<bool> slot{initial_enabled()};
+  return slot;
+}
+
+// Set once the thread's pool has been destroyed (thread exit, or main's
+// thread_local teardown). A trivially destructible flag outlives the
+// pool, so allocations from static-duration objects that die later —
+// e.g. a global net whose Tensors free during static destruction — can
+// detect the dead pool and fall back to plain new/delete instead of
+// touching an object whose lifetime has ended.
+thread_local bool t_pool_destroyed = false;
+
+// Retention bound: a long-lived scope (e.g. serve's per-job scope) would
+// otherwise pin every distinct buffer size freed under it until the
+// scope exits. Beyond this many parked bytes per thread, freed blocks
+// are released instead — hot shapes keep recycling, cold ones cannot
+// accumulate more than the cap.
+constexpr std::size_t kMaxPooledBytes = std::size_t{64} << 20;
+
+// One per thread: the size-bucketed cache plus this thread's counters.
+// Blocks parked here all came from ::operator new, so draining (at
+// outermost-scope exit or thread exit) releases them the ordinary way.
+struct ThreadPool {
+  std::unordered_map<std::size_t, std::vector<void*>> buckets;
+  std::size_t pooled_bytes = 0;
+  int depth = 0;
+  Stats stats;
+
+  void drain() {
+    for (auto& [bytes, blocks] : buckets) {
+      for (void* p : blocks) ::operator delete(p);
+    }
+    buckets.clear();
+    pooled_bytes = 0;
+    stats.pooled = 0;
+  }
+
+  ~ThreadPool() {
+    drain();
+    t_pool_destroyed = true;
+  }
+};
+
+ThreadPool& pool() {
+  thread_local ThreadPool p;
+  return p;
+}
+
+}  // namespace
+
+Stats stats() { return t_pool_destroyed ? Stats{} : pool().stats; }
+
+void reset_stats() {
+  if (t_pool_destroyed) return;
+  Stats& s = pool().stats;
+  const std::uint64_t pooled = s.pooled;  // blocks in flight stay counted
+  s = Stats{};
+  s.pooled = pooled;
+}
+
+bool enabled() { return enabled_slot().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_slot().store(on, std::memory_order_relaxed);
+}
+
+Scope::Scope() : active_(enabled() && !t_pool_destroyed) {
+  if (active_) ++pool().depth;
+}
+
+Scope::~Scope() {
+  if (!active_ || t_pool_destroyed) return;
+  ThreadPool& p = pool();
+  if (--p.depth == 0) p.drain();
+}
+
+void* allocate(std::size_t bytes) {
+  if (t_pool_destroyed) return ::operator new(bytes);
+  ThreadPool& p = pool();
+  if (p.depth > 0) {
+    auto it = p.buckets.find(bytes);
+    if (it != p.buckets.end() && !it->second.empty()) {
+      void* block = it->second.back();
+      it->second.pop_back();
+      p.pooled_bytes -= bytes;
+      ++p.stats.reuses;
+      --p.stats.pooled;
+      return block;
+    }
+  }
+  ++p.stats.fresh_allocs;
+  p.stats.bytes_fresh += bytes;
+  return ::operator new(bytes);
+}
+
+void deallocate(void* block, std::size_t bytes) noexcept {
+  if (block == nullptr) return;
+  if (t_pool_destroyed) {
+    ::operator delete(block);
+    return;
+  }
+  ThreadPool& p = pool();
+  if (p.depth > 0 && p.pooled_bytes + bytes <= kMaxPooledBytes) {
+    // Parking can itself allocate (bucket-vector growth, map node); if
+    // that throws under memory pressure, releasing the block outright is
+    // the only correct fallback inside a noexcept free path.
+    try {
+      p.buckets[bytes].push_back(block);
+      p.pooled_bytes += bytes;
+      ++p.stats.pooled;
+      return;
+    } catch (...) {
+    }
+  }
+  ::operator delete(block);
+}
+
+}  // namespace metis::nn::arena

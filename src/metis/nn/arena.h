@@ -1,0 +1,95 @@
+// Per-thread tensor-buffer arena — a size-bucketed free-list cache behind
+// every Tensor's storage.
+//
+// The interpretation hot paths (trace collection, mask optimization, the
+// serve workers) build and tear down the same tensor shapes thousands of
+// times per second. Inside an arena::Scope, a freed tensor buffer is
+// parked in a thread-local pool instead of returning to malloc, and the
+// next allocation of the same size pops it back — so a steady-state loop
+// performs zero fresh allocations after its first iteration
+// (tests/alloc_test.cpp enforces this for lockstep collection).
+//
+// Design invariants:
+//  - The pool is purely a recycling cache: every block is obtained from
+//    ::operator new and eventually released with ::operator delete, so
+//    buffers may freely cross scope boundaries in either direction (a
+//    tensor allocated inside a scope may die after it, and vice versa).
+//  - The pool, its depth counter, and the stats are all thread_local —
+//    no locks, no sharing; each collection/serve worker recycles its own
+//    buffers.
+//  - Scopes nest: the cache drains only when the outermost scope exits
+//    (a test or bench can hold an outer scope to keep buffers warm
+//    across whole collection rounds). Parked bytes are capped per
+//    thread, so a long-lived scope cannot pin more than a bounded
+//    amount of cold buffers while hot shapes keep recycling.
+//  - Recycled memory is always fully overwritten by the tensor
+//    constructors before use, so results are bitwise identical with the
+//    arena on, off, or disabled (METIS_TENSOR_ARENA=0).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace metis::nn::arena {
+
+struct Stats {
+  std::uint64_t fresh_allocs = 0;  // buffers obtained from ::operator new
+  std::uint64_t reuses = 0;        // buffers recycled from the pool
+  std::uint64_t bytes_fresh = 0;   // total bytes of fresh allocations
+  std::uint64_t pooled = 0;        // blocks currently parked in the pool
+};
+
+// Calling thread's counters. fresh_allocs counts every tensor-buffer
+// allocation made on this thread, inside a scope or not, so a test can
+// assert "no fresh allocations across this region" by diffing snapshots.
+[[nodiscard]] Stats stats();
+void reset_stats();
+
+// Process-wide opt-out: METIS_TENSOR_ARENA=0|off at startup, or
+// set_enabled(false) at runtime (the CI arena-off leg and the A/B bench
+// use these). With the arena disabled, Scope is a no-op and every
+// allocation goes straight to operator new/delete.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+// RAII opt-in: tensor buffers freed on this thread while a Scope is
+// active are recycled instead of released. Nests; drains at outermost
+// exit.
+class Scope {
+ public:
+  Scope();
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  bool active_;  // captured at entry so set_enabled mid-scope stays safe
+};
+
+// Allocation hooks used by Allocator<T> below (and by tests).
+[[nodiscard]] void* allocate(std::size_t bytes);
+void deallocate(void* p, std::size_t bytes) noexcept;
+
+// Minimal std-compatible allocator routing through the thread's arena.
+// Stateless and always-equal, so container moves/swaps behave exactly
+// like std::allocator's.
+template <typename T>
+struct Allocator {
+  using value_type = T;
+
+  Allocator() noexcept = default;
+  template <typename U>
+  Allocator(const Allocator<U>&) noexcept {}  // NOLINT(runtime/explicit)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    arena::deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const Allocator&, const Allocator&) { return true; }
+  friend bool operator!=(const Allocator&, const Allocator&) { return false; }
+};
+
+}  // namespace metis::nn::arena

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "metis/nn/gemm.h"
 #include "metis/util/check.h"
@@ -10,25 +11,36 @@
 namespace metis::nn {
 namespace {
 
-Var make_node(Tensor value, std::vector<Var> parents,
-              std::function<void(Node&)> backward) {
-  bool needs = false;
-  for (const auto& p : parents) needs = needs || p->requires_grad();
+thread_local bool t_grad_enabled = true;
+
+// Builds an op node. With the tape off (NoGradGuard active) the node is a
+// bare value holder: no parents, no backward closure — the std::function
+// is never even constructed, so a no-tape forward allocates nothing
+// beyond its output tensor. With the tape on, parents and the closure are
+// recorded only when some parent actually requires a gradient.
+template <typename BackwardFn, typename... Parents>
+Var make_node(Tensor value, BackwardFn&& backward, const Parents&... parents) {
+  if (!t_grad_enabled) {
+    return std::make_shared<Node>(std::move(value), false);
+  }
+  const bool needs = (parents->requires_grad() || ...);
   auto node = std::make_shared<Node>(std::move(value), needs);
-  node->set_parents(std::move(parents));
-  if (needs) node->set_backward(std::move(backward));
+  if (needs) {
+    node->set_parents({parents...});
+    node->set_backward(std::forward<BackwardFn>(backward));
+  }
   return node;
 }
 
 // Element-wise unary op helper: out = f(a), da += g(a, out) * dout.
-Var unary(const Var& a, const std::function<double(double)>& f,
-          const std::function<double(double, double)>& dfdx_of_in_out) {
+template <typename FwdFn, typename BwdFn>
+Var unary(const Var& a, FwdFn f, BwdFn dfdx_of_in_out) {
   Tensor out(a->value().rows(), a->value().cols());
   auto in = a->value().data();
   auto o = out.data();
   for (std::size_t i = 0; i < in.size(); ++i) o[i] = f(in[i]);
-  return make_node(std::move(out), {a},
-                   [f = dfdx_of_in_out](Node& n) {
+  return make_node(std::move(out),
+                   [f = std::move(dfdx_of_in_out)](Node& n) {
                      auto& pa = *n.parents()[0];
                      if (!pa.requires_grad()) return;
                      auto in = pa.value().data();
@@ -38,15 +50,22 @@ Var unary(const Var& a, const std::function<double(double)>& f,
                      for (std::size_t i = 0; i < in.size(); ++i) {
                        pg[i] += f(in[i], out[i]) * g[i];
                      }
-                   });
+                   },
+                   a);
 }
 
 }  // namespace
 
+bool grad_enabled() { return t_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : saved_(t_grad_enabled) {
+  t_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { t_grad_enabled = saved_; }
+
 Node::Node(Tensor value, bool requires_grad)
-    : value_(std::move(value)),
-      grad_(value_.rows(), value_.cols(), 0.0),
-      requires_grad_(requires_grad) {}
+    : value_(std::move(value)), requires_grad_(requires_grad) {}
 
 Var constant(Tensor value) {
   return std::make_shared<Node>(std::move(value), false);
@@ -58,18 +77,21 @@ Var parameter(Tensor value) {
 
 Var matmul(const Var& a, const Var& b) {
   Tensor out = Tensor::matmul(a->value(), b->value());
-  return make_node(std::move(out), {a, b}, [](Node& n) {
-    // dA += dY * B^T and dB += A^T * dY through the gemm backend's
-    // transpose kernels — no transposed() copies on the backward path.
-    auto& pa = *n.parents()[0];
-    auto& pb = *n.parents()[1];
-    if (pa.requires_grad()) {
-      gemm::matmul_transB_acc(n.grad(), pb.value(), pa.grad());
-    }
-    if (pb.requires_grad()) {
-      gemm::matmul_transA_acc(pa.value(), n.grad(), pb.grad());
-    }
-  });
+  return make_node(
+      std::move(out),
+      [](Node& n) {
+        // dA += dY * B^T and dB += A^T * dY through the gemm backend's
+        // transpose kernels — no transposed() copies on the backward path.
+        auto& pa = *n.parents()[0];
+        auto& pb = *n.parents()[1];
+        if (pa.requires_grad()) {
+          gemm::matmul_transB_acc(n.grad(), pb.value(), pa.grad());
+        }
+        if (pb.requires_grad()) {
+          gemm::matmul_transA_acc(pa.value(), n.grad(), pb.grad());
+        }
+      },
+      a, b);
 }
 
 Var linear(const Var& x, const Var& w, const Var& b) {
@@ -79,25 +101,29 @@ Var linear(const Var& x, const Var& w, const Var& b) {
       b->value().rows() == 1 && b->value().cols() == w->value().cols(),
       "linear: bias must be 1 x out_dim");
   Tensor out = gemm::matmul_add_bias(x->value(), w->value(), b->value());
-  return make_node(std::move(out), {x, w, b}, [](Node& n) {
-    auto& px = *n.parents()[0];
-    auto& pw = *n.parents()[1];
-    auto& pb = *n.parents()[2];
-    if (px.requires_grad()) {
-      gemm::matmul_transB_acc(n.grad(), pw.value(), px.grad());
-    }
-    if (pw.requires_grad()) {
-      gemm::matmul_transA_acc(px.value(), n.grad(), pw.grad());
-    }
-    if (pb.requires_grad()) {
-      // Row-major accumulation order, matching add()'s broadcast backward.
-      Tensor& bg = pb.grad();
-      const Tensor& g = n.grad();
-      for (std::size_t r = 0; r < g.rows(); ++r) {
-        for (std::size_t c = 0; c < g.cols(); ++c) bg(0, c) += g(r, c);
-      }
-    }
-  });
+  return make_node(
+      std::move(out),
+      [](Node& n) {
+        auto& px = *n.parents()[0];
+        auto& pw = *n.parents()[1];
+        auto& pb = *n.parents()[2];
+        if (px.requires_grad()) {
+          gemm::matmul_transB_acc(n.grad(), pw.value(), px.grad());
+        }
+        if (pw.requires_grad()) {
+          gemm::matmul_transA_acc(px.value(), n.grad(), pw.grad());
+        }
+        if (pb.requires_grad()) {
+          // Row-major accumulation order, matching add()'s broadcast
+          // backward.
+          Tensor& bg = pb.grad();
+          const Tensor& g = n.grad();
+          for (std::size_t r = 0; r < g.rows(); ++r) {
+            for (std::size_t c = 0; c < g.cols(); ++c) bg(0, c) += g(r, c);
+          }
+        }
+      },
+      x, w, b);
 }
 
 Var add(const Var& a, const Var& b) {
@@ -112,34 +138,40 @@ Var add(const Var& a, const Var& b) {
       out(r, c) += bv(broadcast ? 0 : r, c);
     }
   }
-  return make_node(std::move(out), {a, b}, [broadcast](Node& n) {
-    auto& pa = *n.parents()[0];
-    auto& pb = *n.parents()[1];
-    if (pa.requires_grad()) pa.grad() += n.grad();
-    if (pb.requires_grad()) {
-      if (!broadcast) {
-        pb.grad() += n.grad();
-      } else {
-        for (std::size_t r = 0; r < n.grad().rows(); ++r) {
-          for (std::size_t c = 0; c < n.grad().cols(); ++c) {
-            pb.grad()(0, c) += n.grad()(r, c);
+  return make_node(
+      std::move(out),
+      [broadcast](Node& n) {
+        auto& pa = *n.parents()[0];
+        auto& pb = *n.parents()[1];
+        if (pa.requires_grad()) pa.grad() += n.grad();
+        if (pb.requires_grad()) {
+          if (!broadcast) {
+            pb.grad() += n.grad();
+          } else {
+            for (std::size_t r = 0; r < n.grad().rows(); ++r) {
+              for (std::size_t c = 0; c < n.grad().cols(); ++c) {
+                pb.grad()(0, c) += n.grad()(r, c);
+              }
+            }
           }
         }
-      }
-    }
-  });
+      },
+      a, b);
 }
 
 Var sub(const Var& a, const Var& b) {
   MET_CHECK(a->value().same_shape(b->value()));
   Tensor out = a->value();
   out -= b->value();
-  return make_node(std::move(out), {a, b}, [](Node& n) {
-    auto& pa = *n.parents()[0];
-    auto& pb = *n.parents()[1];
-    if (pa.requires_grad()) pa.grad() += n.grad();
-    if (pb.requires_grad()) pb.grad() -= n.grad();
-  });
+  return make_node(
+      std::move(out),
+      [](Node& n) {
+        auto& pa = *n.parents()[0];
+        auto& pb = *n.parents()[1];
+        if (pa.requires_grad()) pa.grad() += n.grad();
+        if (pb.requires_grad()) pb.grad() -= n.grad();
+      },
+      a, b);
 }
 
 Var mul(const Var& a, const Var& b) {
@@ -148,21 +180,24 @@ Var mul(const Var& a, const Var& b) {
   auto bd = b->value().data();
   auto od = out.data();
   for (std::size_t i = 0; i < od.size(); ++i) od[i] *= bd[i];
-  return make_node(std::move(out), {a, b}, [](Node& n) {
-    auto& pa = *n.parents()[0];
-    auto& pb = *n.parents()[1];
-    auto g = n.grad().data();
-    if (pa.requires_grad()) {
-      auto pg = pa.grad().data();
-      auto bv = pb.value().data();
-      for (std::size_t i = 0; i < g.size(); ++i) pg[i] += bv[i] * g[i];
-    }
-    if (pb.requires_grad()) {
-      auto pg = pb.grad().data();
-      auto av = pa.value().data();
-      for (std::size_t i = 0; i < g.size(); ++i) pg[i] += av[i] * g[i];
-    }
-  });
+  return make_node(
+      std::move(out),
+      [](Node& n) {
+        auto& pa = *n.parents()[0];
+        auto& pb = *n.parents()[1];
+        auto g = n.grad().data();
+        if (pa.requires_grad()) {
+          auto pg = pa.grad().data();
+          auto bv = pb.value().data();
+          for (std::size_t i = 0; i < g.size(); ++i) pg[i] += bv[i] * g[i];
+        }
+        if (pb.requires_grad()) {
+          auto pg = pb.grad().data();
+          auto av = pa.value().data();
+          for (std::size_t i = 0; i < g.size(); ++i) pg[i] += av[i] * g[i];
+        }
+      },
+      a, b);
 }
 
 Var scale(const Var& a, double s) {
@@ -231,21 +266,24 @@ Var softmax_rows(const Var& a) {
     }
     for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= denom;
   }
-  return make_node(std::move(out), {a}, [](Node& n) {
-    auto& pa = *n.parents()[0];
-    if (!pa.requires_grad()) return;
-    // dL/dx_i = y_i * (dL/dy_i - Σ_j dL/dy_j * y_j), per row.
-    const Tensor& y = n.value();
-    for (std::size_t r = 0; r < y.rows(); ++r) {
-      double dot = 0.0;
-      for (std::size_t c = 0; c < y.cols(); ++c) {
-        dot += n.grad()(r, c) * y(r, c);
-      }
-      for (std::size_t c = 0; c < y.cols(); ++c) {
-        pa.grad()(r, c) += y(r, c) * (n.grad()(r, c) - dot);
-      }
-    }
-  });
+  return make_node(
+      std::move(out),
+      [](Node& n) {
+        auto& pa = *n.parents()[0];
+        if (!pa.requires_grad()) return;
+        // dL/dx_i = y_i * (dL/dy_i - Σ_j dL/dy_j * y_j), per row.
+        const Tensor& y = n.value();
+        for (std::size_t r = 0; r < y.rows(); ++r) {
+          double dot = 0.0;
+          for (std::size_t c = 0; c < y.cols(); ++c) {
+            dot += n.grad()(r, c) * y(r, c);
+          }
+          for (std::size_t c = 0; c < y.cols(); ++c) {
+            pa.grad()(r, c) += y(r, c) * (n.grad()(r, c) - dot);
+          }
+        }
+      },
+      a);
 }
 
 Var log_softmax_rows(const Var& a) {
@@ -260,19 +298,22 @@ Var log_softmax_rows(const Var& a) {
     const double lse = mx + std::log(denom);
     for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) -= lse;
   }
-  return make_node(std::move(out), {a}, [](Node& n) {
-    auto& pa = *n.parents()[0];
-    if (!pa.requires_grad()) return;
-    // dL/dx_i = dL/dy_i - softmax(x)_i * Σ_j dL/dy_j, per row.
-    const Tensor& logp = n.value();
-    for (std::size_t r = 0; r < logp.rows(); ++r) {
-      double gsum = 0.0;
-      for (std::size_t c = 0; c < logp.cols(); ++c) gsum += n.grad()(r, c);
-      for (std::size_t c = 0; c < logp.cols(); ++c) {
-        pa.grad()(r, c) += n.grad()(r, c) - std::exp(logp(r, c)) * gsum;
-      }
-    }
-  });
+  return make_node(
+      std::move(out),
+      [](Node& n) {
+        auto& pa = *n.parents()[0];
+        if (!pa.requires_grad()) return;
+        // dL/dx_i = dL/dy_i - softmax(x)_i * Σ_j dL/dy_j, per row.
+        const Tensor& logp = n.value();
+        for (std::size_t r = 0; r < logp.rows(); ++r) {
+          double gsum = 0.0;
+          for (std::size_t c = 0; c < logp.cols(); ++c) gsum += n.grad()(r, c);
+          for (std::size_t c = 0; c < logp.cols(); ++c) {
+            pa.grad()(r, c) += n.grad()(r, c) - std::exp(logp(r, c)) * gsum;
+          }
+        }
+      },
+      a);
 }
 
 Var concat_cols(const Var& a, const Var& b) {
@@ -287,55 +328,64 @@ Var concat_cols(const Var& a, const Var& b) {
     }
   }
   const std::size_t split = av.cols();
-  return make_node(std::move(out), {a, b}, [split](Node& n) {
-    auto& pa = *n.parents()[0];
-    auto& pb = *n.parents()[1];
-    for (std::size_t r = 0; r < n.grad().rows(); ++r) {
-      if (pa.requires_grad()) {
-        for (std::size_t c = 0; c < split; ++c) {
-          pa.grad()(r, c) += n.grad()(r, c);
+  return make_node(
+      std::move(out),
+      [split](Node& n) {
+        auto& pa = *n.parents()[0];
+        auto& pb = *n.parents()[1];
+        for (std::size_t r = 0; r < n.grad().rows(); ++r) {
+          if (pa.requires_grad()) {
+            for (std::size_t c = 0; c < split; ++c) {
+              pa.grad()(r, c) += n.grad()(r, c);
+            }
+          }
+          if (pb.requires_grad()) {
+            for (std::size_t c = split; c < n.grad().cols(); ++c) {
+              pb.grad()(r, c - split) += n.grad()(r, c);
+            }
+          }
         }
-      }
-      if (pb.requires_grad()) {
-        for (std::size_t c = split; c < n.grad().cols(); ++c) {
-          pb.grad()(r, c - split) += n.grad()(r, c);
-        }
-      }
-    }
-  });
+      },
+      a, b);
 }
 
 Var transpose(const Var& a) {
-  return make_node(a->value().transposed(), {a}, [](Node& n) {
-    auto& pa = *n.parents()[0];
-    if (!pa.requires_grad()) return;
-    pa.grad() += n.grad().transposed();
-  });
+  return make_node(a->value().transposed(),
+                   [](Node& n) {
+                     auto& pa = *n.parents()[0];
+                     if (!pa.requires_grad()) return;
+                     pa.grad() += n.grad().transposed();
+                   },
+                   a);
 }
 
 Var reshape(const Var& a, std::size_t rows, std::size_t cols) {
   MET_CHECK_MSG(rows * cols == a->value().size(),
                 "reshape must preserve element count");
   Tensor out(rows, cols,
-             std::vector<double>(a->value().data().begin(),
-                                 a->value().data().end()));
-  return make_node(std::move(out), {a}, [](Node& n) {
-    auto& pa = *n.parents()[0];
-    if (!pa.requires_grad()) return;
-    auto g = n.grad().data();
-    auto pg = pa.grad().data();
-    for (std::size_t i = 0; i < g.size(); ++i) pg[i] += g[i];
-  });
+             Tensor::Buffer(a->value().data().begin(),
+                            a->value().data().end()));
+  return make_node(std::move(out),
+                   [](Node& n) {
+                     auto& pa = *n.parents()[0];
+                     if (!pa.requires_grad()) return;
+                     auto g = n.grad().data();
+                     auto pg = pa.grad().data();
+                     for (std::size_t i = 0; i < g.size(); ++i) pg[i] += g[i];
+                   },
+                   a);
 }
 
 Var sum_all(const Var& a) {
   Tensor out(1, 1, a->value().sum());
-  return make_node(std::move(out), {a}, [](Node& n) {
-    auto& pa = *n.parents()[0];
-    if (!pa.requires_grad()) return;
-    const double g = n.grad()(0, 0);
-    for (double& v : pa.grad().data()) v += g;
-  });
+  return make_node(std::move(out),
+                   [](Node& n) {
+                     auto& pa = *n.parents()[0];
+                     if (!pa.requires_grad()) return;
+                     const double g = n.grad()(0, 0);
+                     for (double& v : pa.grad().data()) v += g;
+                   },
+                   a);
 }
 
 Var mean_all(const Var& a) {
@@ -354,17 +404,20 @@ Var rows_dot(const Var& a, const Var& b) {
     }
     out(r, 0) = s;
   }
-  return make_node(std::move(out), {a, b}, [](Node& n) {
-    auto& pa = *n.parents()[0];
-    auto& pb = *n.parents()[1];
-    for (std::size_t r = 0; r < n.grad().rows(); ++r) {
-      const double g = n.grad()(r, 0);
-      for (std::size_t c = 0; c < pa.value().cols(); ++c) {
-        if (pa.requires_grad()) pa.grad()(r, c) += pb.value()(r, c) * g;
-        if (pb.requires_grad()) pb.grad()(r, c) += pa.value()(r, c) * g;
-      }
-    }
-  });
+  return make_node(
+      std::move(out),
+      [](Node& n) {
+        auto& pa = *n.parents()[0];
+        auto& pb = *n.parents()[1];
+        for (std::size_t r = 0; r < n.grad().rows(); ++r) {
+          const double g = n.grad()(r, 0);
+          for (std::size_t c = 0; c < pa.value().cols(); ++c) {
+            if (pa.requires_grad()) pa.grad()(r, c) += pb.value()(r, c) * g;
+            if (pb.requires_grad()) pb.grad()(r, c) += pa.value()(r, c) * g;
+          }
+        }
+      },
+      a, b);
 }
 
 Var mse_loss(const Var& pred, const Var& target) {

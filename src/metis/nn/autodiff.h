@@ -20,11 +20,31 @@
 #include <vector>
 
 #include "metis/nn/tensor.h"
+#include "metis/util/check.h"
 
 namespace metis::nn {
 
 class Node;
 using Var = std::shared_ptr<Node>;
+
+// Thread-local no-tape mode. While a NoGradGuard is alive, op constructors
+// skip parent wiring and backward closures entirely — the graph degenerates
+// to plain eager evaluation (values bitwise identical, no tape, no grads).
+// Every value-returning inference entry point (PolicyNet::act_and_values &
+// co., Mlp::predict_row, the Teacher batch defaults, trace collection)
+// runs under one; training and the §4.2 mask optimization never do.
+[[nodiscard]] bool grad_enabled();
+
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool saved_;
+};
 
 class Node {
  public:
@@ -32,11 +52,32 @@ class Node {
 
   [[nodiscard]] const Tensor& value() const { return value_; }
   [[nodiscard]] Tensor& value() { return value_; }
-  [[nodiscard]] const Tensor& grad() const { return grad_; }
-  [[nodiscard]] Tensor& grad() { return grad_; }
   [[nodiscard]] bool requires_grad() const { return requires_grad_; }
 
-  void zero_grad() { grad_.fill(0.0); }
+  // Gradient, allocated (zero-filled) on first touch. Constants and
+  // no-tape forwards never materialize one — a pure-inference pass pays
+  // exactly zero gradient allocations (tests/alloc_test.cpp).
+  [[nodiscard]] Tensor& grad() {
+    if (!grad_allocated_) {
+      grad_ = Tensor(value_.rows(), value_.cols(), 0.0);
+      grad_allocated_ = true;
+    }
+    return grad_;
+  }
+  // Read-only view; only valid once the gradient exists (the eager
+  // layout guaranteed a value-shaped zero tensor here — fail loudly
+  // rather than hand back an empty 0x0 one).
+  [[nodiscard]] const Tensor& grad() const {
+    MET_CHECK_MSG(grad_allocated_, "grad() read before any backward touch");
+    return grad_;
+  }
+  [[nodiscard]] bool has_grad() const { return grad_allocated_; }
+
+  // No-op on grad-less nodes (constants, untouched parameters): there is
+  // nothing to clear, and filling would defeat the lazy allocation.
+  void zero_grad() {
+    if (grad_allocated_) grad_.fill(0.0);
+  }
 
   // Internal wiring used by the op constructors below.
   void set_parents(std::vector<Var> parents) { parents_ = std::move(parents); }
@@ -48,6 +89,7 @@ class Node {
   Tensor value_;
   Tensor grad_;
   bool requires_grad_;
+  bool grad_allocated_ = false;
   std::vector<Var> parents_;
   std::function<void(Node&)> backward_;
 };

@@ -185,6 +185,41 @@ __attribute__((always_inline)) inline void stream_region(
   }
 }
 
+// Skinny shapes — fewer than kMR rows or kNR columns — cannot fill a
+// register tile, and the streaming fallback's per-k load/store of the
+// output row made the blocked backend LOSE to naive there (1-row
+// inference and the 6-wide policy head, see BENCH_gemm.json history).
+// Dedicated kernel: one register accumulator per output element, held
+// across the whole k loop (vector 4-lanes while >= 4 columns remain,
+// scalar tail after), with the bias landing as a single add once the
+// k-sum completes. Every element is still the same strictly k-ascending
+// chain, so the bitwise contract with the other kernels holds.
+METIS_GEMM_CLONES
+void skinny_matmul(std::size_t m, std::size_t k, std::size_t n,
+                   const double* __restrict a, const double* __restrict b,
+                   const double* __restrict bias, double* __restrict out) {
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* a_row = a + r * k;
+    double* out_row = out + r * n;
+    std::size_t c = 0;
+#ifdef METIS_GEMM_VEC
+    for (; c + 4 <= n; c += 4) {
+      v4df acc = {0.0, 0.0, 0.0, 0.0};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += broadcast4(a_row[kk]) * loadu4(b + kk * n + c);
+      }
+      if (bias != nullptr) acc += loadu4(bias + c);
+      storeu4(out_row + c, acc);
+    }
+#endif
+    for (; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) s += a_row[kk] * b[kk * n + c];
+      out_row[c] = bias != nullptr ? s + bias[c] : s;
+    }
+  }
+}
+
 // C = A * B, with an optional 1 x n bias row added to every output row.
 METIS_GEMM_CLONES
 void blocked_matmul(std::size_t m, std::size_t k, std::size_t n,
@@ -349,6 +384,18 @@ void blocked_matmul_transA_acc(std::size_t m, std::size_t k, std::size_t n,
   }
 }
 
+// Blocked-backend entry: route shapes that cannot fill a register tile
+// to the skinny kernel, everything else to the tiled one.
+void blocked_dispatch(std::size_t m, std::size_t k, std::size_t n,
+                      const double* a, const double* b, const double* bias,
+                      double* out) {
+  if (m < kMR || n < kNR) {
+    skinny_matmul(m, k, n, a, b, bias, out);
+  } else {
+    blocked_matmul(m, k, n, a, b, bias, out);
+  }
+}
+
 }  // namespace
 
 const char* to_string(Backend backend) {
@@ -378,8 +425,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   Tensor out(a.rows(), b.cols(), 0.0);
   if (out.empty() || a.cols() == 0) return out;
   if (backend() == Backend::kBlocked) {
-    blocked_matmul(a.rows(), a.cols(), b.cols(), a.data().data(),
-                   b.data().data(), nullptr, out.data().data());
+    blocked_dispatch(a.rows(), a.cols(), b.cols(), a.data().data(),
+                     b.data().data(), nullptr, out.data().data());
   } else {
     naive_matmul(a.rows(), a.cols(), b.cols(), a.data().data(),
                  b.data().data(), out.data().data());
@@ -394,8 +441,8 @@ Tensor matmul_add_bias(const Tensor& a, const Tensor& b, const Tensor& bias) {
   Tensor out(a.rows(), b.cols(), 0.0);
   if (out.empty()) return out;
   if (backend() == Backend::kBlocked) {
-    blocked_matmul(a.rows(), a.cols(), b.cols(), a.data().data(),
-                   b.data().data(), bias.data().data(), out.data().data());
+    blocked_dispatch(a.rows(), a.cols(), b.cols(), a.data().data(),
+                     b.data().data(), bias.data().data(), out.data().data());
   } else {
     naive_matmul(a.rows(), a.cols(), b.cols(), a.data().data(),
                  b.data().data(), out.data().data());

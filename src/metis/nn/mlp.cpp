@@ -26,6 +26,7 @@ Var Mlp::forward(const Var& x) const {
 }
 
 std::vector<double> Mlp::predict_row(std::span<const double> input) const {
+  NoGradGuard no_grad;  // value-only: skip the tape entirely
   Var out = forward(constant(Tensor::row(input)));
   auto d = out->value().data();
   return {d.begin(), d.end()};
@@ -101,6 +102,7 @@ Var PolicyNet::values(const Var& states) const {
 
 std::vector<double> PolicyNet::action_probs(
     std::span<const double> state) const {
+  NoGradGuard no_grad;
   Var p = softmax_rows(logits(constant(Tensor::row(state))));
   auto d = p->value().data();
   return {d.begin(), d.end()};
@@ -113,12 +115,14 @@ std::size_t PolicyNet::greedy_action(std::span<const double> state) const {
 }
 
 double PolicyNet::value(std::span<const double> state) const {
+  NoGradGuard no_grad;
   return values(constant(Tensor::row(state)))->value()(0, 0);
 }
 
 std::vector<std::vector<double>> PolicyNet::action_probs_batch(
     const std::vector<std::vector<double>>& states) const {
   if (states.empty()) return {};
+  NoGradGuard no_grad;
   const Var p = softmax_rows(logits(constant(Tensor::from_rows(states))));
   const Tensor& probs = p->value();
   std::vector<std::vector<double>> out(probs.rows());
@@ -132,6 +136,7 @@ std::vector<std::vector<double>> PolicyNet::action_probs_batch(
 std::vector<std::size_t> PolicyNet::greedy_actions(
     const std::vector<std::vector<double>>& states) const {
   if (states.empty()) return {};
+  NoGradGuard no_grad;
   const Var p = softmax_rows(logits(constant(Tensor::from_rows(states))));
   const Tensor& probs = p->value();
   std::vector<std::size_t> out(probs.rows());
@@ -148,6 +153,7 @@ std::vector<std::size_t> PolicyNet::greedy_actions(
 std::vector<double> PolicyNet::values_batch(
     const std::vector<std::vector<double>>& states) const {
   if (states.empty()) return {};
+  NoGradGuard no_grad;
   const Var v = values(constant(Tensor::from_rows(states)));
   const Tensor& vals = v->value();
   std::vector<double> out(vals.rows());
@@ -158,6 +164,7 @@ std::vector<double> PolicyNet::values_batch(
 std::pair<std::size_t, std::vector<double>> PolicyNet::act_and_values(
     const std::vector<std::vector<double>>& states) const {
   MET_CHECK(!states.empty());
+  NoGradGuard no_grad;
   const Var x = constant(Tensor::from_rows(states));
   const Var h = trunk(x);  // shared by both heads
   const Var p = softmax_rows(policy_logits_from_trunk(h, x));
@@ -185,6 +192,7 @@ PolicyNet::act_and_values_multi(const std::vector<std::vector<double>>& rows,
                 "act_and_values_multi: group sizes must cover all rows");
   std::vector<std::pair<std::size_t, std::vector<double>>> out;
   if (rows.empty()) return out;
+  NoGradGuard no_grad;
   const Var x = constant(Tensor::from_rows(rows));
   const Var h = trunk(x);  // one forward, shared by both heads
   const Var p = softmax_rows(policy_logits_from_trunk(h, x));

@@ -19,14 +19,20 @@ void Optimizer::zero_grad() {
 
 void Optimizer::clip_grad_norm(double max_norm) {
   MET_CHECK(max_norm > 0.0);
+  // Lazily allocated gradients: a parameter backward() never touched has
+  // no grad tensor — it contributes 0 to the norm and scales to 0, so
+  // skipping it is exact (and keeps the allocation-free invariant).
   double total = 0.0;
   for (const auto& p : params_) {
+    if (!p->has_grad()) continue;
     for (double g : p->grad().data()) total += g * g;
   }
   total = std::sqrt(total);
   if (total <= max_norm || total == 0.0) return;
   const double factor = max_norm / total;
-  for (auto& p : params_) p->grad() *= factor;
+  for (auto& p : params_) {
+    if (p->has_grad()) p->grad() *= factor;
+  }
 }
 
 Sgd::Sgd(std::vector<Var> params, double lr)

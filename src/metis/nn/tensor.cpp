@@ -10,30 +10,32 @@ namespace metis::nn {
 Tensor::Tensor(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
-Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<double> data)
+Tensor::Tensor(std::size_t rows, std::size_t cols, Buffer data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
   MET_CHECK_MSG(data_.size() == rows_ * cols_,
                 "data size must equal rows*cols");
 }
 
+Tensor::Tensor(std::size_t rows, std::size_t cols,
+               const std::vector<double>& data)
+    : Tensor(rows, cols, Buffer(data.begin(), data.end())) {}
+
 Tensor Tensor::row(std::span<const double> values) {
-  return Tensor(1, values.size(),
-                std::vector<double>(values.begin(), values.end()));
+  return Tensor(1, values.size(), Buffer(values.begin(), values.end()));
 }
 
 Tensor Tensor::row(std::initializer_list<double> values) {
-  return Tensor(1, values.size(), std::vector<double>(values));
+  return Tensor(1, values.size(), Buffer(values.begin(), values.end()));
 }
 
 Tensor Tensor::column(std::span<const double> values) {
-  return Tensor(values.size(), 1,
-                std::vector<double>(values.begin(), values.end()));
+  return Tensor(values.size(), 1, Buffer(values.begin(), values.end()));
 }
 
 Tensor Tensor::from_rows(const std::vector<std::vector<double>>& rows) {
   MET_CHECK_MSG(!rows.empty(), "from_rows needs at least one row");
   const std::size_t cols = rows.front().size();
-  std::vector<double> data;
+  Buffer data;
   data.reserve(rows.size() * cols);
   for (const auto& r : rows) {
     MET_CHECK_MSG(r.size() == cols, "from_rows rows must have equal length");

@@ -11,13 +11,24 @@
 #include <span>
 #include <vector>
 
+#include "metis/nn/arena.h"
+
 namespace metis::nn {
 
 class Tensor {
  public:
+  // Backing storage. The allocator routes through the per-thread tensor
+  // arena (nn/arena.h): inside an arena::Scope, freed buffers recycle
+  // instead of round-tripping through malloc; outside one it degenerates
+  // to plain new/delete.
+  using Buffer = std::vector<double, arena::Allocator<double>>;
+
   Tensor() = default;
   Tensor(std::size_t rows, std::size_t cols, double fill = 0.0);
-  Tensor(std::size_t rows, std::size_t cols, std::vector<double> data);
+  Tensor(std::size_t rows, std::size_t cols, Buffer data);
+  // Compatibility overload for plain vectors; copies into the pooled
+  // buffer, so hot paths should build a Buffer directly.
+  Tensor(std::size_t rows, std::size_t cols, const std::vector<double>& data);
 
   // 1 x N row vector from values.
   static Tensor row(std::span<const double> values);
@@ -67,7 +78,7 @@ class Tensor {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  Buffer data_;
 };
 
 }  // namespace metis::nn

@@ -5,6 +5,7 @@
 
 #include "metis/core/distill.h"
 #include "metis/core/hypergraph_interpreter.h"
+#include "metis/nn/arena.h"
 #include "metis/util/check.h"
 
 namespace metis::serve {
@@ -152,6 +153,11 @@ void Service::run_job(const std::shared_ptr<detail::JobState>& state) {
   std::exception_ptr exception;
   api::DistillRun distill_run;
   api::InterpretRun interpret_run;
+  // One tensor arena per job on this worker thread: teacher training,
+  // collection rounds, and mask-optimization steps all recycle their
+  // per-iteration buffers instead of hammering malloc. Results (weights,
+  // datasets, masks) outliving the job are plain operator-new blocks.
+  nn::arena::Scope arena;
   try {
     if (state->kind == JobKind::kDistill) {
       run_distill(*state, distill_run);

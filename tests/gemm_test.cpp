@@ -45,6 +45,13 @@ const std::vector<Shape>& parity_shapes() {
       {1, 1, 1},  {1, 7, 1},    {7, 1, 9},    {1, 64, 64}, {64, 64, 1},
       {5, 3, 4},  {17, 9, 23},  {64, 64, 64}, {33, 65, 31}, {4, 8, 8},
       {8, 16, 8}, {128, 64, 96}, {3, 0, 4},   {0, 5, 6},   {6, 5, 0},
+      // Skinny shapes routed to the dedicated kernel (m < 4 or n < 8):
+      // single-row inference, the 6-wide policy head, and every n in the
+      // scalar tail's range — the register-accumulator path must stay
+      // bitwise identical to the naive loop.
+      {1, 25, 128}, {1, 128, 6}, {26, 128, 6}, {2, 64, 6}, {3, 128, 4},
+      {1, 1, 8},    {4, 9, 7},   {5, 64, 3},   {2, 7, 5},  {26, 25, 2},
+      {1, 16, 4},   {3, 3, 11},
   };
   return shapes;
 }
