@@ -33,9 +33,15 @@ InterpretResult find_critical_connections(const MaskableModel& model,
   nn::Var incidence_const = nn::constant(incidence);
 
   // Reference decisions Y_I with the unmasked incidence matrix, frozen as a
-  // constant target.
+  // constant target. For discrete systems the target's per-entry logs are
+  // frozen too: they are re-read every step by the KL term, so paying
+  // them once (instead of steps x |Y| log calls) is free accuracy-wise —
+  // the cached node holds exactly log_op(y_target)'s values.
   nn::Var y_ref = model.decisions(nn::constant(incidence));
   nn::Var y_target = nn::constant(y_ref->value());
+  const bool discrete = model.discrete_output();
+  nn::Var log_target;
+  if (discrete) log_target = nn::log_op(y_target);
 
   // Mask logits W' start at the entropy-neutral point sigmoid(0) = 0.5
   // (+ tiny noise for symmetry breaking): from there the divergence term
@@ -48,44 +54,47 @@ InterpretResult find_critical_connections(const MaskableModel& model,
   nn::Adam opt({logits}, cfg.lr);
 
   auto masked = [&] {
-    // Gating (Eq. 9): W = I ∘ sigmoid(W') keeps 0 <= W_ev <= I_ev.
-    return nn::mul(incidence_const, nn::sigmoid(logits));
+    // Gating (Eq. 9): W = I ∘ sigmoid(W') keeps 0 <= W_ev <= I_ev; the
+    // fused op evaluates the sigmoid only on the incidence support.
+    return nn::gated_sigmoid(logits, incidence_const);
   };
 
+  // Normalize both penalties by the connection count to keep λ1/λ2
+  // comparable across hypergraph sizes.
+  const double n_conn =
+      std::max<double>(1.0, static_cast<double>(graph.connection_count()));
   double last_div = 0.0, last_l1 = 0.0, last_entropy = 0.0;
   // Every optimization step builds and tears down the same graph shapes;
-  // the arena recycles those buffers across all cfg.steps iterations.
-  // The logits gradient (allocated lazily on the first backward) stays
-  // live past the scope, which is safe: arena blocks are ordinary
-  // operator-new blocks whatever their release site.
+  // the arena recycles those buffers — and the node pool the tape
+  // metadata — across all cfg.steps iterations. The logits gradient
+  // (allocated lazily on the first backward) stays live past the scope,
+  // which is safe: arena blocks are ordinary operator-new blocks whatever
+  // their release site.
   nn::arena::Scope arena;
   for (std::size_t step = 0; step < cfg.steps; ++step) {
     nn::Var w = masked();
     nn::Var y = model.decisions(w);
-    nn::Var divergence = model.discrete_output()
-                             ? nn::kl_divergence_rows(y_target, y)
-                             : nn::mse_loss(y, y_target);
-    // ||W|| (Eq. 7). W >= 0 by construction, so |W| = W; normalize by the
-    // connection count to keep λ1 comparable across hypergraph sizes.
-    const double n_conn =
-        std::max<double>(1.0, static_cast<double>(graph.connection_count()));
-    nn::Var l1 = nn::scale(nn::sum_all(w), 1.0 / n_conn);
-    // H(W) (Eq. 8), restricted to real connections automatically since
-    // masked entries are exactly 0 outside the incidence support. Entries
-    // at 0 contribute 0 entropy.
-    nn::Var entropy = nn::scale(nn::binary_entropy_sum(w), 1.0 / n_conn);
-
-    nn::Var loss =
-        nn::add(divergence,
-                nn::add(nn::scale(l1, cfg.lambda1),
-                        nn::scale(entropy, cfg.lambda2)));
+    // D(Y_W, Y_I) (Eq. 6) + λ1·||W|| (Eq. 7; W >= 0 by construction, so
+    // |W| = W) + λ2·H(W) (Eq. 8, restricted to real connections — masked
+    // entries are exactly 0 and contribute 0 to either penalty). The
+    // regularizer is one fused node; its raw Σ W and H(W) feed the
+    // Fig. 30 diagnostics below without extra graph work.
+    nn::Var divergence =
+        discrete ? nn::kl_divergence_rows_cached(y_target, log_target, y)
+                 : nn::mse_loss(y, y_target);
+    double sum_w = 0.0, entropy_w = 0.0;
+    nn::Var reg =
+        nn::mask_regularizer(w, incidence_const, cfg.lambda1 / n_conn,
+                             cfg.lambda2 / n_conn, &sum_w, &entropy_w);
+    nn::Var loss = nn::add(divergence, reg);
     opt.zero_grad();
     nn::backward(loss);
     opt.step();
 
     last_div = divergence->value()(0, 0);
-    last_l1 = l1->value()(0, 0);
-    last_entropy = entropy->value()(0, 0);
+    last_l1 = sum_w / n_conn;
+    last_entropy = entropy_w / n_conn;
+    if (cfg.on_step) cfg.on_step();
   }
 
   InterpretResult result;

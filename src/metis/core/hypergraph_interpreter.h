@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "metis/hypergraph/hypergraph.h"
@@ -34,6 +36,17 @@ class MaskableModel {
   [[nodiscard]] virtual nn::Var decisions(const nn::Var& mask) const = 0;
   // Discrete decisions use KL divergence; continuous use MSE (Eq. 6).
   [[nodiscard]] virtual bool discrete_output() const { return true; }
+  // Deep copy whose gradient-carrying state (learned weight nodes that
+  // decisions() backpropagates through) is fully independent, so any
+  // number of §4.2 searches can run over clones concurrently. decisions()
+  // must stay bitwise identical to the original's. Clones may keep
+  // borrowing the original's read-only backing objects (topology, traffic
+  // matrices) — keep the built system alive while clones run. Returns
+  // nullptr when the model cannot clone; callers must then serialize
+  // concurrent searches themselves (serve::Service does).
+  [[nodiscard]] virtual std::shared_ptr<MaskableModel> clone() const {
+    return nullptr;
+  }
 };
 
 struct InterpretConfig {
@@ -42,6 +55,10 @@ struct InterpretConfig {
   std::size_t steps = 400;
   double lr = 0.05;
   std::uint64_t seed = 3;
+  // Called after every completed optimization step — the progress feed
+  // for serve::JobHandle::progress() on interpret jobs. Must be cheap and
+  // thread-safe; does not influence the optimization.
+  std::function<void()> on_step;
 };
 
 struct ScoredConnection {

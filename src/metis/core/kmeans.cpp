@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "metis/core/linreg.h"
 #include "metis/util/check.h"
 
 namespace metis::core {
@@ -98,6 +99,25 @@ KmeansResult kmeans(const std::vector<std::vector<double>>& x, std::size_t k,
     result.inertia += sq_dist(x[i], result.centroids[result.assignment[i]]);
   }
   return result;
+}
+
+void for_each_centroid_group(
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<std::vector<double>>& x,
+    const std::function<void(std::size_t, const std::vector<std::size_t>&,
+                             const nn::Tensor&)>& fn) {
+  std::vector<std::vector<std::size_t>> by_cluster(centroids.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    by_cluster[nearest_centroid(centroids, x[i])].push_back(i);
+  }
+  std::vector<std::vector<double>> group;
+  for (std::size_t c = 0; c < by_cluster.size(); ++c) {
+    if (by_cluster[c].empty()) continue;
+    group.clear();
+    group.reserve(by_cluster[c].size());
+    for (std::size_t i : by_cluster[c]) group.push_back(x[i]);
+    fn(c, by_cluster[c], ridge_design_matrix(group));
+  }
 }
 
 }  // namespace metis::core

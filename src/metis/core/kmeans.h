@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
+#include "metis/nn/tensor.h"
 #include "metis/util/rng.h"
 
 namespace metis::core {
@@ -28,5 +30,18 @@ struct KmeansResult {
 [[nodiscard]] std::size_t nearest_centroid(
     const std::vector<std::vector<double>>& centroids,
     std::span<const double> x);
+
+// Groups the rows of x by nearest centroid and calls
+// fn(cluster, row_indices, design) once per non-empty group, where
+// `design` is the group's [x | 1] design matrix (see ridge_design_matrix)
+// — the shared scaffolding of the LIME/LEMNA matrix-level batch
+// predictors, which run one GEMM per touched cluster and scatter the
+// rows back via `row_indices`.
+void for_each_centroid_group(
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<std::vector<double>>& x,
+    const std::function<void(std::size_t cluster,
+                             const std::vector<std::size_t>& rows,
+                             const nn::Tensor& design)>& fn);
 
 }  // namespace metis::core

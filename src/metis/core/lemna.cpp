@@ -5,16 +5,21 @@
 
 #include "metis/nn/arena.h"
 #include "metis/util/check.h"
+#include "metis/util/parallel_for.h"
 
 namespace metis::core {
 namespace {
 
-double sq_residual(const nn::Tensor& coef, std::span<const double> x,
-                   const nn::Tensor& targets, std::size_t row) {
-  const auto pred = ridge_predict(coef, x);
+// Squared residual of one prediction row against its target row. The
+// predictions come from one matrix-level ridge_predict_batch per
+// component — the EM loop's former per-row ridge_predict calls collapsed
+// into GEMMs — and each row of that batch is bitwise identical to the
+// per-row predict it replaces.
+double row_sq_residual(const nn::Tensor& pred, const nn::Tensor& targets,
+                       std::size_t row) {
   double s = 0.0;
   for (std::size_t m = 0; m < targets.cols(); ++m) {
-    const double d = pred[m] - targets(row, m);
+    const double d = pred(row, m) - targets(row, m);
     s += d * d;
   }
   return s;
@@ -39,7 +44,13 @@ LemnaSurrogate LemnaSurrogate::fit(const std::vector<std::vector<double>>& x,
   const std::size_t dim = x.front().size();
   const std::size_t m = targets.cols();
 
-  for (std::size_t c = 0; c < k; ++c) {
+  // The per-cluster EM fits are independent given the clustering; they
+  // shard across workers, and each cluster draws its responsibility
+  // initialization from Rng::derive(seed, cluster) — a pure function of
+  // (seed, cluster) — so the mixtures are identical at any worker count.
+  s.mixtures_.assign(k, Mixture{});
+  util::parallel_for(k, cfg.workers, [&](std::size_t c) {
+    nn::arena::Scope worker_arena;  // per-thread recycling on pool workers
     std::vector<std::vector<double>> cx;
     std::vector<std::size_t> rows;
     for (std::size_t i = 0; i < x.size(); ++i) {
@@ -52,21 +63,23 @@ LemnaSurrogate LemnaSurrogate::fit(const std::vector<std::vector<double>>& x,
     if (cx.empty()) {
       mix.coef.emplace_back(dim + 1, m, 0.0);
       mix.weight.push_back(1.0);
-      s.mixtures_.push_back(std::move(mix));
-      continue;
+      s.mixtures_[c] = std::move(mix);
+      return;
     }
     nn::Tensor ct(cx.size(), m);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       for (std::size_t j = 0; j < m; ++j) ct(i, j) = targets(rows[i], j);
     }
+    const nn::Tensor design = ridge_design_matrix(cx);
 
     const std::size_t n_comp = std::min(cfg.components, cx.size());
-    // Init: random responsibilities.
+    // Init: random responsibilities from the cluster's derived stream.
+    metis::Rng cluster_rng = metis::Rng::derive(cfg.seed, c);
     nn::Tensor resp(cx.size(), n_comp);
     for (std::size_t i = 0; i < cx.size(); ++i) {
       double total = 0.0;
       for (std::size_t l = 0; l < n_comp; ++l) {
-        resp(i, l) = rng.uniform(0.1, 1.0);
+        resp(i, l) = cluster_rng.uniform(0.1, 1.0);
         total += resp(i, l);
       }
       for (std::size_t l = 0; l < n_comp; ++l) resp(i, l) /= total;
@@ -75,9 +88,12 @@ LemnaSurrogate LemnaSurrogate::fit(const std::vector<std::vector<double>>& x,
     mix.coef.assign(n_comp, nn::Tensor(dim + 1, m, 0.0));
     mix.weight.assign(n_comp, 1.0 / static_cast<double>(n_comp));
     std::vector<double> sigma2(n_comp, 1.0);
+    std::vector<nn::Tensor> preds(n_comp);  // per-component batch forwards
 
     for (std::size_t iter = 0; iter < cfg.em_iters; ++iter) {
       // M-step: weighted ridge per component + mixing weights + variance.
+      // One batch forward per component covers both this step's variance
+      // and the E-step below.
       for (std::size_t l = 0; l < n_comp; ++l) {
         std::vector<double> w(cx.size());
         double wsum = 0.0;
@@ -87,9 +103,10 @@ LemnaSurrogate LemnaSurrogate::fit(const std::vector<std::vector<double>>& x,
         }
         mix.coef[l] = ridge_fit(cx, ct, cfg.ridge, w);
         mix.weight[l] = wsum / static_cast<double>(cx.size());
+        preds[l] = ridge_predict_batch(mix.coef[l], design);
         double se = 0.0;
         for (std::size_t i = 0; i < cx.size(); ++i) {
-          se += w[i] * sq_residual(mix.coef[l], cx[i], ct, i);
+          se += w[i] * row_sq_residual(preds[l], ct, i);
         }
         sigma2[l] = std::max(se / (wsum * static_cast<double>(m)), 1e-6);
       }
@@ -98,7 +115,7 @@ LemnaSurrogate LemnaSurrogate::fit(const std::vector<std::vector<double>>& x,
         std::vector<double> logp(n_comp);
         double mx = -1e300;
         for (std::size_t l = 0; l < n_comp; ++l) {
-          const double r2 = sq_residual(mix.coef[l], cx[i], ct, i);
+          const double r2 = row_sq_residual(preds[l], ct, i);
           logp[l] = std::log(mix.weight[l] + 1e-12) -
                     0.5 * static_cast<double>(m) * std::log(sigma2[l]) -
                     0.5 * r2 / sigma2[l];
@@ -112,8 +129,8 @@ LemnaSurrogate LemnaSurrogate::fit(const std::vector<std::vector<double>>& x,
         for (std::size_t l = 0; l < n_comp; ++l) resp(i, l) = logp[l] / denom;
       }
     }
-    s.mixtures_.push_back(std::move(mix));
-  }
+    s.mixtures_[c] = std::move(mix);
+  });
   return s;
 }
 
@@ -137,6 +154,36 @@ std::size_t LemnaSurrogate::predict_class(std::span<const double> x) const {
   MET_CHECK(!out.empty());
   return static_cast<std::size_t>(
       std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+nn::Tensor LemnaSurrogate::predict_batch(
+    const std::vector<std::vector<double>>& x) const {
+  MET_CHECK(!x.empty());
+  const std::size_t m = mixtures_.front().coef.front().cols();
+  nn::Tensor out(x.size(), m, 0.0);
+  // One weighted batch forward per mixture component of each touched
+  // cluster — the same component-ascending chain predict_row builds, so
+  // rows are bitwise identical to it.
+  for_each_centroid_group(
+      clusters_.centroids, x,
+      [&](std::size_t c, const std::vector<std::size_t>& rows,
+          const nn::Tensor& design) {
+        const Mixture& mix = mixtures_[c];
+        for (std::size_t l = 0; l < mix.coef.size(); ++l) {
+          const nn::Tensor pred = ridge_predict_batch(mix.coef[l], design);
+          for (std::size_t g = 0; g < rows.size(); ++g) {
+            for (std::size_t j = 0; j < m; ++j) {
+              out(rows[g], j) += mix.weight[l] * pred(g, j);
+            }
+          }
+        }
+      });
+  return out;
+}
+
+std::vector<std::size_t> LemnaSurrogate::predict_classes(
+    const std::vector<std::vector<double>>& x) const {
+  return argmax_rows(predict_batch(x));
 }
 
 }  // namespace metis::core

@@ -19,6 +19,11 @@ struct LemnaConfig {
   std::size_t em_iters = 25;
   double ridge = 1e-3;
   std::uint64_t seed = 11;
+  // Worker threads sharding the independent per-cluster EM fits (1 =
+  // sequential). Each cluster's responsibilities are seeded from
+  // Rng::derive(seed, cluster), so results are identical at any worker
+  // count.
+  std::size_t workers = 1;
 };
 
 class LemnaSurrogate {
@@ -31,6 +36,13 @@ class LemnaSurrogate {
   [[nodiscard]] std::vector<double> predict_row(
       std::span<const double> x) const;
   [[nodiscard]] std::size_t predict_class(std::span<const double> x) const;
+
+  // Matrix-level batch inference (one GEMM per touched mixture component
+  // instead of per-row predicts); row i bitwise matches predict_row(x[i]).
+  [[nodiscard]] nn::Tensor predict_batch(
+      const std::vector<std::vector<double>>& x) const;
+  [[nodiscard]] std::vector<std::size_t> predict_classes(
+      const std::vector<std::vector<double>>& x) const;
 
  private:
   struct Mixture {

@@ -5,6 +5,7 @@
 
 #include "metis/nn/arena.h"
 #include "metis/util/check.h"
+#include "metis/util/parallel_for.h"
 
 namespace metis::core {
 
@@ -37,7 +38,12 @@ LimeSurrogate LimeSurrogate::fit(const std::vector<std::vector<double>>& x,
   mean_d2 /= static_cast<double>(x.size());
   const double bandwidth = std::max(mean_d2, 1e-6);
 
-  for (std::size_t c = 0; c < k; ++c) {
+  // Each cluster's fit depends only on the (already fixed) clustering, so
+  // the fits shard across workers with results identical at any count:
+  // cluster c writes only coef_[c].
+  s.coef_.assign(k, nn::Tensor());
+  util::parallel_for(k, cfg.workers, [&](std::size_t c) {
+    nn::arena::Scope worker_arena;  // per-thread recycling on pool workers
     std::vector<std::vector<double>> cx;
     std::vector<double> weights;
     std::vector<std::size_t> rows;
@@ -54,8 +60,8 @@ LimeSurrogate LimeSurrogate::fit(const std::vector<std::vector<double>>& x,
     }
     if (cx.empty()) {
       // Empty cluster: a zero model that defers to the bias.
-      s.coef_.emplace_back(x.front().size() + 1, targets.cols(), 0.0);
-      continue;
+      s.coef_[c] = nn::Tensor(x.front().size() + 1, targets.cols(), 0.0);
+      return;
     }
     nn::Tensor ct(cx.size(), targets.cols());
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -63,8 +69,8 @@ LimeSurrogate LimeSurrogate::fit(const std::vector<std::vector<double>>& x,
         ct(i, m) = targets(rows[i], m);
       }
     }
-    s.coef_.push_back(ridge_fit(cx, ct, cfg.ridge, weights));
-  }
+    s.coef_[c] = ridge_fit(cx, ct, cfg.ridge, weights);
+  });
   return s;
 }
 
@@ -79,6 +85,31 @@ std::size_t LimeSurrogate::predict_class(std::span<const double> x) const {
   MET_CHECK(!out.empty());
   return static_cast<std::size_t>(
       std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+nn::Tensor LimeSurrogate::predict_batch(
+    const std::vector<std::vector<double>>& x) const {
+  MET_CHECK(!x.empty());
+  const std::size_t m = coef_.front().cols();
+  nn::Tensor out(x.size(), m);
+  // One design-matrix GEMM per touched cluster, rows scattered back —
+  // each output row is the same k-ascending chain ridge_predict
+  // produces, so the batch is bitwise identical to per-row predicts.
+  for_each_centroid_group(
+      clusters_.centroids, x,
+      [&](std::size_t c, const std::vector<std::size_t>& rows,
+          const nn::Tensor& design) {
+        const nn::Tensor pred = ridge_predict_batch(coef_[c], design);
+        for (std::size_t g = 0; g < rows.size(); ++g) {
+          for (std::size_t j = 0; j < m; ++j) out(rows[g], j) = pred(g, j);
+        }
+      });
+  return out;
+}
+
+std::vector<std::size_t> LimeSurrogate::predict_classes(
+    const std::vector<std::vector<double>>& x) const {
+  return argmax_rows(predict_batch(x));
 }
 
 }  // namespace metis::core

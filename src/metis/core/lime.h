@@ -16,6 +16,11 @@ struct SurrogateConfig {
   std::size_t clusters = 10;
   double ridge = 1e-3;
   std::uint64_t seed = 7;
+  // Worker threads sharding the independent per-cluster fits (1 =
+  // sequential). Results are identical at any worker count: each
+  // cluster's fit is a pure function of the clustering, which is computed
+  // up front.
+  std::size_t workers = 1;
 };
 
 class LimeSurrogate {
@@ -31,6 +36,14 @@ class LimeSurrogate {
       std::span<const double> x) const;
   // argmax over outputs — the predicted class for classification teachers.
   [[nodiscard]] std::size_t predict_class(std::span<const double> x) const;
+
+  // Matrix-level batch inference: one design-matrix GEMM per touched
+  // cluster instead of n per-row predicts. Row i is bitwise identical to
+  // predict_row(x[i]).
+  [[nodiscard]] nn::Tensor predict_batch(
+      const std::vector<std::vector<double>>& x) const;
+  [[nodiscard]] std::vector<std::size_t> predict_classes(
+      const std::vector<std::vector<double>>& x) const;
 
   [[nodiscard]] std::size_t cluster_count() const { return coef_.size(); }
 

@@ -85,12 +85,45 @@ std::vector<double> ridge_predict(const nn::Tensor& coef,
                                   std::span<const double> x) {
   MET_CHECK(coef.rows() == x.size() + 1);
   std::vector<double> out(coef.cols(), 0.0);
+  // Features ascending, bias last: the k-ascending chain a GEMM row of
+  // ridge_predict_batch produces for the [x | 1] design matrix.
   for (std::size_t c = 0; c < coef.cols(); ++c) {
-    double s = coef(x.size(), c);  // bias
+    double s = 0.0;
     for (std::size_t j = 0; j < x.size(); ++j) s += coef(j, c) * x[j];
+    s += coef(x.size(), c) * 1.0;
     out[c] = s;
   }
   return out;
+}
+
+nn::Tensor ridge_design_matrix(const std::vector<std::vector<double>>& x) {
+  MET_CHECK(!x.empty());
+  const std::size_t d = x.front().size();
+  nn::Tensor design(x.size(), d + 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MET_CHECK(x[i].size() == d);
+    for (std::size_t j = 0; j < d; ++j) design(i, j) = x[i][j];
+    design(i, d) = 1.0;
+  }
+  return design;
+}
+
+nn::Tensor ridge_predict_batch(const nn::Tensor& coef,
+                               const nn::Tensor& design) {
+  MET_CHECK(design.cols() == coef.rows());
+  return nn::Tensor::matmul(design, coef);
+}
+
+std::vector<std::size_t> argmax_rows(const nn::Tensor& out) {
+  std::vector<std::size_t> classes(out.rows());
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < out.cols(); ++j) {
+      if (out(i, j) > out(i, best)) best = j;
+    }
+    classes[i] = best;
+  }
+  return classes;
 }
 
 }  // namespace metis::core

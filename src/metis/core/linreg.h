@@ -17,8 +17,26 @@ namespace metis::core {
                                    std::span<const double> weights = {});
 
 // Applies a fitted coefficient matrix to one input row: returns m outputs.
+// Accumulates features in ascending order with the bias last — the exact
+// per-element chain the GEMM backends use — so a row of
+// ridge_predict_batch is bitwise identical to this call.
 [[nodiscard]] std::vector<double> ridge_predict(const nn::Tensor& coef,
                                                 std::span<const double> x);
+
+// Design matrix X~ = [x | 1] (n x (d+1)) for the batch path below.
+[[nodiscard]] nn::Tensor ridge_design_matrix(
+    const std::vector<std::vector<double>>& x);
+
+// Matrix-level batch prediction: X~ · B -> n x m, one GEMM on the
+// blocked backend instead of n ridge_predict calls. Row i is bitwise
+// identical to ridge_predict(coef, x[i]) (same k-ascending accumulation
+// per output element; the backends guarantee no FMA contraction).
+[[nodiscard]] nn::Tensor ridge_predict_batch(const nn::Tensor& coef,
+                                             const nn::Tensor& design);
+
+// Per-row argmax (first maximum wins, like std::max_element) — the
+// predicted class per row of a batch prediction.
+[[nodiscard]] std::vector<std::size_t> argmax_rows(const nn::Tensor& out);
 
 // Solves the symmetric positive-definite system A·b = y in place
 // (Gaussian elimination with partial pivoting). Exposed for testing.

@@ -10,8 +10,8 @@
 namespace metis::nn::arena {
 namespace {
 
-bool initial_enabled() {
-  if (const char* env = std::getenv("METIS_TENSOR_ARENA")) {
+bool env_enabled(const char* name) {
+  if (const char* env = std::getenv(name)) {
     if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
       return false;
     }
@@ -20,7 +20,12 @@ bool initial_enabled() {
 }
 
 std::atomic<bool>& enabled_slot() {
-  static std::atomic<bool> slot{initial_enabled()};
+  static std::atomic<bool> slot{env_enabled("METIS_TENSOR_ARENA")};
+  return slot;
+}
+
+std::atomic<bool>& node_enabled_slot() {
+  static std::atomic<bool> slot{env_enabled("METIS_NODE_POOL")};
   return slot;
 }
 
@@ -39,14 +44,28 @@ thread_local bool t_pool_destroyed = false;
 // accumulate more than the cap.
 constexpr std::size_t kMaxPooledBytes = std::size_t{64} << 20;
 
-// One per thread: the size-bucketed cache plus this thread's counters.
-// Blocks parked here all came from ::operator new, so draining (at
-// outermost-scope exit or thread exit) releases them the ordinary way.
+// Node blocks are small and uniform; cap the parked count so one huge
+// tape cannot pin unbounded metadata memory under a long-lived scope.
+constexpr std::size_t kMaxPooledNodeBlocks = std::size_t{1} << 18;
+
+// One per thread: the size-bucketed tensor cache, the uniform-block node
+// free list, and this thread's counters. Blocks parked here all came from
+// ::operator new, so draining (at outermost-scope exit or thread exit)
+// releases them the ordinary way.
 struct ThreadPool {
   std::unordered_map<std::size_t, std::vector<void*>> buckets;
   std::size_t pooled_bytes = 0;
   int depth = 0;
   Stats stats;
+
+  // Node pool: every tape node is one allocate_shared block of a single
+  // size, so a flat LIFO is both sufficient and faster than the bucket
+  // map. The first block seen fixes the slab size; anything else (another
+  // translation unit's Node layout would be a bug, but stay safe) goes
+  // straight to operator new/delete.
+  std::vector<void*> node_free;
+  std::size_t node_block_size = 0;
+  NodeStats node_stats;
 
   void drain() {
     for (auto& [bytes, blocks] : buckets) {
@@ -55,6 +74,9 @@ struct ThreadPool {
     buckets.clear();
     pooled_bytes = 0;
     stats.pooled = 0;
+    for (void* p : node_free) ::operator delete(p);
+    node_free.clear();
+    node_stats.pooled = 0;
   }
 
   ~ThreadPool() {
@@ -86,7 +108,65 @@ void set_enabled(bool on) {
   enabled_slot().store(on, std::memory_order_relaxed);
 }
 
-Scope::Scope() : active_(enabled() && !t_pool_destroyed) {
+NodeStats node_stats() {
+  return t_pool_destroyed ? NodeStats{} : pool().node_stats;
+}
+
+void reset_node_stats() {
+  if (t_pool_destroyed) return;
+  NodeStats& s = pool().node_stats;
+  const std::uint64_t pooled = s.pooled;  // parked blocks stay accounted
+  s = NodeStats{};
+  s.pooled = pooled;
+}
+
+bool node_pool_enabled() {
+  return node_enabled_slot().load(std::memory_order_relaxed);
+}
+
+void set_node_pool_enabled(bool on) {
+  node_enabled_slot().store(on, std::memory_order_relaxed);
+}
+
+void* node_allocate(std::size_t bytes) {
+  if (t_pool_destroyed) return ::operator new(bytes);
+  ThreadPool& p = pool();
+  if (p.depth > 0 && bytes == p.node_block_size && !p.node_free.empty()) {
+    void* block = p.node_free.back();
+    p.node_free.pop_back();
+    ++p.node_stats.reuses;
+    --p.node_stats.pooled;
+    return block;
+  }
+  ++p.node_stats.fresh_allocs;
+  return ::operator new(bytes);
+}
+
+void node_deallocate(void* block, std::size_t bytes) noexcept {
+  if (block == nullptr) return;
+  if (t_pool_destroyed) {
+    ::operator delete(block);
+    return;
+  }
+  ThreadPool& p = pool();
+  if (p.node_block_size == 0) p.node_block_size = bytes;
+  if (p.depth > 0 && node_pool_enabled() && bytes == p.node_block_size &&
+      p.node_free.size() < kMaxPooledNodeBlocks) {
+    // Parking can allocate (free-list growth); under memory pressure the
+    // only correct fallback inside a noexcept free path is releasing the
+    // block outright.
+    try {
+      p.node_free.push_back(block);
+      ++p.node_stats.pooled;
+      return;
+    } catch (...) {
+    }
+  }
+  ::operator delete(block);
+}
+
+Scope::Scope()
+    : active_((enabled() || node_pool_enabled()) && !t_pool_destroyed) {
   if (active_) ++pool().depth;
 }
 
@@ -122,7 +202,10 @@ void deallocate(void* block, std::size_t bytes) noexcept {
     return;
   }
   ThreadPool& p = pool();
-  if (p.depth > 0 && p.pooled_bytes + bytes <= kMaxPooledBytes) {
+  // Parking is gated on the CURRENT tensor-arena flag (a scope may be
+  // active for the node pool alone); parked blocks still drain at
+  // outermost-scope exit whatever the flags do meanwhile.
+  if (p.depth > 0 && enabled() && p.pooled_bytes + bytes <= kMaxPooledBytes) {
     // Parking can itself allocate (bucket-vector growth, map node); if
     // that throws under memory pressure, releasing the block outright is
     // the only correct fallback inside a noexcept free path.

@@ -1,5 +1,7 @@
 // Per-thread tensor-buffer arena — a size-bucketed free-list cache behind
-// every Tensor's storage.
+// every Tensor's storage — plus the autodiff node pool, a uniform-block
+// free list behind every tape Node (value holder + shared_ptr control
+// block, see nn/autodiff.h).
 //
 // The interpretation hot paths (trace collection, mask optimization, the
 // serve workers) build and tear down the same tensor shapes thousands of
@@ -7,7 +9,8 @@
 // parked in a thread-local pool instead of returning to malloc, and the
 // next allocation of the same size pops it back — so a steady-state loop
 // performs zero fresh allocations after its first iteration
-// (tests/alloc_test.cpp enforces this for lockstep collection).
+// (tests/alloc_test.cpp enforces this for lockstep collection, and for
+// the §4.2 mask-optimization step including its tape metadata).
 //
 // Design invariants:
 //  - The pool is purely a recycling cache: every block is obtained from
@@ -52,9 +55,10 @@ void reset_stats();
 [[nodiscard]] bool enabled();
 void set_enabled(bool on);
 
-// RAII opt-in: tensor buffers freed on this thread while a Scope is
-// active are recycled instead of released. Nests; drains at outermost
-// exit.
+// RAII opt-in: tensor buffers and tape-node blocks freed on this thread
+// while a Scope is active are recycled instead of released (each pool
+// under its own enable flag, so either can be disabled independently).
+// Nests; drains at outermost exit.
 class Scope {
  public:
   Scope();
@@ -63,12 +67,71 @@ class Scope {
   Scope& operator=(const Scope&) = delete;
 
  private:
-  bool active_;  // captured at entry so set_enabled mid-scope stays safe
+  bool active_;  // captured at entry so flag flips mid-scope stay safe
 };
 
 // Allocation hooks used by Allocator<T> below (and by tests).
 [[nodiscard]] void* allocate(std::size_t bytes);
 void deallocate(void* p, std::size_t bytes) noexcept;
+
+// ---- autodiff node pool -----------------------------------------------------
+//
+// Every tape node is one fixed-size block (std::allocate_shared fuses the
+// Node and its control block), so the pool is a single free list instead
+// of size buckets: pop on allocate, park on deallocate, same
+// scope-nesting/drain rules as the tensor pool above. Like tensor
+// buffers, node blocks are plain operator-new memory and may cross scope
+// and thread boundaries in either direction (a parameter node built
+// inside a job scope can die with its model on another thread).
+
+struct NodeStats {
+  std::uint64_t fresh_allocs = 0;  // node blocks obtained from operator new
+  std::uint64_t reuses = 0;        // node blocks recycled from the pool
+  std::uint64_t pooled = 0;        // blocks currently parked
+};
+
+// Calling thread's node-pool counters (same snapshot/diff contract as
+// stats() above).
+[[nodiscard]] NodeStats node_stats();
+void reset_node_stats();
+
+// Process-wide opt-out: METIS_NODE_POOL=0|off at startup, or
+// set_node_pool_enabled(false) at runtime (the CI node-pool-off leg and
+// the pool on/off parity tests use these). Disabled, make_node falls back
+// to make_shared and gradients stay bitwise identical.
+[[nodiscard]] bool node_pool_enabled();
+void set_node_pool_enabled(bool on);
+
+// Allocation hooks used by NodeAllocator<T> below. Blocks whose size does
+// not match the pool's (first-seen) block size bypass the free list.
+[[nodiscard]] void* node_allocate(std::size_t bytes);
+void node_deallocate(void* p, std::size_t bytes) noexcept;
+
+// Minimal std-compatible allocator routing through the thread's node
+// pool; handed to std::allocate_shared by nn::make_node & co. Stateless
+// and always-equal.
+template <typename T>
+struct NodeAllocator {
+  using value_type = T;
+
+  NodeAllocator() noexcept = default;
+  template <typename U>
+  NodeAllocator(const NodeAllocator<U>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena::node_allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    arena::node_deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const NodeAllocator&, const NodeAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const NodeAllocator&, const NodeAllocator&) {
+    return false;
+  }
+};
 
 // Minimal std-compatible allocator routing through the thread's arena.
 // Stateless and always-equal, so container moves/swaps behave exactly

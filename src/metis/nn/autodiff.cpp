@@ -1,10 +1,11 @@
 #include "metis/nn/autodiff.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <unordered_set>
 #include <utility>
 
+#include "metis/nn/arena.h"
 #include "metis/nn/gemm.h"
 #include "metis/util/check.h"
 
@@ -13,20 +14,32 @@ namespace {
 
 thread_local bool t_grad_enabled = true;
 
+// Allocates the node + control block as one fused block from the arena
+// node pool (all such blocks share one size, so inside an arena::Scope a
+// steady-state loop recycles them with zero mallocs). The opt-out falls
+// back to make_shared — same math, different allocator.
+Var alloc_node(Tensor value, bool requires_grad) {
+  if (arena::node_pool_enabled()) {
+    return std::allocate_shared<Node>(arena::NodeAllocator<Node>{},
+                                      std::move(value), requires_grad);
+  }
+  return std::make_shared<Node>(std::move(value), requires_grad);
+}
+
 // Builds an op node. With the tape off (NoGradGuard active) the node is a
-// bare value holder: no parents, no backward closure — the std::function
-// is never even constructed, so a no-tape forward allocates nothing
-// beyond its output tensor. With the tape on, parents and the closure are
-// recorded only when some parent actually requires a gradient.
+// bare value holder: no parents, no backward closure. With the tape on,
+// parents and the closure are recorded only when some parent actually
+// requires a gradient — and both live inline in the Node, so wiring the
+// tape costs no further allocations.
 template <typename BackwardFn, typename... Parents>
 Var make_node(Tensor value, BackwardFn&& backward, const Parents&... parents) {
   if (!t_grad_enabled) {
-    return std::make_shared<Node>(std::move(value), false);
+    return alloc_node(std::move(value), false);
   }
   const bool needs = (parents->requires_grad() || ...);
-  auto node = std::make_shared<Node>(std::move(value), needs);
+  Var node = alloc_node(std::move(value), needs);
   if (needs) {
-    node->set_parents({parents...});
+    node->set_parents(parents...);
     node->set_backward(std::forward<BackwardFn>(backward));
   }
   return node;
@@ -67,13 +80,9 @@ NoGradGuard::~NoGradGuard() { t_grad_enabled = saved_; }
 Node::Node(Tensor value, bool requires_grad)
     : value_(std::move(value)), requires_grad_(requires_grad) {}
 
-Var constant(Tensor value) {
-  return std::make_shared<Node>(std::move(value), false);
-}
+Var constant(Tensor value) { return alloc_node(std::move(value), false); }
 
-Var parameter(Tensor value) {
-  return std::make_shared<Node>(std::move(value), true);
-}
+Var parameter(Tensor value) { return alloc_node(std::move(value), true); }
 
 Var matmul(const Var& a, const Var& b) {
   Tensor out = Tensor::matmul(a->value(), b->value());
@@ -442,22 +451,148 @@ Var binary_entropy_sum(const Var& w, double eps) {
   return scale(sum_all(add(term1, term2)), -1.0);
 }
 
+Var gated_sigmoid(const Var& x, const Var& support) {
+  MET_CHECK(x->value().same_shape(support->value()));
+  MET_CHECK_MSG(!support->requires_grad(),
+                "gated_sigmoid: support must be a constant");
+  Tensor out(x->value().rows(), x->value().cols());
+  auto in = x->value().data();
+  auto sv = support->value().data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    // Support entries are exactly 0 or 1 (the incidence contract), so
+    // the gated product is sigmoid(x) or exactly 0 — identical to
+    // mul(support, sigmoid(x)) without the masked-out exp calls.
+    o[i] = sv[i] != 0.0 ? 1.0 / (1.0 + std::exp(-in[i])) : 0.0;
+  }
+  return make_node(
+      std::move(out),
+      [](Node& n) {
+        auto& px = *n.parents()[0];
+        auto& ps = *n.parents()[1];
+        if (!px.requires_grad()) return;
+        auto sv = ps.value().data();
+        auto y = n.value().data();
+        auto g = n.grad().data();
+        auto pg = px.grad().data();
+        for (std::size_t i = 0; i < y.size(); ++i) {
+          if (sv[i] != 0.0) pg[i] += y[i] * (1.0 - y[i]) * g[i];
+        }
+      },
+      x, support);
+}
+
+Var kl_divergence_rows_cached(const Var& target_probs, const Var& log_target,
+                              const Var& pred_probs, double eps) {
+  const Tensor& t = target_probs->value();
+  const Tensor& lt = log_target->value();
+  const Tensor& p = pred_probs->value();
+  MET_CHECK(t.same_shape(p) && t.same_shape(lt));
+  MET_CHECK_MSG(!target_probs->requires_grad() && !log_target->requires_grad(),
+                "kl_divergence_rows_cached: target must be constant");
+  // Same per-element chain as kl_divergence_rows: per row,
+  // Σ_j t_j (log t_j − log p_j); mean over rows.
+  const double inv_rows = 1.0 / static_cast<double>(t.rows());
+  double total = 0.0;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+      s += t(r, c) * (lt(r, c) - std::log(std::max(p(r, c), eps)));
+    }
+    total += s;
+  }
+  Tensor out(1, 1, total * inv_rows);
+  return make_node(
+      std::move(out),
+      [eps, inv_rows](Node& n) {
+        auto& pt = *n.parents()[0];
+        auto& pp = *n.parents()[1];
+        if (!pp.requires_grad()) return;
+        const double g = n.grad()(0, 0) * inv_rows;
+        auto t = pt.value().data();
+        auto p = pp.value().data();
+        auto pg = pp.grad().data();
+        for (std::size_t i = 0; i < t.size(); ++i) {
+          pg[i] -= g * t[i] / std::max(p[i], eps);
+        }
+      },
+      target_probs, pred_probs);
+}
+
+Var mask_regularizer(const Var& w, const Var& support, double c1, double c2,
+                     double* sum_out, double* entropy_out, double eps) {
+  const Tensor& wv = w->value();
+  MET_CHECK(wv.same_shape(support->value()));
+  MET_CHECK_MSG(!support->requires_grad(),
+                "mask_regularizer: support must be a constant");
+  auto wd = wv.data();
+  auto sv = support->value().data();
+  // ||W|| = Σ w (w >= 0 by the gating) and H(W) = -Σ [w log w +
+  // (1-w) log(1-w)], both restricted to support entries: a masked-out
+  // entry is exactly 0 and contributes exactly 0 to either sum.
+  double sum = 0.0;
+  double ent = 0.0;
+  for (std::size_t i = 0; i < wd.size(); ++i) {
+    if (sv[i] == 0.0) continue;
+    sum += wd[i];
+    ent += wd[i] * std::log(std::max(wd[i], eps)) +
+           (1.0 - wd[i]) * std::log(std::max(1.0 - wd[i], eps));
+  }
+  ent = -ent;
+  if (sum_out != nullptr) *sum_out = sum;
+  if (entropy_out != nullptr) *entropy_out = ent;
+  Tensor out(1, 1, c1 * sum + c2 * ent);
+  return make_node(
+      std::move(out),
+      [c1, c2, eps](Node& n) {
+        auto& pw = *n.parents()[0];
+        auto& ps = *n.parents()[1];
+        if (!pw.requires_grad()) return;
+        const double g = n.grad()(0, 0);
+        auto wd = pw.value().data();
+        auto sv = ps.value().data();
+        auto pg = pw.grad().data();
+        for (std::size_t i = 0; i < wd.size(); ++i) {
+          if (sv[i] == 0.0) continue;
+          // d/dw [w log w + (1-w) log(1-w)] with the same eps floors the
+          // composite log_op backward applies.
+          const double dterm =
+              std::log(std::max(wd[i], eps)) + wd[i] / std::max(wd[i], eps) -
+              std::log(std::max(1.0 - wd[i], eps)) -
+              (1.0 - wd[i]) / std::max(1.0 - wd[i], eps);
+          pg[i] += g * (c1 - c2 * dterm);
+        }
+      },
+      w, support);
+}
+
 void backward(const Var& root) {
   MET_CHECK_MSG(root->value().rows() == 1 && root->value().cols() == 1,
                 "backward() requires a scalar root");
-  // Iterative post-order DFS for the reverse topological order.
-  std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, std::size_t>> stack;
+  // Iterative post-order DFS for the reverse topological order. The
+  // visited test is an epoch mark stamped into each node (every sweep
+  // draws a process-unique epoch) and the traversal scratch is
+  // thread-local with retained capacity, so a steady-state training or
+  // mask-optimization loop pays zero allocations per backward after its
+  // first sweep. Concurrent backward() calls are fine on disjoint graphs;
+  // sharing nodes between simultaneous sweeps was already a data race on
+  // the accumulated gradients.
+  static std::atomic<std::uint64_t> g_epoch{0};
+  const std::uint64_t epoch =
+      g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  thread_local std::vector<Node*> order;
+  thread_local std::vector<std::pair<Node*, std::size_t>> stack;
+  order.clear();
+  stack.clear();
   stack.emplace_back(root.get(), 0);
-  visited.insert(root.get());
+  root->set_visit_mark(epoch);
   while (!stack.empty()) {
     auto& [node, child] = stack.back();
     if (child < node->parents().size()) {
       Node* next = node->parents()[child].get();
       ++child;
-      if (next->requires_grad() && !visited.count(next)) {
-        visited.insert(next);
+      if (next->requires_grad() && next->visit_mark() != epoch) {
+        next->set_visit_mark(epoch);
         stack.emplace_back(next, 0);
       }
     } else {

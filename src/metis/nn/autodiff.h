@@ -13,10 +13,24 @@
 //
 // Vars are shared_ptrs to immutable-shape nodes; the graph is a DAG and
 // backward() runs one reverse topological sweep.
+//
+// Allocation discipline: a node and its shared_ptr control block are one
+// fused block drawn from the per-thread arena node pool (nn/arena.h), the
+// parents live inline, and the backward closure sits in a fixed small
+// buffer — inside an arena::Scope a steady-state tape-building loop (the
+// §4.2 mask optimization) performs zero fresh allocations after warm-up,
+// graph metadata included (tests/alloc_test.cpp). METIS_NODE_POOL=0
+// falls back to make_shared with bitwise-identical gradients.
 #pragma once
 
-#include <functional>
+#include <array>
+#include <cstdint>
+#include <cstring>
 #include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "metis/nn/tensor.h"
@@ -26,6 +40,50 @@ namespace metis::nn {
 
 class Node;
 using Var = std::shared_ptr<Node>;
+
+namespace detail {
+
+// Fixed-capacity, never-heap-allocating closure holder for a node's
+// backward function. Every op's backward lambda captures at most one
+// scalar (a bias flag, a split column, an epsilon), so a small inline
+// buffer fits them all — std::function's "maybe heap" semantics would
+// silently reintroduce a malloc per tape node, the very cost the node
+// pool exists to kill. The static_asserts turn an oversized or
+// non-trivial capture into a compile error instead of a regression.
+class BackwardFn {
+ public:
+  static constexpr std::size_t kCapacity = 24;
+
+  BackwardFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>,
+                                                        BackwardFn>>>
+  BackwardFn(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "backward closure exceeds the inline buffer; grow "
+                  "kCapacity instead of falling back to the heap");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    static_assert(std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>,
+                  "backward closures must be trivially copyable so the "
+                  "holder stays allocation- and destructor-free");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](const unsigned char* buf, Node& n) {
+      (*std::launder(reinterpret_cast<const Fn*>(buf)))(n);
+    };
+  }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()(Node& n) const { invoke_(buf_, n); }
+
+ private:
+  alignas(std::max_align_t) unsigned char buf_[kCapacity] = {};
+  void (*invoke_)(const unsigned char*, Node&) = nullptr;
+};
+
+}  // namespace detail
 
 // Thread-local no-tape mode. While a NoGradGuard is alive, op constructors
 // skip parent wiring and backward closures entirely — the graph degenerates
@@ -48,6 +106,10 @@ class NoGradGuard {
 
 class Node {
  public:
+  // Widest op fan-in (linear's x, w, b). Parents live inline so wiring a
+  // node never allocates; make_node static_asserts against overflow.
+  static constexpr std::size_t kMaxParents = 3;
+
   Node(Tensor value, bool requires_grad);
 
   [[nodiscard]] const Tensor& value() const { return value_; }
@@ -79,19 +141,40 @@ class Node {
     if (grad_allocated_) grad_.fill(0.0);
   }
 
-  // Internal wiring used by the op constructors below.
-  void set_parents(std::vector<Var> parents) { parents_ = std::move(parents); }
-  void set_backward(std::function<void(Node&)> fn) { backward_ = std::move(fn); }
-  [[nodiscard]] const std::vector<Var>& parents() const { return parents_; }
+  // Internal wiring used by the op constructors below. Parents are stored
+  // inline (no vector, no heap) and the backward closure in a fixed
+  // small-buffer holder — wiring a tape node performs zero allocations
+  // beyond the node block itself, which comes from the arena node pool.
+  template <typename... Ps>
+  void set_parents(const Ps&... ps) {
+    static_assert(sizeof...(Ps) <= kMaxParents, "grow Node::kMaxParents");
+    std::size_t i = 0;
+    ((parents_[i++] = ps), ...);
+    parent_count_ = static_cast<std::uint8_t>(sizeof...(Ps));
+  }
+  void set_backward(detail::BackwardFn fn) { backward_ = fn; }
+  [[nodiscard]] std::span<const Var> parents() const {
+    return {parents_.data(), parent_count_};
+  }
   void run_backward() { if (backward_) backward_(*this); }
+
+  // Traversal mark for backward()'s visited test: a node is on the
+  // current sweep's tape iff its mark equals that sweep's globally unique
+  // epoch. Replaces a per-call hash set (and its allocations). Internal
+  // to backward(); concurrent backward() calls must operate on disjoint
+  // graphs — the same contract grad accumulation already imposes.
+  [[nodiscard]] std::uint64_t visit_mark() const { return visit_mark_; }
+  void set_visit_mark(std::uint64_t epoch) { visit_mark_ = epoch; }
 
  private:
   Tensor value_;
   Tensor grad_;
   bool requires_grad_;
   bool grad_allocated_ = false;
-  std::vector<Var> parents_;
-  std::function<void(Node&)> backward_;
+  std::uint8_t parent_count_ = 0;
+  std::uint64_t visit_mark_ = 0;
+  std::array<Var, kMaxParents> parents_;
+  detail::BackwardFn backward_;
 };
 
 // ---- Leaves ----------------------------------------------------------------
@@ -162,6 +245,42 @@ class Node {
 // Binary entropy sum: -Σ w log w + (1-w) log(1-w), per Eq. 8. Input values
 // must lie in [0, 1]; a small eps keeps logs finite at the boundary.
 [[nodiscard]] Var binary_entropy_sum(const Var& w, double eps = 1e-8);
+
+// ---- Fused Figure-6 ops -----------------------------------------------------
+//
+// The §4.2 mask optimization runs its loss hundreds of times per job; the
+// three fused ops below collapse its per-step composite subgraphs into
+// single nodes and restrict the transcendental work to the hypergraph's
+// support, which is what makes a mask-optimization step cheap enough to
+// serve at production rates (bench_interpret). Each is the drop-in
+// equivalent of the composite it replaces: identical forward values, the
+// same mathematical gradient (checked against finite differences in
+// tests/nn_test.cpp).
+
+// Gating (Eq. 9): out = support ∘ sigmoid(x), with the sigmoid evaluated
+// only where support is non-zero (elsewhere the product is exactly 0).
+// Support entries must be 0 or 1 — the incidence matrix's contract — and
+// carry no gradient.
+[[nodiscard]] Var gated_sigmoid(const Var& x, const Var& support);
+
+// KL(target || pred) mean over rows (Eq. 6) with log(target) hoisted:
+// the target distribution is frozen across the whole optimization, so
+// its per-entry logs are paid once instead of every step. `log_target`
+// must equal log_op(target_probs, eps).
+[[nodiscard]] Var kl_divergence_rows_cached(const Var& target_probs,
+                                            const Var& log_target,
+                                            const Var& pred_probs,
+                                            double eps = 1e-12);
+
+// Fused regularizer c1·||W|| + c2·H(W) (Eqs. 7 + 8) over the support
+// entries only (a zero-mask entry contributes exactly 0 to either term).
+// `sum_out` / `entropy_out`, when non-null, receive the raw Σ W and H(W)
+// of this forward — the Fig. 30 diagnostics — without extra nodes.
+[[nodiscard]] Var mask_regularizer(const Var& w, const Var& support,
+                                   double c1, double c2,
+                                   double* sum_out = nullptr,
+                                   double* entropy_out = nullptr,
+                                   double eps = 1e-8);
 
 // ---- Engine ----------------------------------------------------------------
 

@@ -31,6 +31,13 @@ Linear::Linear(std::size_t in_dim, std::size_t out_dim, metis::Rng& rng)
   b_ = parameter(Tensor(1, out_dim, 0.0));
 }
 
+Linear Linear::clone() const {
+  Linear copy(*this);  // copies the shared Vars...
+  copy.w_ = parameter(w_->value());  // ...then replaces them with fresh
+  copy.b_ = parameter(b_->value());  // nodes over bitwise-equal values
+  return copy;
+}
+
 Var Linear::forward(const Var& x) const {
   MET_CHECK_MSG(x->value().cols() == in_dim_,
                 "Linear::forward: input width mismatch");

@@ -21,6 +21,11 @@ class Linear {
 
   [[nodiscard]] Var forward(const Var& x) const;
 
+  // Deep copy with fresh parameter nodes holding bitwise-equal values —
+  // the clone trains and accumulates gradients independently of the
+  // original (per-job model clones on the serve path rely on this).
+  [[nodiscard]] Linear clone() const;
+
   [[nodiscard]] std::size_t in_dim() const { return in_dim_; }
   [[nodiscard]] std::size_t out_dim() const { return out_dim_; }
 

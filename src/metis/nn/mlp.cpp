@@ -32,6 +32,13 @@ std::vector<double> Mlp::predict_row(std::span<const double> input) const {
   return {d.begin(), d.end()};
 }
 
+Mlp Mlp::clone() const {
+  Mlp copy(*this);
+  copy.layers_.clear();
+  for (const auto& l : layers_) copy.layers_.push_back(l.clone());
+  return copy;
+}
+
 std::vector<Var> Mlp::parameters() const {
   std::vector<Var> ps;
   for (const auto& l : layers_) {
@@ -212,6 +219,15 @@ PolicyNet::act_and_values_multi(const std::vector<std::vector<double>>& rows,
     base += g;
   }
   return out;
+}
+
+PolicyNet PolicyNet::clone() const {
+  PolicyNet copy(*this);
+  copy.hidden_.clear();
+  for (const auto& l : hidden_) copy.hidden_.push_back(l.clone());
+  copy.policy_head_ = policy_head_.clone();
+  copy.value_head_ = value_head_.clone();
+  return copy;
 }
 
 std::vector<Var> PolicyNet::parameters() const {

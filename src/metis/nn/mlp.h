@@ -25,6 +25,12 @@ class Mlp {
   [[nodiscard]] std::vector<double> predict_row(
       std::span<const double> input) const;
 
+  // Deep copy with fresh parameter nodes (bitwise-equal values): forwards
+  // are bitwise identical to the original's, gradients and training are
+  // fully independent. This is what lets concurrent interpret jobs run
+  // one model per job instead of serializing on shared weight gradients.
+  [[nodiscard]] Mlp clone() const;
+
   [[nodiscard]] std::vector<Var> parameters() const;
   [[nodiscard]] std::size_t in_dim() const;
   [[nodiscard]] std::size_t out_dim() const;
@@ -92,6 +98,10 @@ class PolicyNet {
   [[nodiscard]] std::vector<std::pair<std::size_t, std::vector<double>>>
   act_and_values_multi(const std::vector<std::vector<double>>& rows,
                        std::span<const std::size_t> group_sizes) const;
+
+  // Deep copy with fresh parameter nodes (see Mlp::clone): same outputs,
+  // independent gradients.
+  [[nodiscard]] PolicyNet clone() const;
 
   [[nodiscard]] std::vector<Var> parameters() const;
   [[nodiscard]] std::size_t state_dim() const { return state_dim_; }

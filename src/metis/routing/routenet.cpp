@@ -62,6 +62,12 @@ double LinkDelayNet::predict(double utilization) const {
          y_mean_;
 }
 
+LinkDelayNet LinkDelayNet::clone() const {
+  LinkDelayNet copy(*this);     // rng state + standardization scalars
+  copy.net_ = net_.clone();     // fresh, independently trainable weights
+  return copy;
+}
+
 RouteNetStar::RouteNetStar(const Topology* topo, RouteNetConfig cfg)
     : topo_(topo), cfg_(std::move(cfg)), delay_net_(cfg_.seed) {
   MET_CHECK(topo != nullptr);
@@ -184,22 +190,31 @@ RoutingMaskModel::RoutingMaskModel(const RouteNetStar* model,
       }
     }
   }
+  volumes_const_ = nn::constant(volumes_row_);
+  inv_capacity_const_ = nn::constant(inv_capacity_row_);
+  candidate_incidence_const_ = nn::constant(candidate_incidence_);
 }
 
 nn::Var RoutingMaskModel::decisions(const nn::Var& mask) const {
   const std::size_t n_demands = result_.demands.size();
   const std::size_t k = model_->config().candidates;
   // Masked link loads: (1 x |E|) · (|E| x |V|) -> 1 x |V|.
-  nn::Var loads = nn::matmul(nn::constant(volumes_row_), mask);
-  nn::Var utilization = nn::mul(loads, nn::constant(inv_capacity_row_));
+  nn::Var loads = nn::matmul(volumes_const_, mask);
+  nn::Var utilization = nn::mul(loads, inv_capacity_const_);
   // Learned per-link delays.
-  nn::Var delays = model_->delay_net().forward(nn::transpose(utilization));
+  nn::Var delays = delay_net().forward(nn::transpose(utilization));
   // Candidate-path latencies: ((|E|k) x |V|) · (|V| x 1).
-  nn::Var cand_lat =
-      nn::matmul(nn::constant(candidate_incidence_), delays);
+  nn::Var cand_lat = nn::matmul(candidate_incidence_const_, delays);
   nn::Var logits = nn::reshape(
       nn::scale(cand_lat, -model_->config().softmax_beta), n_demands, k);
   return nn::softmax_rows(logits);
+}
+
+std::shared_ptr<core::MaskableModel> RoutingMaskModel::clone() const {
+  auto copy = std::make_shared<RoutingMaskModel>(*this);
+  copy->owned_delay_net_ =
+      std::make_shared<const LinkDelayNet>(delay_net().clone());
+  return copy;
 }
 
 }  // namespace metis::routing

@@ -35,6 +35,11 @@ class LinkDelayNet {
   [[nodiscard]] nn::Var forward(const nn::Var& utilization_col) const;
   [[nodiscard]] double predict(double utilization) const;
 
+  // Deep copy with fresh weight nodes (bitwise-equal values): forward()
+  // builds tapes whose gradients accumulate independently of the
+  // original — one clone per concurrent §4.2 search.
+  [[nodiscard]] LinkDelayNet clone() const;
+
   [[nodiscard]] const nn::Mlp& net() const { return net_; }
 
  private:
@@ -100,17 +105,37 @@ class RoutingMaskModel final : public core::MaskableModel {
     return graph_;
   }
   [[nodiscard]] nn::Var decisions(const nn::Var& mask) const override;
+  // Clone for concurrent interpretation: the copy owns an independent
+  // LinkDelayNet (the only gradient-carrying state decisions() touches)
+  // and shares the read-only routing result/constants. The original
+  // RouteNetStar must stay alive while clones run (GlobalSystem keepalive
+  // covers this on the serve path).
+  [[nodiscard]] std::shared_ptr<core::MaskableModel> clone() const override;
   [[nodiscard]] const RouteNetStar::RoutingResult& result() const {
     return result_;
   }
 
  private:
+  [[nodiscard]] const LinkDelayNet& delay_net() const {
+    return owned_delay_net_ ? *owned_delay_net_ : model_->delay_net();
+  }
+
   const RouteNetStar* model_;
+  // Set on clones only: the per-search delay net replacing the original's.
+  std::shared_ptr<const LinkDelayNet> owned_delay_net_;
   RouteNetStar::RoutingResult result_;
   hypergraph::Hypergraph graph_;
   nn::Tensor volumes_row_;       // 1 x |E| demand volumes
   nn::Tensor inv_capacity_row_;  // 1 x |V|
   nn::Tensor candidate_incidence_;  // (|E| * k) x |V| 0-1 matrix
+  // The same three, frozen once as constant nodes: decisions() runs every
+  // mask-optimization step, and rebuilding a constant copies its whole
+  // tensor — the candidate incidence alone is |E|k x |V|. Constants carry
+  // no gradient, so sharing the nodes across steps (and across clones)
+  // is race-free.
+  nn::Var volumes_const_;
+  nn::Var inv_capacity_const_;
+  nn::Var candidate_incidence_const_;
 };
 
 }  // namespace metis::routing

@@ -79,13 +79,14 @@ CellularModel::CellularModel(CellularInstance instance)
     graph_.edge_features(s, 0) = instance_.capacity[s];
   }
   graph_.validate();
+  weight_const_ = nn::constant(weight_su_);
 }
 
 nn::Var CellularModel::decisions(const nn::Var& mask) const {
   // Per-user association softmax over stations: logit_us = 5 * mask_su *
   // signal_su * capacity_s - 3 (transpose of the mask's station-major
   // layout). Suppressed or absent coverage falls to the shared floor.
-  nn::Var weighted = nn::transpose(nn::mul(mask, nn::constant(weight_su_)));
+  nn::Var weighted = nn::transpose(nn::mul(mask, weight_const_));
   nn::Var logits = nn::add_scalar(nn::scale(weighted, 5.0), -3.0);
   return nn::softmax_rows(logits);
 }

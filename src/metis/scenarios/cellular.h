@@ -50,6 +50,11 @@ class CellularModel final : public core::MaskableModel {
   // transposed view: the mask is |E| x |V| = stations x users, while the
   // decision rows are per-user.
   [[nodiscard]] nn::Var decisions(const nn::Var& mask) const override;
+  // Pure function of immutable instance data: a copy is an independent
+  // clone (no learned weight nodes to race on).
+  [[nodiscard]] std::shared_ptr<core::MaskableModel> clone() const override {
+    return std::make_shared<CellularModel>(*this);
+  }
 
   [[nodiscard]] const CellularInstance& instance() const { return instance_; }
 
@@ -57,6 +62,7 @@ class CellularModel final : public core::MaskableModel {
   CellularInstance instance_;
   hypergraph::Hypergraph graph_;
   nn::Tensor weight_su_;  // stations x users: signal * capacity
+  nn::Var weight_const_;  // the same, frozen once for the per-step tape
 };
 
 }  // namespace metis::scenarios

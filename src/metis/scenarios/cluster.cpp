@@ -60,14 +60,15 @@ ClusterSchedulingModel::ClusterSchedulingModel(ClusterJob job)
   graph_.vertex_features = work_row_.transposed();
   graph_.edge_features = data_col_;
   graph_.validate();
+  data_row_const_ = nn::constant(data_col_.transposed());
+  work_const_ = nn::constant(work_row_);
 }
 
 nn::Var ClusterSchedulingModel::decisions(const nn::Var& mask) const {
   // score_v = work_v + Σ_e mask_ev * data_e  (data volumes flow to every
   // stage a dependency touches); one softmax row allocates executors.
-  nn::Var flowed =
-      nn::matmul(nn::transpose(nn::constant(data_col_)), mask);  // 1 x |V|
-  nn::Var score = nn::add(flowed, nn::constant(work_row_));
+  nn::Var flowed = nn::matmul(data_row_const_, mask);  // 1 x |V|
+  nn::Var score = nn::add(flowed, work_const_);
   return nn::softmax_rows(nn::scale(score, 2.0));
 }
 

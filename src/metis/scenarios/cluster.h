@@ -49,6 +49,11 @@ class ClusterSchedulingModel final : public core::MaskableModel {
   // A single decision row: the executor-allocation distribution across
   // stages. score_v = work_v + Σ_{e ∋ v} mask_ev * data_e.
   [[nodiscard]] nn::Var decisions(const nn::Var& mask) const override;
+  // Pure function of immutable job data: a copy is an independent clone
+  // (no learned weight nodes to race on).
+  [[nodiscard]] std::shared_ptr<core::MaskableModel> clone() const override {
+    return std::make_shared<ClusterSchedulingModel>(*this);
+  }
 
   [[nodiscard]] const ClusterJob& job() const { return job_; }
 
@@ -57,6 +62,11 @@ class ClusterSchedulingModel final : public core::MaskableModel {
   hypergraph::Hypergraph graph_;
   nn::Tensor data_col_;  // |E| x 1 dependency data volumes
   nn::Tensor work_row_;  // 1 x |V| stage work
+  // Frozen constant nodes for the per-step tape: the pre-transposed data
+  // row replaces a per-step transpose-of-constant (bitwise-identical
+  // values, no gradient either way).
+  nn::Var data_row_const_;
+  nn::Var work_const_;
 };
 
 }  // namespace metis::scenarios

@@ -71,6 +71,7 @@ NfvPlacementModel::NfvPlacementModel(NfvInstance instance)
     graph_.edge_features(e, 0) = instance_.demand[e];
   }
   graph_.validate();
+  headroom_const_ = nn::constant(headroom_rows_);
 }
 
 nn::Var NfvPlacementModel::decisions(const nn::Var& mask) const {
@@ -78,7 +79,7 @@ nn::Var NfvPlacementModel::decisions(const nn::Var& mask) const {
   // logits in proportion to their server's headroom; suppressing a
   // placement (mask -> 0) sinks it to the -3 floor shared with
   // non-placements, removing that instance from the NF's traffic split.
-  nn::Var weighted = nn::mul(mask, nn::constant(headroom_rows_));
+  nn::Var weighted = nn::mul(mask, headroom_const_);
   nn::Var logits = nn::add_scalar(nn::scale(weighted, 4.0), -3.0);
   return nn::softmax_rows(logits);
 }

@@ -47,6 +47,11 @@ class NfvPlacementModel final : public core::MaskableModel {
   // Row e = NF e's traffic split across servers (softmax over masked
   // placements weighted by headroom).
   [[nodiscard]] nn::Var decisions(const nn::Var& mask) const override;
+  // The model is a pure function of immutable instance data (no learned
+  // weight nodes), so a plain copy is a fully independent clone.
+  [[nodiscard]] std::shared_ptr<core::MaskableModel> clone() const override {
+    return std::make_shared<NfvPlacementModel>(*this);
+  }
 
   [[nodiscard]] const NfvInstance& instance() const { return instance_; }
 
@@ -54,6 +59,10 @@ class NfvPlacementModel final : public core::MaskableModel {
   NfvInstance instance_;
   hypergraph::Hypergraph graph_;
   nn::Tensor headroom_rows_;  // |E| x |V|, headroom broadcast per row
+  // Frozen constant node over headroom_rows_: decisions() runs every
+  // mask-optimization step, and a gradient-free constant is safely shared
+  // across steps and concurrent searches.
+  nn::Var headroom_const_;
 };
 
 }  // namespace metis::scenarios

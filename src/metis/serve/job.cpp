@@ -55,8 +55,10 @@ JobProgress JobHandle::progress() const {
   // and skew under concurrency only ever understates progress.
   out.rounds_done = p.rounds_done.load(std::memory_order_acquire);
   out.episodes_done = p.episodes_done.load(std::memory_order_acquire);
+  out.steps_done = p.steps_done.load(std::memory_order_acquire);
   out.rounds_total = p.rounds_total.load(std::memory_order_relaxed);
   out.episodes_total = p.episodes_total.load(std::memory_order_relaxed);
+  out.steps_total = p.steps_total.load(std::memory_order_relaxed);
   return out;
 }
 

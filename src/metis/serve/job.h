@@ -34,18 +34,22 @@ enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
          status == JobStatus::kCancelled;
 }
 
-// Snapshot of a distill job's collection progress, finer-grained than the
-// queued/running/done status. All zeros until the job's pipeline starts
-// (and for interpret jobs, which have no collection rounds). Episode
-// counters are cumulative across DAgger rounds: episodes_total =
-// episodes-per-round x rounds_total, and episodes_done only ever grows.
-// Tree fitting after the last round is not covered, so a job can sit at
-// full progress briefly before status() flips to done.
+// Snapshot of a job's pipeline progress, finer-grained than the
+// queued/running/done status. All zeros until the job's pipeline starts.
+// Distill jobs tick the round/episode counters (episode counters are
+// cumulative across DAgger rounds: episodes_total = episodes-per-round x
+// rounds_total, and episodes_done only ever grows; tree fitting after the
+// last round is not covered, so a job can sit at full progress briefly
+// before status() flips to done). Interpret jobs tick the step counters —
+// one per completed Figure-6 mask-optimization step — and leave the
+// round/episode counters at zero.
 struct JobProgress {
   std::size_t rounds_total = 0;    // collection rounds (dagger_iterations)
   std::size_t rounds_done = 0;
   std::size_t episodes_total = 0;  // across all rounds
   std::size_t episodes_done = 0;
+  std::size_t steps_total = 0;     // mask-optimization steps (interpret)
+  std::size_t steps_done = 0;
 };
 
 namespace detail {
@@ -59,6 +63,8 @@ struct ProgressCounters {
   std::atomic<std::size_t> rounds_done{0};
   std::atomic<std::size_t> episodes_total{0};
   std::atomic<std::size_t> episodes_done{0};
+  std::atomic<std::size_t> steps_total{0};
+  std::atomic<std::size_t> steps_done{0};
 };
 
 // Shared record behind a JobHandle. The service's workers write it; any
@@ -99,8 +105,9 @@ class JobHandle {
   [[nodiscard]] JobStatus status() const;
   [[nodiscard]] bool finished() const { return is_terminal(status()); }
 
-  // Collection-round/episode counters (non-blocking, lock-free poll); see
-  // JobProgress for the exact semantics.
+  // Collection-round/episode counters (distill) or mask-optimization step
+  // counters (interpret); non-blocking, lock-free poll — see JobProgress
+  // for the exact semantics.
   [[nodiscard]] JobProgress progress() const;
 
   // Blocks until the job reaches a terminal state.

@@ -120,12 +120,42 @@ void Service::clear_cache() {
   global_.clear();
 }
 
+namespace {
+
+// LRU eviction over one slot map. Only idle slots — those whose sole
+// remaining reference is the cache entry itself — are evicted; a slot a
+// job still holds would rebuild underneath it. Called with cache_mu_
+// held, AFTER the requesting job copied its own shared_ptr, so the slot
+// being handed out is never the victim. When every slot is busy the map
+// transiently exceeds the cap rather than evicting live builds.
+template <typename SlotMap>
+void evict_idle_lru(SlotMap& map, std::size_t capacity) {
+  if (capacity == 0) return;  // unbounded (the default)
+  while (map.size() > capacity) {
+    auto victim = map.end();
+    for (auto it = map.begin(); it != map.end(); ++it) {
+      if (it->second.use_count() > 1) continue;  // held by a job: not idle
+      if (victim == map.end() ||
+          it->second->last_used < victim->second->last_used) {
+        victim = it;
+      }
+    }
+    if (victim == map.end()) return;
+    map.erase(victim);
+  }
+}
+
+}  // namespace
+
 std::shared_ptr<Service::LocalSlot> Service::local_slot(
     const std::string& key) {
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto& slot = local_[key];
   if (slot == nullptr) slot = std::make_shared<LocalSlot>();
-  return slot;
+  slot->last_used = ++cache_tick_;
+  std::shared_ptr<LocalSlot> out = slot;
+  evict_idle_lru(local_, config_.cache_capacity);
+  return out;
 }
 
 std::shared_ptr<Service::GlobalSlot> Service::global_slot(
@@ -133,7 +163,10 @@ std::shared_ptr<Service::GlobalSlot> Service::global_slot(
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto& slot = global_[key];
   if (slot == nullptr) slot = std::make_shared<GlobalSlot>();
-  return slot;
+  slot->last_used = ++cache_tick_;
+  std::shared_ptr<GlobalSlot> out = slot;
+  evict_idle_lru(global_, config_.cache_capacity);
+  return out;
 }
 
 void Service::run_job(const std::shared_ptr<detail::JobState>& state) {
@@ -281,11 +314,41 @@ void Service::run_interpret(const detail::JobState& state,
   core::InterpretConfig cfg = sys.interpret_defaults;
   api::apply_overrides(cfg, state.interpret_overrides);
 
+  // Step counters for JobHandle::progress(), under the same ordering
+  // contract as the distill counters: the total is stored BEFORE the
+  // optimization starts and every bump is a release, so a reader that
+  // acquires a non-zero done count also sees the total.
+  const std::shared_ptr<detail::ProgressCounters> progress = state.progress;
+  progress->steps_total.store(cfg.steps, std::memory_order_relaxed);
+  cfg.on_step = [progress] {
+    progress->steps_done.fetch_add(1, std::memory_order_release);
+  };
+
   out.scenario = scenario.key();
   out.system = sys;
-  out.config = cfg;
-  std::lock_guard<std::mutex> run_lock(slot->run_mu);
-  out.result = core::find_critical_connections(*sys.model, cfg);
+
+  // The Figure-6 search backpropagates through the model, accumulating
+  // (unused) gradients into its weight nodes — racy if shared. Deep-clone
+  // the model per job so N same-key searches run on N workers at once;
+  // the cached build (and its keepalive, which clones may borrow
+  // read-only state from) stays alive in `sys`. Models that cannot clone
+  // serialize on the slot's run lock, as does the
+  // clone_interpret_models=false A/B baseline.
+  std::shared_ptr<core::MaskableModel> model = sys.model;
+  std::unique_lock<std::mutex> run_lock;
+  if (config_.clone_interpret_models) {
+    if (auto cloned = sys.model->clone()) {
+      model = std::move(cloned);
+    } else {
+      run_lock = std::unique_lock<std::mutex>(slot->run_mu);
+    }
+  } else {
+    run_lock = std::unique_lock<std::mutex>(slot->run_mu);
+  }
+  out.result = core::find_critical_connections(*model, cfg);
+  // Re-running the returned config must not tick this job's counters.
+  cfg.on_step = nullptr;
+  out.config = std::move(cfg);
 }
 
 }  // namespace metis::serve

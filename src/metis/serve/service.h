@@ -12,14 +12,18 @@
 // A fixed pool of workers drains a FIFO job queue. Built teacher/env
 // systems are cached per scenario key behind per-key locks, so concurrent
 // jobs for the SAME scenario share one built (finetuned) teacher while
-// DIFFERENT scenarios build in parallel. Each distill job drives its own
-// env clone when the scenario's env supports clone(); envs that cannot
-// clone serialize same-key JOBS on a per-key lock instead of racing the
-// shared env. Note the limit of that fallback: the run returned for a
-// non-cloneable env still references the live shared env, so callers who
-// roll it out themselves (e.g. evaluate_fidelity) while more jobs for
-// that key are in flight must coordinate — implement clone() to get
-// fully independent runs.
+// DIFFERENT scenarios build in parallel (the cache is optionally bounded:
+// ServiceConfig::cache_capacity evicts least-recently-used idle builds).
+// Each distill job drives its own env clone when the scenario's env
+// supports clone(); envs that cannot clone serialize same-key JOBS on a
+// per-key lock instead of racing the shared env. Note the limit of that
+// fallback: the run returned for a non-cloneable env still references the
+// live shared env, so callers who roll it out themselves (e.g.
+// evaluate_fidelity) while more jobs for that key are in flight must
+// coordinate — implement clone() to get fully independent runs.
+// Interpret jobs likewise deep-clone the cached model per job
+// (MaskableModel::clone), so N same-key searches occupy N workers
+// concurrently; non-cloneable models fall back to per-key serialization.
 //
 // The synchronous metis::Interpreter facade is a thin wrapper over this
 // class (submit + wait), so both surfaces share one cache and one code
@@ -59,6 +63,18 @@ struct ServiceConfig {
   // a whole episode block instead of one per episode, bitwise identical
   // datasets. Jobs may override via DistillOverrides::collect_lockstep.
   bool collect_lockstep = false;
+  // Build-cache bound, per surface (local/global): beyond this many cached
+  // scenario builds, the least-recently-used IDLE slot is evicted (slots
+  // referenced by in-flight jobs are never evicted; the cache may
+  // transiently exceed the cap while every slot is busy). 0 = unbounded,
+  // preserving the pre-cap behavior.
+  std::size_t cache_capacity = 0;
+  // Interpret jobs deep-clone the cached model per job (see
+  // MaskableModel::clone), so any number of same-key searches run fully
+  // in parallel. false restores the serialized path (one search at a time
+  // per key on the shared model) — the A/B baseline for
+  // bench_interpret and a safety valve for exotic user models.
+  bool clone_interpret_models = true;
 };
 
 class Service {
@@ -108,11 +124,14 @@ class Service {
   // Per-scenario cache slot. `build_mu` serializes the (expensive) build
   // of one key while leaving other keys free to build concurrently;
   // `env_mu` serializes distill jobs that must share a non-cloneable env.
+  // `last_used` is the LRU stamp (cache_mu_ guards it): a slot whose only
+  // reference is the cache map itself is idle and evictable.
   struct LocalSlot {
     std::mutex build_mu;
     bool built = false;
     api::LocalSystem system;
     std::mutex env_mu;
+    std::uint64_t last_used = 0;
   };
   struct GlobalSlot {
     std::mutex build_mu;
@@ -120,9 +139,12 @@ class Service {
     api::GlobalSystem system;
     // The Figure-6 search backpropagates through the model, accumulating
     // (unused) gradients into its weight nodes — concurrent searches over
-    // one model would race on those tensors, so same-key interpret jobs
-    // serialize here. Different keys have different models and overlap.
+    // ONE model would race on those tensors. Interpret jobs therefore
+    // clone the model per job (MaskableModel::clone) and run without any
+    // lock; models that cannot clone — and the
+    // clone_interpret_models=false A/B path — serialize here instead.
     std::mutex run_mu;
+    std::uint64_t last_used = 0;
   };
 
   JobHandle enqueue(std::shared_ptr<detail::JobState> state);
@@ -139,6 +161,7 @@ class Service {
   JobId next_id_ = 1;
 
   std::mutex cache_mu_;  // guards the slot maps, never held while building
+  std::uint64_t cache_tick_ = 0;  // LRU clock for the slot maps
   std::map<std::string, std::shared_ptr<LocalSlot>, std::less<>> local_;
   std::map<std::string, std::shared_ptr<GlobalSlot>, std::less<>> global_;
 

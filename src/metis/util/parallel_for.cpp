@@ -1,0 +1,43 @@
+#include "metis/util/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+
+#include "metis/util/thread_pool.h"
+
+namespace metis::util {
+
+void parallel_for(std::size_t count, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  ThreadPool pool(std::min(workers, count));
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    pool.submit([&] {
+      try {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1)) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          fn(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.wait_idle();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace metis::util

@@ -5,19 +5,25 @@
 //  - the per-thread tensor arena (buffers recycle inside a scope; the
 //    lockstep collection loop performs ZERO fresh tensor allocations
 //    after warm-up; datasets and training are bitwise identical with the
-//    arena on or off).
+//    arena on or off),
+//  - the autodiff node pool (tape nodes recycle inside a scope; a §4.2
+//    mask-optimization step performs ZERO fresh tensor AND node
+//    allocations after warm-up; gradients and masks are bitwise
+//    identical with METIS_NODE_POOL=0).
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "metis/core/hypergraph_interpreter.h"
 #include "metis/core/teacher.h"
 #include "metis/core/trace_collector.h"
 #include "metis/nn/arena.h"
 #include "metis/nn/autodiff.h"
 #include "metis/nn/mlp.h"
 #include "metis/nn/optim.h"
+#include "metis/scenarios/nfv.h"
 #include "metis/util/rng.h"
 
 namespace metis::nn {
@@ -37,6 +43,16 @@ class ArenaEnabledRestore {
  public:
   ArenaEnabledRestore() : saved_(arena::enabled()) {}
   ~ArenaEnabledRestore() { arena::set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// Same for the node-pool flag.
+class NodePoolEnabledRestore {
+ public:
+  NodePoolEnabledRestore() : saved_(arena::node_pool_enabled()) {}
+  ~NodePoolEnabledRestore() { arena::set_node_pool_enabled(saved_); }
 
  private:
   bool saved_;
@@ -314,6 +330,126 @@ TEST(Arena, CollectionDatasetBitwiseIdenticalOnOrOff) {
               0)
         << i;
   }
+}
+
+// ---- autodiff node pool -----------------------------------------------------
+
+TEST(NodePool, ScopeRecyclesTapeNodes) {
+  NodePoolEnabledRestore restore;
+  arena::set_node_pool_enabled(true);
+  arena::Scope scope;
+  arena::reset_node_stats();
+  { Var v = add(constant(Tensor(2, 2, 1.0)), constant(Tensor(2, 2, 2.0))); }
+  const arena::NodeStats first = arena::node_stats();
+  EXPECT_EQ(first.fresh_allocs, 3u);  // two constants + the op node
+  EXPECT_EQ(first.pooled, 3u);
+  { Var v = add(constant(Tensor(2, 2, 3.0)), constant(Tensor(2, 2, 4.0))); }
+  const arena::NodeStats second = arena::node_stats();
+  EXPECT_EQ(second.fresh_allocs, first.fresh_allocs);  // all from the pool
+  EXPECT_EQ(second.reuses, first.reuses + 3);
+}
+
+TEST(NodePool, DisabledFallsBackToMakeShared) {
+  NodePoolEnabledRestore restore;
+  arena::set_node_pool_enabled(false);
+  arena::Scope scope;
+  arena::reset_node_stats();
+  { Var v = scale(constant(Tensor(2, 2, 1.0)), 2.0); }
+  { Var v = scale(constant(Tensor(2, 2, 1.0)), 2.0); }
+  const arena::NodeStats stats = arena::node_stats();
+  EXPECT_EQ(stats.fresh_allocs, 0u);  // pool bypassed entirely
+  EXPECT_EQ(stats.reuses, 0u);
+}
+
+TEST(NodePool, PooledNodesSurviveScopeExit) {
+  NodePoolEnabledRestore restore;
+  arena::set_node_pool_enabled(true);
+  Var escaped;
+  {
+    arena::Scope scope;
+    escaped = mul(constant(Tensor(3, 3, 2.0)), constant(Tensor(3, 3, 4.0)));
+  }
+  EXPECT_DOUBLE_EQ(escaped->value()(2, 2), 8.0);  // block outlives the drain
+}
+
+TEST(NodePool, BackwardBitwiseIdenticalPoolOnOrOff) {
+  auto run = [](bool pooled) {
+    NodePoolEnabledRestore restore;
+    arena::set_node_pool_enabled(pooled);
+    arena::Scope scope;
+    metis::Rng rng(31);
+    Mlp net({5, 16, 3}, Activation::kTanh, rng);
+    Tensor xv(6, 5);
+    Tensor yv(6, 3);
+    metis::Rng data_rng(32);
+    for (double& v : xv.data()) v = data_rng.normal();
+    for (double& v : yv.data()) v = data_rng.normal();
+    backward(mse_loss(net.forward(constant(xv)), constant(yv)));
+    std::vector<Tensor> grads;
+    for (const auto& p : net.parameters()) grads.push_back(p->grad());
+    return grads;
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    expect_bitwise(on[i], off[i], "grad " + std::to_string(i));
+  }
+}
+
+// The §4.2 acceptance pin: after warm-up, one full mask-optimization step
+// — forward through the model, loss assembly, backward, Adam — performs
+// ZERO fresh tensor-buffer and ZERO fresh node-block allocations; every
+// byte of the tape recycles through the thread's pools.
+TEST(NodePool, MaskOptimizationStepsAreAllocationFreeAfterWarmup) {
+  ArenaEnabledRestore arena_restore;
+  NodePoolEnabledRestore restore;
+  arena::set_enabled(true);
+  arena::set_node_pool_enabled(true);
+
+  scenarios::NfvPlacementModel model(scenarios::figure21_nfv());
+  core::InterpretConfig cfg;
+  cfg.steps = 8;
+  std::vector<arena::Stats> tensor_at_step;
+  std::vector<arena::NodeStats> node_at_step;
+  cfg.on_step = [&] {
+    tensor_at_step.push_back(arena::stats());
+    node_at_step.push_back(arena::node_stats());
+  };
+
+  arena::Scope scope;
+  const core::InterpretResult result =
+      core::find_critical_connections(model, cfg);
+  ASSERT_EQ(tensor_at_step.size(), cfg.steps);
+  // Step 1 warms the pools (and step 2's close still parks step 1's
+  // blocks); from then on every step must run entirely off the free
+  // lists.
+  for (std::size_t s = 2; s < cfg.steps; ++s) {
+    EXPECT_EQ(tensor_at_step[s].fresh_allocs, tensor_at_step[1].fresh_allocs)
+        << "fresh tensor allocation in mask-optimization step " << s + 1;
+    EXPECT_EQ(node_at_step[s].fresh_allocs, node_at_step[1].fresh_allocs)
+        << "fresh node allocation in mask-optimization step " << s + 1;
+    EXPECT_GT(node_at_step[s].reuses, node_at_step[s - 1].reuses);
+  }
+  EXPECT_FALSE(result.ranked.empty());
+}
+
+// Full-pipeline parity: the interpretation masks are bitwise identical
+// with the node pool on and off (METIS_NODE_POOL=0's runtime twin).
+TEST(NodePool, InterpretationMaskBitwiseIdenticalPoolOnOrOff) {
+  auto run = [](bool pooled) {
+    NodePoolEnabledRestore restore;
+    arena::set_node_pool_enabled(pooled);
+    scenarios::NfvPlacementModel model(scenarios::figure21_nfv());
+    core::InterpretConfig cfg;
+    cfg.steps = 40;
+    return core::find_critical_connections(model, cfg);
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+  expect_bitwise(on.mask, off.mask, "mask");
+  EXPECT_EQ(std::memcmp(&on.divergence, &off.divergence, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&on.entropy, &off.entropy, sizeof(double)), 0);
 }
 
 TEST(Arena, TrainingBitwiseIdenticalUnderArenaScope) {

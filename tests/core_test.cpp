@@ -11,6 +11,7 @@
 #include "metis/core/lemna.h"
 #include "metis/core/lime.h"
 #include "metis/core/linreg.h"
+#include "metis/scenarios/nfv.h"
 #include "metis/util/stats.h"
 
 namespace metis::core {
@@ -440,6 +441,104 @@ TEST(Lemna, PredictRowIsMixtureWeighted) {
   auto out = lemna.predict_row(x[0]);
   EXPECT_EQ(out.size(), 2u);
   for (double v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ---- batched surrogate forwards ---------------------------------------------
+
+TEST(Linreg, BatchPredictBitwiseMatchesPerRow) {
+  metis::Rng rng(12);
+  std::vector<std::vector<double>> x;
+  nn::Tensor y(60, 3);
+  for (int i = 0; i < 60; ++i) {
+    x.push_back({rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2),
+                 rng.uniform(-2, 2)});
+    for (std::size_t m = 0; m < 3; ++m) y(i, m) = rng.normal();
+  }
+  const nn::Tensor coef = ridge_fit(x, y, 1e-3);
+  const nn::Tensor batch = ridge_predict_batch(coef, ridge_design_matrix(x));
+  ASSERT_EQ(batch.rows(), x.size());
+  ASSERT_EQ(batch.cols(), 3u);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto row = ridge_predict(coef, x[i]);
+    for (std::size_t m = 0; m < 3; ++m) {
+      EXPECT_EQ(batch(i, m), row[m]) << i << "," << m;  // bitwise
+    }
+  }
+}
+
+TEST(Lime, BatchPredictBitwiseMatchesPerRowAndWorkersAreDeterministic) {
+  metis::Rng rng(13);
+  auto [x, y] = piecewise_data(rng, 200);
+  SurrogateConfig cfg;
+  cfg.clusters = 6;
+  LimeSurrogate sequential = LimeSurrogate::fit(x, y, cfg);
+
+  const nn::Tensor batch = sequential.predict_batch(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto row = sequential.predict_row(x[i]);
+    for (std::size_t m = 0; m < row.size(); ++m) {
+      EXPECT_EQ(batch(i, m), row[m]) << i;  // bitwise
+    }
+  }
+  const auto classes = sequential.predict_classes(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(classes[i], sequential.predict_class(x[i])) << i;
+  }
+
+  // Sharding the per-cluster fits cannot change the surrogate.
+  cfg.workers = 4;
+  LimeSurrogate sharded = LimeSurrogate::fit(x, y, cfg);
+  const nn::Tensor sharded_batch = sharded.predict_batch(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t m = 0; m < batch.cols(); ++m) {
+      EXPECT_EQ(sharded_batch(i, m), batch(i, m)) << i;  // bitwise
+    }
+  }
+}
+
+TEST(Lemna, BatchPredictBitwiseMatchesPerRowAndWorkersAreDeterministic) {
+  metis::Rng rng(14);
+  auto [x, y] = piecewise_data(rng, 150);
+  LemnaConfig cfg;
+  cfg.clusters = 4;
+  cfg.components = 2;
+  cfg.em_iters = 8;
+  LemnaSurrogate sequential = LemnaSurrogate::fit(x, y, cfg);
+
+  const nn::Tensor batch = sequential.predict_batch(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto row = sequential.predict_row(x[i]);
+    for (std::size_t m = 0; m < row.size(); ++m) {
+      EXPECT_EQ(batch(i, m), row[m]) << i;  // bitwise
+    }
+  }
+
+  cfg.workers = 3;
+  LemnaSurrogate sharded = LemnaSurrogate::fit(x, y, cfg);
+  const nn::Tensor sharded_batch = sharded.predict_batch(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t m = 0; m < batch.cols(); ++m) {
+      EXPECT_EQ(sharded_batch(i, m), batch(i, m)) << i;  // bitwise
+    }
+  }
+}
+
+// Cloned maskable models interpret to bitwise-identical masks — the
+// invariant that lets serve run one clone per concurrent job.
+TEST(Interpreter, CloneInterpretsBitwiseIdentical) {
+  scenarios::NfvPlacementModel model(scenarios::figure21_nfv());
+  const auto clone = model.clone();
+  ASSERT_NE(clone, nullptr);
+  InterpretConfig cfg;
+  cfg.steps = 30;
+  const InterpretResult a = find_critical_connections(model, cfg);
+  const InterpretResult b = find_critical_connections(*clone, cfg);
+  ASSERT_EQ(a.mask.rows(), b.mask.rows());
+  for (std::size_t e = 0; e < a.mask.rows(); ++e) {
+    for (std::size_t v = 0; v < a.mask.cols(); ++v) {
+      EXPECT_EQ(a.mask(e, v), b.mask(e, v)) << e << "," << v;  // bitwise
+    }
+  }
 }
 
 

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <functional>
 
@@ -197,6 +198,66 @@ TEST(Autodiff, BinaryEntropyMaxAtHalf) {
 TEST(Autodiff, BinaryEntropyGradients) {
   Var w = parameter(Tensor(2, 2, std::vector<double>{0.2, 0.4, 0.6, 0.8}));
   expect_gradients_match(w, [&] { return binary_entropy_sum(w); }, 1e-4);
+}
+
+// ---- fused Figure-6 ops -----------------------------------------------------
+
+TEST(Autodiff, GatedSigmoidMatchesCompositeBitwise) {
+  Tensor sv(2, 3, std::vector<double>{1, 0, 1, 0, 1, 1});
+  Tensor xv(2, 3, std::vector<double>{-1.2, 3.0, 0.4, 7.0, -0.1, 2.5});
+  Var support = constant(sv);
+  Var x = parameter(xv);
+  const Tensor fused = gated_sigmoid(x, support)->value();
+  const Tensor composite = mul(constant(sv), sigmoid(constant(xv)))->value();
+  ASSERT_TRUE(fused.same_shape(composite));
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused.data()[i], composite.data()[i]) << i;  // bitwise
+  }
+  expect_gradients_match(x, [&] { return sum_all(square(
+      gated_sigmoid(x, support))); });
+}
+
+TEST(Autodiff, CachedKlMatchesCompositeAndDifferentiates) {
+  Tensor tv(3, 2, std::vector<double>{0.9, 0.1, 0.4, 0.6, 0.25, 0.75});
+  Var target = constant(tv);
+  Var log_target = log_op(target);
+  Var logits = parameter(Tensor(3, 2, std::vector<double>{0.3, -0.2, 0.0,
+                                                          0.1, -0.4, 0.6}));
+  Var pred = softmax_rows(logits);
+  const double composite = kl_divergence_rows(target, pred)->value()(0, 0);
+  const double fused =
+      kl_divergence_rows_cached(target, log_target, pred)->value()(0, 0);
+  EXPECT_NEAR(fused, composite, 1e-12);
+  expect_gradients_match(logits, [&] {
+    return kl_divergence_rows_cached(target, log_target,
+                                     softmax_rows(logits));
+  });
+}
+
+TEST(Autodiff, MaskRegularizerMatchesCompositeAndDifferentiates) {
+  Tensor sv(2, 3, std::vector<double>{1, 0, 1, 1, 1, 0});
+  // Values strictly inside (0, 1) on the support; exactly 0 elsewhere —
+  // the shape gated_sigmoid produces.
+  Tensor wv(2, 3, std::vector<double>{0.3, 0.0, 0.8, 0.55, 0.12, 0.0});
+  Var support = constant(sv);
+  const double c1 = 0.25 / 4.0, c2 = 1.0 / 4.0;
+
+  double sum = 0.0, entropy = 0.0;
+  Var w_const = constant(wv);
+  const double fused =
+      mask_regularizer(w_const, support, c1, c2, &sum, &entropy)->value()(0, 0);
+  const double l1_composite = sum_all(w_const)->value()(0, 0);
+  const double h_composite = binary_entropy_sum(w_const)->value()(0, 0);
+  EXPECT_EQ(sum, l1_composite);          // zero entries add exactly 0
+  EXPECT_NEAR(entropy, h_composite, 1e-12);
+  EXPECT_NEAR(fused, c1 * l1_composite + c2 * h_composite, 1e-12);
+
+  // Gradient through the full gating chain, as the interpreter uses it.
+  Var logits = parameter(Tensor(2, 3, std::vector<double>{0.4, 2.0, -0.7,
+                                                          0.2, -1.5, 3.0}));
+  expect_gradients_match(logits, [&] {
+    return mask_regularizer(gated_sigmoid(logits, support), support, c1, c2);
+  }, 1e-4);
 }
 
 TEST(Autodiff, GradientAccumulatesAcrossBackwardCalls) {
@@ -502,6 +563,64 @@ TEST(BehaviorClone, RejectsMismatchedInputs) {
   std::vector<std::size_t> as = {0, 1};  // wrong length
   std::vector<double> gs = {0.0};
   EXPECT_THROW(behavior_clone(net, xs, as, gs, {}), std::logic_error);
+}
+
+// ---- model clones -----------------------------------------------------------
+
+TEST(Clone, MlpCloneMatchesBitwiseAndTrainsIndependently) {
+  metis::Rng rng(41);
+  Mlp net({4, 12, 3}, Activation::kRelu, rng);
+  Mlp copy = net.clone();
+
+  // Fresh parameter nodes over bitwise-equal values.
+  const auto orig_params = net.parameters();
+  const auto copy_params = copy.parameters();
+  ASSERT_EQ(orig_params.size(), copy_params.size());
+  for (std::size_t i = 0; i < orig_params.size(); ++i) {
+    EXPECT_NE(orig_params[i].get(), copy_params[i].get()) << i;
+    const Tensor& a = orig_params[i]->value();
+    const Tensor& b = copy_params[i]->value();
+    ASSERT_TRUE(a.same_shape(b)) << i;
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          a.size() * sizeof(double)),
+              0)
+        << i;
+  }
+
+  const std::vector<double> input = {0.3, -0.7, 1.1, 0.05};
+  EXPECT_EQ(net.predict_row(input), copy.predict_row(input));
+
+  // Backward through the clone leaves the original's gradients untouched,
+  // and training the clone leaves the original's values untouched.
+  Tensor xv(4, 4, 0.25);
+  Tensor yv(4, 3, 1.0);
+  Adam opt(copy.parameters(), 0.05);
+  for (int i = 0; i < 3; ++i) {
+    Var loss = mse_loss(copy.forward(constant(xv)), constant(yv));
+    opt.zero_grad();
+    backward(loss);
+    opt.step();
+  }
+  for (const auto& p : net.parameters()) EXPECT_FALSE(p->has_grad());
+  EXPECT_NE(net.predict_row(input), copy.predict_row(input));
+}
+
+TEST(Clone, PolicyNetCloneMatchesBitwise) {
+  for (int skip : {-1, 2}) {
+    metis::Rng rng(42);
+    PolicyNet net(5, 16, 2, 4, rng, skip);
+    PolicyNet copy = net.clone();
+    std::vector<std::vector<double>> states(3, std::vector<double>(5));
+    metis::Rng data_rng(43);
+    for (auto& row : states) {
+      for (auto& v : row) v = data_rng.uniform(-1.0, 1.0);
+    }
+    const auto a = net.act_and_values(states);
+    const auto b = copy.act_and_values(states);
+    EXPECT_EQ(a.first, b.first) << "skip=" << skip;
+    EXPECT_EQ(a.second, b.second) << "skip=" << skip;  // bitwise doubles
+    EXPECT_EQ(net.action_probs(states[0]), copy.action_probs(states[0]));
+  }
 }
 
 }  // namespace

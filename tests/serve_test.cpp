@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <future>
 #include <memory>
 #include <set>
@@ -696,6 +697,244 @@ TEST(Service, ProgressRespectsOverridesAndStaysZeroOnFailure) {
   EXPECT_EQ(failed.status(), serve::JobStatus::kFailed);
   EXPECT_EQ(failed.progress().rounds_total, 0u);
   EXPECT_EQ(failed.progress().episodes_done, 0u);
+}
+
+// ---- concurrent interpret jobs ----------------------------------------------
+
+// A maskable model whose decisions() pass through a real Mlp — backward
+// accumulates gradients into the net's weight nodes, the exact state
+// concurrent same-key searches used to serialize on. clone() hands each
+// job an independent net (or nullptr, to exercise the serialized
+// fallback).
+class NetMaskModel final : public core::MaskableModel {
+ public:
+  NetMaskModel(std::uint64_t seed, bool cloneable)
+      : cloneable_(cloneable), graph_(4, 3) {
+    graph_.connect(0, 0);
+    graph_.connect(0, 1);
+    graph_.connect(1, 1);
+    graph_.connect(1, 2);
+    graph_.connect(2, 2);
+    graph_.connect(2, 3);
+    graph_.validate();
+    metis::Rng rng(seed);
+    net_ = std::make_shared<nn::Mlp>(std::vector<std::size_t>{4, 8, 4},
+                                     nn::Activation::kTanh, rng);
+  }
+
+  const hypergraph::Hypergraph& graph() const override { return graph_; }
+  nn::Var decisions(const nn::Var& mask) const override {
+    return nn::softmax_rows(net_->forward(mask));
+  }
+  std::shared_ptr<core::MaskableModel> clone() const override {
+    if (!cloneable_) return nullptr;
+    auto copy = std::make_shared<NetMaskModel>(*this);
+    copy->net_ = std::make_shared<nn::Mlp>(net_->clone());
+    return copy;
+  }
+
+ private:
+  bool cloneable_;
+  hypergraph::Hypergraph graph_;
+  std::shared_ptr<nn::Mlp> net_;
+};
+
+class NetMaskScenario final : public api::Scenario {
+ public:
+  NetMaskScenario(std::string key, bool cloneable)
+      : key_(std::move(key)), cloneable_(cloneable) {}
+  std::string key() const override { return key_; }
+  std::string description() const override { return "net-backed mask model"; }
+  bool has_local() const override { return false; }
+  bool has_global() const override { return true; }
+  api::GlobalSystem make_global(
+      const api::ScenarioOptions& options) const override {
+    api::GlobalSystem sys;
+    sys.model = std::make_shared<NetMaskModel>(options.seed + 7, cloneable_);
+    sys.keepalive = sys.model;
+    sys.interpret_defaults.steps = 30;
+    sys.interpret_defaults.seed = options.seed + 2;
+    return sys;
+  }
+
+ private:
+  std::string key_;
+  bool cloneable_;
+};
+
+void expect_same_interpret(const core::InterpretResult& a,
+                           const core::InterpretResult& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.mask.rows(), b.mask.rows()) << what;
+  ASSERT_EQ(a.mask.cols(), b.mask.cols()) << what;
+  EXPECT_EQ(std::memcmp(a.mask.data().data(), b.mask.data().data(),
+                        a.mask.size() * sizeof(double)),
+            0)
+      << what << ": masks differ";
+  EXPECT_EQ(std::memcmp(&a.divergence, &b.divergence, sizeof(double)), 0)
+      << what;
+  EXPECT_EQ(std::memcmp(&a.mask_l1, &b.mask_l1, sizeof(double)), 0) << what;
+  EXPECT_EQ(std::memcmp(&a.entropy, &b.entropy, sizeof(double)), 0) << what;
+  ASSERT_EQ(a.ranked.size(), b.ranked.size()) << what;
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].edge, b.ranked[i].edge) << what << " rank " << i;
+    EXPECT_EQ(a.ranked[i].vertex, b.ranked[i].vertex) << what << " rank " << i;
+    EXPECT_EQ(a.ranked[i].mask, b.ranked[i].mask) << what << " rank " << i;
+  }
+}
+
+// N concurrent same-key interpret jobs (per-job model clones, no lock)
+// must reproduce the sequential single-job result bit for bit — for a
+// built-in scenario and for the net-backed model whose weight gradients
+// used to force serialization.
+TEST(Service, ConcurrentSameKeyInterpretBitwiseIdenticalToSequential) {
+  api::ScenarioRegistry reg;
+  api::register_builtin_scenarios(reg);
+  reg.add(std::make_unique<NetMaskScenario>("netmask", /*cloneable=*/true));
+
+  api::InterpretOverrides io;
+  io.steps = 40;
+
+  for (const char* key : {"cellular", "netmask"}) {
+    core::InterpretResult reference;
+    {
+      serve::ServiceConfig cfg;
+      cfg.workers = 1;
+      cfg.registry = &reg;
+      serve::Service svc(cfg);
+      reference = svc.submit_interpret(key, io).take_interpret_run().result;
+    }
+
+    serve::ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.registry = &reg;
+    serve::Service svc(cfg);
+    std::vector<serve::JobHandle> jobs;
+    for (int i = 0; i < 4; ++i) jobs.push_back(svc.submit_interpret(key, io));
+    svc.wait_all();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_EQ(jobs[i].status(), serve::JobStatus::kDone) << jobs[i].error();
+      expect_same_interpret(
+          jobs[i].interpret_run().result, reference,
+          std::string(key) + " concurrent job " + std::to_string(i));
+    }
+  }
+}
+
+// Models that cannot clone still work — same-key jobs serialize on the
+// slot lock — and the serialized A/B path (clone_interpret_models=false)
+// matches the cloned path bit for bit.
+TEST(Service, NonCloneableAndSerializedInterpretMatchClonedPath) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<NetMaskScenario>("netmask", /*cloneable=*/true));
+  reg.add(std::make_unique<NetMaskScenario>("netmask-noclone",
+                                            /*cloneable=*/false));
+
+  api::InterpretOverrides io;
+  io.steps = 25;
+
+  auto run_four = [&](const char* key, bool clone_models) {
+    serve::ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.registry = &reg;
+    cfg.clone_interpret_models = clone_models;
+    serve::Service svc(cfg);
+    std::vector<serve::JobHandle> jobs;
+    for (int i = 0; i < 4; ++i) jobs.push_back(svc.submit_interpret(key, io));
+    svc.wait_all();
+    std::vector<core::InterpretResult> results;
+    for (auto& j : jobs) {
+      EXPECT_EQ(j.status(), serve::JobStatus::kDone) << j.error();
+      results.push_back(j.take_interpret_run().result);
+    }
+    return results;
+  };
+
+  const auto cloned = run_four("netmask", true);
+  const auto serialized = run_four("netmask", false);
+  const auto noclone = run_four("netmask-noclone", true);
+  for (std::size_t i = 0; i < cloned.size(); ++i) {
+    expect_same_interpret(serialized[i], cloned[i],
+                          "serialized vs cloned " + std::to_string(i));
+    expect_same_interpret(noclone[i], cloned[i],
+                          "noclone vs cloned " + std::to_string(i));
+  }
+}
+
+TEST(Service, InterpretJobsReportStepProgress) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<NetMaskScenario>("netmask", /*cloneable=*/true));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  api::InterpretOverrides io;
+  io.steps = 17;
+  auto job = svc.submit_interpret("netmask", io);
+  const serve::JobProgress before = job.progress();  // may already run
+  EXPECT_LE(before.steps_done, before.steps_total == 0 ? io.steps.value()
+                                                       : before.steps_total);
+
+  job.wait();
+  ASSERT_EQ(job.status(), serve::JobStatus::kDone) << job.error();
+  const serve::JobProgress done = job.progress();
+  EXPECT_EQ(done.steps_total, 17u);
+  EXPECT_EQ(done.steps_done, 17u);
+  EXPECT_EQ(done.rounds_total, 0u);  // interpret jobs have no rounds
+  // The returned config must not tick this job's counters when re-run.
+  EXPECT_EQ(job.interpret_run().config.on_step, nullptr);
+}
+
+// ---- build-cache eviction ---------------------------------------------------
+
+TEST(Service, BuildCacheEvictsLeastRecentlyUsedIdleSlots) {
+  std::atomic<int> builds_a{0};
+  std::atomic<int> builds_b{0};
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line-a", &builds_a));
+  reg.add(std::make_unique<LineScenario>("line-b", &builds_b));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  cfg.cache_capacity = 1;
+  serve::Service svc(cfg);
+
+  svc.submit_distill("line-a").wait();
+  EXPECT_EQ(builds_a.load(), 1);
+  // line-b displaces the idle line-a build (capacity 1)...
+  svc.submit_distill("line-b").wait();
+  EXPECT_EQ(builds_b.load(), 1);
+  // ...so line-a rebuilds, and line-b in turn is evicted.
+  svc.submit_distill("line-a").wait();
+  EXPECT_EQ(builds_a.load(), 2);
+  svc.submit_distill("line-b").wait();
+  EXPECT_EQ(builds_b.load(), 2);
+  // Re-using the cached key does not rebuild.
+  svc.submit_distill("line-b").wait();
+  EXPECT_EQ(builds_b.load(), 2);
+}
+
+TEST(Service, UnboundedCacheByDefaultNeverEvicts) {
+  std::atomic<int> builds_a{0};
+  std::atomic<int> builds_b{0};
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line-a", &builds_a));
+  reg.add(std::make_unique<LineScenario>("line-b", &builds_b));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;  // cache_capacity defaults to 0 = unbounded
+  serve::Service svc(cfg);
+
+  for (int round = 0; round < 3; ++round) {
+    svc.submit_distill("line-a").wait();
+    svc.submit_distill("line-b").wait();
+  }
+  EXPECT_EQ(builds_a.load(), 1);
+  EXPECT_EQ(builds_b.load(), 1);
 }
 
 // ---- registry thread-safety -------------------------------------------------
