@@ -175,12 +175,22 @@ double concurrent_wall_seconds(const api::ScenarioRegistry& reg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   benchx::print_header(
       "bench_interpret",
       "§4.2 mask-optimization latency (fused ops + node pool vs the PR 4 "
       "composite loop) and concurrent same-key interpret throughput "
       "(per-job model clones vs the serialized path)");
+
+  // --threads N tops out the concurrent-job sweep (default: hardware
+  // threads, min 8 so the queueing regime is visible even on one core).
+  std::size_t max_jobs =
+      std::max(8u, std::thread::hardware_concurrency());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_jobs = std::max<std::size_t>(1, std::stoul(argv[++i]));
+    }
+  }
 
   // ---- single-job latency ---------------------------------------------------
   scenarios::NfvPlacementModel fig21(scenarios::figure21_nfv());
@@ -215,7 +225,9 @@ int main() {
   reg.add(std::make_unique<BenchClusterScenario>(
       scenarios::random_job(6, 5, 2026)));
 
-  const std::vector<std::size_t> job_counts = {1, 2, 4, 8};
+  std::vector<std::size_t> job_counts;
+  for (std::size_t j = 1; j < max_jobs; j *= 2) job_counts.push_back(j);
+  job_counts.push_back(max_jobs);
   std::vector<double> cloned_wall, serialized_wall, pr4_wall;
   std::vector<double> speedup_vs_serialized, speedup_vs_pr4;
   // PR 4's serialized path runs the N jobs one at a time, each at the
@@ -282,7 +294,15 @@ int main() {
   }());
   json.set("aggregate_speedup_vs_serialized", speedup_vs_serialized);
   json.set("aggregate_speedup_vs_pr4_path", speedup_vs_pr4);
-  json.set("aggregate_speedup_4jobs_vs_pr4_path", speedup_vs_pr4[2]);
+  {
+    // The 4-job point when the sweep has it, else the sweep's top.
+    std::size_t at = job_counts.size() - 1;
+    for (std::size_t i = 0; i < job_counts.size(); ++i) {
+      if (job_counts[i] == 4) at = i;
+    }
+    json.set("aggregate_speedup_4jobs_vs_pr4_path", speedup_vs_pr4[at]);
+  }
+  json.set("max_concurrent_jobs", max_jobs);
   json.set("masks_identical_pool_on_off", std::string("true"));
   json.write();
   return 0;

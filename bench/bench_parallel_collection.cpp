@@ -7,9 +7,12 @@
 // block (Teacher::act_and_values_multi) instead of one per episode —
 // and the two compose. All modes produce a bitwise-identical dataset.
 //
-// Run:  ./bench/bench_parallel_collection
+// Run:  ./bench/bench_parallel_collection [--threads N]
+//       (N = top of the shard sweep; default = hardware threads, min 4)
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "bench_common.h"
@@ -49,12 +52,12 @@ struct Mode {
   bool lockstep;
   nn::gemm::Backend backend;
   bool arena;  // per-thread tensor arena on/off for this mode
-  const char* label;
+  std::string label;
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace metis;
   benchx::print_header(
       "bench_parallel_collection",
@@ -83,18 +86,38 @@ int main() {
   constexpr int kReps = 3;
   constexpr auto kNaive = nn::gemm::Backend::kNaive;
   constexpr auto kBlocked = nn::gemm::Backend::kBlocked;
-  const std::vector<Mode> modes = {
-      {1, false, kNaive, false, "sequential (naive gemm, no arena)"},
-      {2, false, kNaive, false, "sharded x2"},
-      {4, false, kNaive, false, "sharded x4"},
-      {1, true, kNaive, false, "lockstep"},
-      {4, true, kNaive, false, "sharded x4 + lockstep"},
-      {1, false, kBlocked, false, "sequential + blocked gemm"},
-      {1, true, kBlocked, false, "lockstep + blocked gemm"},
-      {1, true, kBlocked, true, "lockstep + blocked + arena"},
-      {1, false, kBlocked, true, "sequential + blocked + arena"},
-      {4, true, kBlocked, true, "sharded x4 + lockstep + blocked + arena"},
-  };
+
+  // Shard sweep top: --threads N, defaulting to the machine's real
+  // parallelism (min 4 so the sweep exists even on tiny containers).
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t max_threads = std::max(4u, hw);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = std::max<std::size_t>(1, std::stoul(argv[++i]));
+    }
+  }
+  std::vector<std::size_t> sweep;  // 2, 4, 8, ... up to and incl. the top
+  for (std::size_t w = 2; w < max_threads; w *= 2) sweep.push_back(w);
+  if (max_threads > 1) sweep.push_back(max_threads);
+
+  std::vector<Mode> modes = {
+      {1, false, kNaive, false, "sequential (naive gemm, no arena)"}};
+  for (std::size_t w : sweep) {
+    modes.push_back(
+        {w, false, kNaive, false, "sharded x" + std::to_string(w)});
+  }
+  modes.push_back({1, true, kNaive, false, "lockstep"});
+  modes.push_back({max_threads, true, kNaive, false,
+                   "sharded x" + std::to_string(max_threads) + " + lockstep"});
+  modes.push_back({1, false, kBlocked, false, "sequential + blocked gemm"});
+  modes.push_back({1, true, kBlocked, false, "lockstep + blocked gemm"});
+  modes.push_back({1, true, kBlocked, true, "lockstep + blocked + arena"});
+  modes.push_back({1, false, kBlocked, true, "sequential + blocked + arena"});
+  for (std::size_t w : sweep) {
+    modes.push_back({w, true, kBlocked, true,
+                     "sharded x" + std::to_string(w) +
+                         " + lockstep + blocked + arena"});
+  }
   std::vector<core::CollectedSample> reference;
   std::vector<double> best_seconds(modes.size(), 1e100);
   bool all_identical = true;
@@ -123,7 +146,6 @@ int main() {
     return EXIT_FAILURE;
   }
 
-  const unsigned hw = std::thread::hardware_concurrency();
   Table table({"mode", "workers", "best wall-clock (ms)", "speedup"});
   std::vector<double> speedups;
   for (std::size_t m = 0; m < modes.size(); ++m) {
@@ -157,6 +179,7 @@ int main() {
     json.set("best_ms", ms);
   }
   json.set("speedups", speedups);
+  json.set("threads_sweep_top", max_threads);
   json.set("hardware_threads", static_cast<std::size_t>(hw));
   json.set("identical", std::string("true"));
   json.write();

@@ -65,6 +65,16 @@ PolicyNetTeacher::PolicyNetTeacher(const nn::PolicyNet* net) : net_(net) {
   MET_CHECK(net != nullptr);
 }
 
+PolicyNetTeacher::PolicyNetTeacher(std::shared_ptr<const nn::PolicyNet> owned)
+    : net_(owned.get()), owned_(std::move(owned)) {
+  MET_CHECK(net_ != nullptr);
+}
+
+std::shared_ptr<Teacher> PolicyNetTeacher::clone() const {
+  auto copy = std::make_shared<const nn::PolicyNet>(net_->clone());
+  return std::shared_ptr<Teacher>(new PolicyNetTeacher(std::move(copy)));
+}
+
 std::size_t PolicyNetTeacher::action_count() const {
   return net_->action_count();
 }

@@ -65,6 +65,15 @@ class Teacher {
   [[nodiscard]] virtual std::vector<ActValues> act_and_values_multi(
       const std::vector<std::vector<double>>& states,
       std::span<const std::size_t> group_sizes) const;
+
+  // Independent copy sharing no mutable state with this teacher and
+  // agreeing with it on every inference call bit-for-bit (same weights,
+  // fresh autodiff nodes). Concurrent serve jobs give each distill its own
+  // clone so same-key jobs never contend on one network's tape/arena;
+  // teachers returning nullptr (the default) are shared read-only instead.
+  [[nodiscard]] virtual std::shared_ptr<Teacher> clone() const {
+    return nullptr;
+  }
 };
 
 // Teacher backed by an actor-critic PolicyNet (Pensieve, AuTO-lRLA).
@@ -87,9 +96,16 @@ class PolicyNetTeacher final : public Teacher {
   [[nodiscard]] std::vector<ActValues> act_and_values_multi(
       const std::vector<std::vector<double>>& states,
       std::span<const std::size_t> group_sizes) const override;
+  // Deep-copies the network (PolicyNet::clone — bitwise-equal weights).
+  [[nodiscard]] std::shared_ptr<Teacher> clone() const override;
 
  private:
+  explicit PolicyNetTeacher(std::shared_ptr<const nn::PolicyNet> owned);
+
   const nn::PolicyNet* net_;
+  // Set only on clones: keeps the copied network alive. The public
+  // constructor borrows the caller's net, matching the original contract.
+  std::shared_ptr<const nn::PolicyNet> owned_;
 };
 
 // One-step lookahead successor for Eq. 1's model-based Q estimates.

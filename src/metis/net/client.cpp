@@ -1,0 +1,172 @@
+#include "metis/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace metis::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("unix socket path empty or too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("connect(unix)");
+  }
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("connect(tcp)");
+  }
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_frame(const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame Client::read_frame() {
+  Frame frame;
+  if (decoder_.next(frame)) return frame;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) throw std::runtime_error("connection closed by server");
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+    if (decoder_.next(frame)) return frame;
+  }
+}
+
+Frame Client::call(const Frame& frame) {
+  send_frame(frame);
+  return read_frame();
+}
+
+namespace {
+
+// Surfaces an unexpected kError reply as a WireError carrying the
+// server's explanation instead of the generic "type mismatch".
+[[noreturn]] void throw_server_error(const Frame& frame) {
+  throw WireError("server error: " + ErrorReply::decode(frame).message);
+}
+
+}  // namespace
+
+std::uint64_t Client::open_session(const std::string& tree) {
+  const Frame reply = call(OpenSessionRequest{tree}.encode());
+  if (reply.type == MsgType::kError) throw_server_error(reply);
+  return SessionOpenedReply::decode(reply).session;
+}
+
+double Client::query(std::uint64_t session, std::uint64_t seq,
+                     const std::vector<double>& features) {
+  const Frame reply = call(QueryRequest{session, seq, features}.encode());
+  if (reply.type == MsgType::kError) throw_server_error(reply);
+  return DecisionReply::decode(reply).decision;
+}
+
+std::optional<std::uint64_t> Client::submit_distill(
+    const std::string& scenario, const api::DistillOverrides& overrides) {
+  const Frame reply = call(SubmitDistillRequest{scenario, overrides}.encode());
+  if (reply.type == MsgType::kBusy) return std::nullopt;
+  if (reply.type == MsgType::kError) throw_server_error(reply);
+  return SubmittedReply::decode(reply).job;
+}
+
+std::optional<std::uint64_t> Client::submit_interpret(
+    const std::string& scenario, const api::InterpretOverrides& overrides) {
+  const Frame reply =
+      call(SubmitInterpretRequest{scenario, overrides}.encode());
+  if (reply.type == MsgType::kBusy) return std::nullopt;
+  if (reply.type == MsgType::kError) throw_server_error(reply);
+  return SubmittedReply::decode(reply).job;
+}
+
+JobStatusReply Client::poll(std::uint64_t job) {
+  const Frame reply = call(PollRequest{job}.encode());
+  if (reply.type == MsgType::kError) throw_server_error(reply);
+  return JobStatusReply::decode(reply);
+}
+
+DistillResultReply Client::distill_result(std::uint64_t job) {
+  const Frame reply = call(ResultRequest{job}.encode());
+  if (reply.type == MsgType::kError) throw_server_error(reply);
+  return DistillResultReply::decode(reply);
+}
+
+InterpretResultReply Client::interpret_result(std::uint64_t job) {
+  const Frame reply = call(ResultRequest{job}.encode());
+  if (reply.type == MsgType::kError) throw_server_error(reply);
+  return InterpretResultReply::decode(reply);
+}
+
+}  // namespace metis::net

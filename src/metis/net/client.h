@@ -1,0 +1,61 @@
+// Blocking client for the serving front-end — used by the load demo, the
+// latency bench, and tests. One Client per connection; a connection may
+// carry any number of query-plane sessions plus control-plane requests.
+//
+// send_frame()/read_frame() are public so callers can pipeline (the load
+// demo sends one query per simulated session, then matches replies by
+// seq); the typed helpers below are the simple request/reply path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metis/net/wire.h"
+
+namespace metis::net {
+
+class Client {
+ public:
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_tcp(const std::string& host,
+                                          std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  void send_frame(const Frame& frame);
+  // Blocks until a full frame arrives; throws on EOF or malformed stream.
+  [[nodiscard]] Frame read_frame();
+  // send + read, the unpipelined path.
+  [[nodiscard]] Frame call(const Frame& frame);
+
+  // -- typed helpers (throw WireError carrying the server's message on a
+  //    kError reply, and on kBusy for the submit helpers) ----------------
+
+  [[nodiscard]] std::uint64_t open_session(const std::string& tree);
+  [[nodiscard]] double query(std::uint64_t session, std::uint64_t seq,
+                             const std::vector<double>& features);
+  // nullopt => server replied BUSY (admission control).
+  [[nodiscard]] std::optional<std::uint64_t> submit_distill(
+      const std::string& scenario, const api::DistillOverrides& overrides);
+  [[nodiscard]] std::optional<std::uint64_t> submit_interpret(
+      const std::string& scenario, const api::InterpretOverrides& overrides);
+  [[nodiscard]] JobStatusReply poll(std::uint64_t job);
+  [[nodiscard]] DistillResultReply distill_result(std::uint64_t job);
+  [[nodiscard]] InterpretResultReply interpret_result(std::uint64_t job);
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  Client() = default;
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace metis::net

@@ -1,0 +1,62 @@
+// Minimal epoll event loop for the serving front-end.
+//
+// Single-threaded by design: one thread calls run(), and every fd
+// callback executes on that thread, so per-connection state needs no
+// locks — the property that lets the query plane answer FlatTree
+// decisions inline without ever contending with the job workers. Each
+// epoll wake dispatches a *batch* of ready fds before the next wait, so a
+// burst of query traffic across many connections is drained per wake
+// rather than per event.
+//
+// stop() is the only cross-thread entry point: it flips a flag and kicks
+// an eventfd so a blocked epoll_wait returns promptly (graceful
+// shutdown). add()/modify()/remove() must be called on the loop thread or
+// before run() starts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace metis::net {
+
+class EventLoop {
+ public:
+  // Fired with the ready epoll event bits (EPOLLIN, EPOLLOUT, EPOLLHUP...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` for `events` (EPOLL* bits). The loop never owns the fd;
+  // callers close it after remove().
+  void add(int fd, std::uint32_t events, Callback callback);
+  void modify(int fd, std::uint32_t events);
+  // Safe to call from inside a callback (including the fd's own): the
+  // dispatch batch skips events whose fd was removed earlier in the batch.
+  void remove(int fd);
+
+  // Runs until stop(). Dispatches ready callbacks in epoll order.
+  void run();
+  // Thread-safe; idempotent. Wakes a blocked run() via the eventfd.
+  void stop();
+
+  [[nodiscard]] bool stopped() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() kicks it so epoll_wait returns
+  std::atomic<bool> stop_{false};
+  // shared_ptr so a callback stays alive while executing even if the
+  // handler removes its own fd mid-call.
+  std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
+};
+
+}  // namespace metis::net

@@ -1,0 +1,44 @@
+// Listening sockets for the serving front-end: Unix-domain (the load-demo
+// transport) and loopback TCP. Both produce non-blocking accepted fds
+// suitable for EventLoop registration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace metis::net {
+
+class Listener {
+ public:
+  // Binds a Unix-domain stream socket at `path` (an existing stale socket
+  // file is unlinked first). The path is unlinked again on destruction.
+  [[nodiscard]] static Listener unix_domain(const std::string& path,
+                                            int backlog = 128);
+  // Binds 127.0.0.1:`port`; port 0 picks an ephemeral port, readable
+  // afterwards via port().
+  [[nodiscard]] static Listener tcp(std::uint16_t port, int backlog = 128);
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  // Accepts one pending connection as a non-blocking fd, or returns -1
+  // when the backlog is drained (EAGAIN). Call in a loop on EPOLLIN.
+  [[nodiscard]] int accept() const;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  // Resolved TCP port (meaningful only for tcp()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  Listener() = default;
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string path_;  // non-empty iff unix-domain (unlinked in dtor)
+};
+
+}  // namespace metis::net

@@ -1,0 +1,372 @@
+#include "metis/serve/server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include "metis/tree/tree_io.h"
+
+namespace metis::serve {
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), service_(config_.service) {}
+
+Server::~Server() { stop(); }
+
+void Server::add_tree(const std::string& name, tree::FlatTree tree) {
+  auto shared = std::make_shared<const tree::FlatTree>(std::move(tree));
+  std::lock_guard lock(trees_mu_);
+  trees_[name] = std::move(shared);
+}
+
+void Server::start() {
+  if (started_) return;
+  if (!config_.unix_path.empty()) {
+    unix_listener_.emplace(net::Listener::unix_domain(config_.unix_path));
+    const net::Listener& l = *unix_listener_;
+    loop_.add(l.fd(), EPOLLIN, [this, &l](std::uint32_t) { on_accept(l); });
+  }
+  if (config_.tcp) {
+    tcp_listener_.emplace(net::Listener::tcp(config_.tcp_port));
+    tcp_port_ = tcp_listener_->port();
+    const net::Listener& l = *tcp_listener_;
+    loop_.add(l.fd(), EPOLLIN, [this, &l](std::uint32_t) { on_accept(l); });
+  }
+  if (!unix_listener_ && !tcp_listener_) {
+    throw std::runtime_error(
+        "Server::start: no listener configured (set unix_path and/or tcp)");
+  }
+  loop_thread_ = std::thread([this] { loop_.run(); });
+  started_ = true;
+}
+
+void Server::stop() {
+  if (!started_) return;
+  loop_.stop();
+  loop_thread_.join();
+  started_ = false;
+  // The loop thread is gone; its state is ours to tear down.
+  for (auto& [fd, conn] : conns_) {
+    loop_.remove(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+  inflight_.clear();
+  if (unix_listener_) loop_.remove(unix_listener_->fd());
+  if (tcp_listener_) loop_.remove(tcp_listener_->fd());
+  unix_listener_.reset();  // unlinks the socket path
+  tcp_listener_.reset();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections_accepted = stats_.connections_accepted.load();
+  s.sessions_opened = stats_.sessions_opened.load();
+  s.decisions_served = stats_.decisions_served.load();
+  s.jobs_admitted = stats_.jobs_admitted.load();
+  s.busy_replies = stats_.busy_replies.load();
+  s.error_replies = stats_.error_replies.load();
+  s.connections_dropped = stats_.connections_dropped.load();
+  return s;
+}
+
+void Server::on_accept(const net::Listener& listener) {
+  // Drain the whole backlog: with edge-batched wakes several connections
+  // may be pending behind one EPOLLIN.
+  for (;;) {
+    const int fd = listener.accept();
+    if (fd < 0) return;
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
+    conn->fd = fd;
+    loop_.add(fd, EPOLLIN,
+              [this, fd](std::uint32_t events) {
+                on_connection_event(fd, events);
+              });
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::on_connection_event(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+
+  if (events & EPOLLOUT) {
+    flush(conn);
+    if (conns_.find(fd) == conns_.end()) return;  // flush may drop the conn
+  }
+  if (!(events & (EPOLLIN | EPOLLHUP | EPOLLERR))) return;
+
+  // Drain the socket, then decode and answer EVERY complete frame before a
+  // single flush — the per-wake batching of the query plane.
+  std::uint8_t buf[16384];
+  bool peer_closed = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      try {
+        conn.decoder.feed(buf, static_cast<std::size_t>(n));
+      } catch (const net::WireError&) {
+        // feed() itself never throws today, but keep the stream-fatal
+        // contract in one place.
+        stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+        close_connection(fd);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    peer_closed = true;  // ECONNRESET and friends
+    break;
+  }
+
+  net::Frame frame;
+  for (;;) {
+    try {
+      if (!conn.decoder.next(frame)) break;
+    } catch (const net::WireError&) {
+      // Oversized or zero-length frame header: the stream cannot be
+      // re-synchronized, so the connection must go.
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      close_connection(fd);
+      return;
+    }
+    handle_frame(conn, frame);
+    if (conns_.find(fd) == conns_.end()) return;  // overflow drop mid-batch
+  }
+
+  if (peer_closed) {
+    close_connection(fd);
+    return;
+  }
+  flush(conn);
+}
+
+void Server::handle_frame(Connection& conn, const net::Frame& frame) {
+  using net::MsgType;
+  try {
+    switch (frame.type) {
+      case MsgType::kOpenSession: {
+        const auto req = net::OpenSessionRequest::decode(frame);
+        std::shared_ptr<const tree::FlatTree> tree;
+        {
+          std::lock_guard lock(trees_mu_);
+          auto it = trees_.find(req.tree);
+          if (it != trees_.end()) tree = it->second;
+        }
+        if (!tree) {
+          stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          reply(conn,
+                net::ErrorReply{"unknown tree: " + req.tree}.encode());
+          return;
+        }
+        const std::uint64_t id = next_session_++;
+        conn.sessions.emplace(id, Session{std::move(tree)});
+        stats_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+        reply(conn, net::SessionOpenedReply{id}.encode());
+        return;
+      }
+      case MsgType::kQuery: {
+        const auto req = net::QueryRequest::decode(frame);
+        auto it = conn.sessions.find(req.session);
+        if (it == conn.sessions.end()) {
+          stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          reply(conn, net::ErrorReply{"unknown session"}.encode());
+          return;
+        }
+        // The hot path: answered inline, no locks, no allocation beyond
+        // the reply frame.
+        const double decision = it->second.tree->predict(req.features);
+        stats_.decisions_served.fetch_add(1, std::memory_order_relaxed);
+        reply(conn,
+              net::DecisionReply{req.session, req.seq, decision}.encode());
+        return;
+      }
+      case MsgType::kSubmitDistill:
+      case MsgType::kSubmitInterpret:
+        handle_submit(conn, frame);
+        return;
+      case MsgType::kPoll: {
+        const auto req = net::PollRequest::decode(frame);
+        const JobHandle job = service_.find(req.job);
+        if (!job.valid()) {
+          stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          reply(conn, net::ErrorReply{"unknown job"}.encode());
+          return;
+        }
+        const JobProgress p = job.progress();
+        net::JobStatusReply r;
+        r.job = req.job;
+        r.status = static_cast<std::uint8_t>(job.status());
+        r.rounds_done = p.rounds_done;
+        r.rounds_total = p.rounds_total;
+        r.episodes_done = p.episodes_done;
+        r.episodes_total = p.episodes_total;
+        r.steps_done = p.steps_done;
+        r.steps_total = p.steps_total;
+        r.error = job.error();
+        reply(conn, r.encode());
+        return;
+      }
+      case MsgType::kResult:
+        handle_result(conn, frame);
+        return;
+      default:
+        // A reply type, or a type added by a newer client.
+        stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+        reply(conn, net::ErrorReply{std::string("unexpected message type: ") +
+                                    net::to_string(frame.type)}
+                        .encode());
+        return;
+    }
+  } catch (const net::WireError& e) {
+    // Malformed payload of a well-framed message: report, keep serving.
+    stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+    reply(conn, net::ErrorReply{std::string("malformed request: ") + e.what()}
+                    .encode());
+  }
+}
+
+std::size_t Server::inflight_jobs() {
+  std::erase_if(inflight_,
+                [](const JobHandle& j) { return j.finished(); });
+  return inflight_.size();
+}
+
+void Server::handle_submit(Connection& conn, const net::Frame& frame) {
+  // Admission control — bounded ledgers, explicit BUSY, never an unbounded
+  // queue of accepted work.
+  std::erase_if(conn.jobs, [](const JobHandle& j) { return j.finished(); });
+  if (conn.jobs.size() >= config_.max_jobs_per_connection) {
+    stats_.busy_replies.fetch_add(1, std::memory_order_relaxed);
+    reply(conn, net::BusyReply{"per-connection job quota reached"}.encode());
+    return;
+  }
+  if (inflight_jobs() >= config_.max_inflight_jobs) {
+    stats_.busy_replies.fetch_add(1, std::memory_order_relaxed);
+    reply(conn, net::BusyReply{"server at max in-flight jobs"}.encode());
+    return;
+  }
+
+  JobHandle job;
+  if (frame.type == net::MsgType::kSubmitDistill) {
+    const auto req = net::SubmitDistillRequest::decode(frame);
+    job = service_.submit_distill(req.scenario, req.overrides);
+  } else {
+    const auto req = net::SubmitInterpretRequest::decode(frame);
+    job = service_.submit_interpret(req.scenario, req.overrides);
+  }
+  inflight_.push_back(job);
+  conn.jobs.push_back(job);
+  stats_.jobs_admitted.fetch_add(1, std::memory_order_relaxed);
+  reply(conn, net::SubmittedReply{job.id()}.encode());
+}
+
+void Server::handle_result(Connection& conn, const net::Frame& frame) {
+  const auto req = net::ResultRequest::decode(frame);
+  const JobHandle job = service_.find(req.job);
+  if (!job.valid()) {
+    stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+    reply(conn, net::ErrorReply{"unknown job"}.encode());
+    return;
+  }
+  // Results are served only for finished jobs, so the accessors below
+  // never block the loop thread; clients poll first.
+  const JobStatus status = job.status();
+  if (status != JobStatus::kDone) {
+    stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+    std::string msg = std::string("job not done: ") + to_string(status);
+    if (status == JobStatus::kFailed) msg += " (" + job.error() + ")";
+    reply(conn, net::ErrorReply{std::move(msg)}.encode());
+    return;
+  }
+  if (job.kind() == JobKind::kDistill) {
+    const api::DistillRun& run = job.distill_run();
+    net::DistillResultReply r;
+    r.job = req.job;
+    r.samples = run.result.samples_collected;
+    r.leaves = static_cast<std::uint32_t>(run.result.tree.leaf_count());
+    r.fidelity = run.result.fidelity;
+    r.tree_text = tree::serialize(run.result.tree);
+    reply(conn, r.encode());
+  } else {
+    const api::InterpretRun& run = job.interpret_run();
+    net::InterpretResultReply r;
+    r.job = req.job;
+    r.divergence = run.result.divergence;
+    r.mask_l1 = run.result.mask_l1;
+    r.entropy = run.result.entropy;
+    r.edges.reserve(run.result.ranked.size());
+    r.vertices.reserve(run.result.ranked.size());
+    r.masks.reserve(run.result.ranked.size());
+    for (const auto& c : run.result.ranked) {
+      r.edges.push_back(static_cast<std::uint32_t>(c.edge));
+      r.vertices.push_back(static_cast<std::uint32_t>(c.vertex));
+      r.masks.push_back(c.mask);
+    }
+    reply(conn, r.encode());
+  }
+}
+
+void Server::reply(Connection& conn, const net::Frame& frame) {
+  net::encode_frame(frame, conn.outbuf);
+}
+
+void Server::flush(Connection& conn) {
+  const int fd = conn.fd;
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: keep the remainder, ask for EPOLLOUT, and
+      // enforce the bounded-buffer contract on the unsent tail.
+      if (conn.outbuf.size() - conn.out_off > config_.max_write_buffer_bytes) {
+        stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+        close_connection(fd);
+        return;
+      }
+      if (!conn.want_write) {
+        conn.want_write = true;
+        loop_.modify(fd, EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    // EPIPE / ECONNRESET: peer is gone.
+    close_connection(fd);
+    return;
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    loop_.modify(fd, EPOLLIN);
+  }
+}
+
+void Server::close_connection(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  loop_.remove(fd);
+  ::close(fd);
+  // The connection's jobs stay in inflight_ (they still occupy workers);
+  // the ledger prunes them as they finish.
+  conns_.erase(it);
+}
+
+}  // namespace metis::serve

@@ -1,0 +1,162 @@
+// metis::serve::Server — the network front door over serve::Service.
+//
+// Two planes, one framing (net/wire.h):
+//
+//  * Query plane. Clients open sessions against named deployed FlatTrees
+//    (add_tree) and stream kQuery frames; decisions are answered INLINE on
+//    the epoll loop thread — FlatTree::predict is a microsecond-scale,
+//    allocation-free array walk (the paper's Fig. 16 deployment artifact),
+//    so queries never touch the job worker pool and are immune to
+//    control-plane load. All frames readable at one epoll wake are decoded,
+//    answered into the connection's write buffer, and flushed with a single
+//    write — batching per wake, not per frame.
+//
+//  * Control plane. kSubmitDistill / kSubmitInterpret route to the owned
+//    serve::Service and occupy its workers. Admission control is explicit
+//    backpressure: past max_inflight_jobs (server-wide) or
+//    max_jobs_per_connection, the submit gets an immediate kBusy reply —
+//    the server never queues submissions unboundedly on behalf of a
+//    client. kPoll / kResult are non-blocking table lookups (results are
+//    only returned for jobs already done), so a slow distill cannot stall
+//    the query plane either.
+//
+// Single loop thread owns every connection's state — no locks anywhere on
+// the query path. add_tree() may be called while the loop runs (sessions
+// hold a shared_ptr to the tree they opened, so a re-registered name
+// hot-swaps for new sessions without invalidating old ones).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metis/net/event_loop.h"
+#include "metis/net/listener.h"
+#include "metis/net/wire.h"
+#include "metis/serve/service.h"
+#include "metis/tree/flat_tree.h"
+
+namespace metis::serve {
+
+struct ServerConfig {
+  // Unix-domain socket path; empty disables the unix listener.
+  std::string unix_path;
+  // Also listen on 127.0.0.1:tcp_port (0 = ephemeral, see Server::tcp_port).
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  // Per-frame size cap; oversized frames close the offending connection.
+  std::size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+  // Admission control: server-wide cap on non-terminal control-plane jobs.
+  std::size_t max_inflight_jobs = 8;
+  // ...and the per-connection share of it.
+  std::size_t max_jobs_per_connection = 4;
+  // A connection whose unsent replies exceed this is dropped (slow or
+  // stalled consumer) rather than buffered without bound.
+  std::size_t max_write_buffer_bytes = 4u << 20;
+  // The owned control-plane service (workers, registry, cache bound...).
+  ServiceConfig service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();  // stop() + drains in-flight jobs via the Service dtor
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Registers/replaces a deployable tree under `name`. Thread-safe; may be
+  // called while serving (existing sessions keep the tree they opened).
+  void add_tree(const std::string& name, tree::FlatTree tree);
+
+  // Binds the configured listeners and spawns the loop thread.
+  void start();
+  // Stops the loop, closes every connection, unbinds. Idempotent. Jobs
+  // already submitted to the Service keep running (the Service drains them
+  // on destruction); stop() does not wait for them.
+  void stop();
+
+  [[nodiscard]] Service& service() { return service_; }
+  // Resolved TCP port, valid after start() when config.tcp is set.
+  [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+  [[nodiscard]] const std::string& unix_path() const {
+    return config_.unix_path;
+  }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t decisions_served = 0;
+    std::uint64_t jobs_admitted = 0;
+    std::uint64_t busy_replies = 0;
+    std::uint64_t error_replies = 0;
+    std::uint64_t connections_dropped = 0;  // protocol/overflow closes
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Session {
+    std::shared_ptr<const tree::FlatTree> tree;
+  };
+  // Owned by the loop thread exclusively — no locks on the query path.
+  struct Connection {
+    int fd = -1;
+    net::FrameDecoder decoder;
+    std::vector<std::uint8_t> outbuf;
+    std::size_t out_off = 0;   // sent prefix of outbuf
+    bool want_write = false;   // EPOLLOUT currently armed
+    std::map<std::uint64_t, Session> sessions;
+    std::vector<JobHandle> jobs;  // for the per-connection quota
+
+    explicit Connection(std::size_t max_frame_bytes)
+        : decoder(max_frame_bytes) {}
+  };
+
+  void on_accept(const net::Listener& listener);
+  void on_connection_event(int fd, std::uint32_t events);
+  void handle_frame(Connection& conn, const net::Frame& frame);
+  void handle_submit(Connection& conn, const net::Frame& frame);
+  void handle_result(Connection& conn, const net::Frame& frame);
+  void reply(Connection& conn, const net::Frame& frame);
+  void flush(Connection& conn);
+  void close_connection(int fd);
+  [[nodiscard]] std::size_t inflight_jobs();
+
+  ServerConfig config_;
+  Service service_;
+  net::EventLoop loop_;
+  std::optional<net::Listener> unix_listener_;
+  std::optional<net::Listener> tcp_listener_;
+  std::uint16_t tcp_port_ = 0;
+  std::thread loop_thread_;
+  bool started_ = false;
+
+  // Deployed trees; the only cross-thread state the query plane touches,
+  // and only at open-session time (queries use the session's shared_ptr).
+  std::mutex trees_mu_;
+  std::map<std::string, std::shared_ptr<const tree::FlatTree>> trees_;
+
+  // Loop-thread-only.
+  std::map<int, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_session_ = 1;
+  std::vector<JobHandle> inflight_;  // admission-control ledger
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> sessions_opened{0};
+    std::atomic<std::uint64_t> decisions_served{0};
+    std::atomic<std::uint64_t> jobs_admitted{0};
+    std::atomic<std::uint64_t> busy_replies{0};
+    std::atomic<std::uint64_t> error_replies{0};
+    std::atomic<std::uint64_t> connections_dropped{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace metis::serve

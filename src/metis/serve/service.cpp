@@ -284,6 +284,16 @@ void Service::run_distill(const detail::JobState& state,
     env_lock = std::unique_lock<std::mutex>(slot->env_mu);
   }
 
+  // Mirror the interpret-side model clones on the teacher: inference is
+  // const, but a per-job deep copy (Teacher::clone, bitwise-equal weights)
+  // means the returned run owns a teacher no other job touches — and
+  // same-key jobs never share one network's internals. Teachers that
+  // cannot clone — and the clone_distill_teachers=false A/B baseline —
+  // keep the cached teacher, shared read-only.
+  if (config_.clone_distill_teachers) {
+    if (auto cloned = sys.teacher->clone()) sys.teacher = std::move(cloned);
+  }
+
   out.scenario = scenario.key();
   out.system = sys;
   out.config = cfg;

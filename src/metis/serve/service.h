@@ -75,6 +75,12 @@ struct ServiceConfig {
   // per key on the shared model) — the A/B baseline for
   // bench_interpret and a safety valve for exotic user models.
   bool clone_interpret_models = true;
+  // Distill jobs likewise deep-clone the cached teacher per job (see
+  // Teacher::clone), so each returned run owns a fully independent
+  // teacher. false shares the cached teacher read-only (the pre-clone
+  // behavior and A/B baseline); teachers without clone() fall back to
+  // sharing either way.
+  bool clone_distill_teachers = true;
 };
 
 class Service {
@@ -115,6 +121,11 @@ class Service {
   void clear_cache();
 
   [[nodiscard]] std::size_t worker_count() const { return pool_.size(); }
+  // The job worker pool, for work that should borrow a long-lived
+  // service's threads instead of spinning up transient pools — e.g.
+  // SurrogateConfig::pool / LemnaConfig::pool route LIME/LEMNA per-cluster
+  // fits here (see util::parallel_for's pool overload).
+  [[nodiscard]] util::ThreadPool& worker_pool() { return pool_; }
   [[nodiscard]] const api::ScenarioRegistry& registry() const;
   [[nodiscard]] const api::ScenarioOptions& options() const {
     return config_.options;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 
 #include "metis/util/thread_pool.h"
@@ -38,6 +40,90 @@ void parallel_for(std::size_t count, std::size_t workers,
   }
   pool.wait_idle();
   if (error) std::rethrow_exception(error);
+}
+
+namespace {
+
+// Shared loop state for the pool-borrowing overload. Heap-held via
+// shared_ptr: helper tasks may start (and finish) AFTER the caller has
+// returned — such late helpers see next >= count and touch nothing but
+// this struct. `fn` points at the caller's stack, so it may only be
+// dereferenced for an index drawn while the caller is still inside the
+// call — which the in_flight accounting guarantees: a helper registers
+// BEFORE drawing its first index, and the caller does not return until
+// in_flight is back to zero.
+struct BorrowCtx {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t in_flight = 0;  // guarded by mu
+  std::exception_ptr error;   // guarded by mu
+
+  void drain() {
+    try {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        (*fn)(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+      // Park the counter past the end so helpers not yet started never
+      // draw a real index (and never dereference fn).
+      next.store(count, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t count, ThreadPool* pool, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr) {
+    parallel_for(count, workers, fn);
+    return;
+  }
+  if (count == 0) return;
+  if (workers == 0) workers = pool->size() + 1;  // pool + the caller
+  if (workers <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto ctx = std::make_shared<BorrowCtx>();
+  ctx->count = count;
+  ctx->fn = &fn;
+  // The caller is one participant; queue at most pool-size helpers (more
+  // would just wait behind each other for the same counter).
+  const std::size_t helpers =
+      std::min({workers - 1, count - 1, pool->size()});
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->submit([ctx] {
+      {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ++ctx->in_flight;
+      }
+      ctx->drain();
+      {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        --ctx->in_flight;
+      }
+      ctx->cv.notify_all();
+    });
+  }
+
+  // Caller participation is the liveness guarantee: even if every helper
+  // is stuck behind other pool work, this drains the loop to completion.
+  ctx->drain();
+
+  std::unique_lock<std::mutex> lock(ctx->mu);
+  ctx->cv.wait(lock, [&] { return ctx->in_flight == 0; });
+  if (ctx->error) std::rethrow_exception(ctx->error);
 }
 
 }  // namespace metis::util

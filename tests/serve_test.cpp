@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <future>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -17,9 +20,13 @@
 #include "metis/abr/trace_gen.h"
 #include "metis/api/interpreter.h"
 #include "metis/api/registry.h"
+#include "metis/core/lime.h"
 #include "metis/core/trace_collector.h"
 #include "metis/nn/mlp.h"
 #include "metis/serve/service.h"
+#include "metis/tree/tree_io.h"
+#include "metis/util/parallel_for.h"
+#include "metis/util/thread_pool.h"
 
 namespace metis {
 namespace {
@@ -967,6 +974,235 @@ TEST(Registry, ConcurrentLookupsAndRegistrationsAreSafe) {
   EXPECT_EQ(reg.size(), 46u);
   for (int i = 0; i < 40; ++i) {
     EXPECT_TRUE(reg.contains("line-" + std::to_string(i)));
+  }
+}
+
+// ---- per-job teacher clones -------------------------------------------------
+
+// Same rule policy as RuleTeacher, but clone-aware: counts how many deep
+// copies the service takes, so tests can pin down the per-job clone
+// contract exactly.
+class CountingCloneTeacher final : public core::Teacher {
+ public:
+  explicit CountingCloneTeacher(std::atomic<int>* clones) : clones_(clones) {}
+  std::size_t action_count() const override { return 2; }
+  std::size_t act(std::span<const double> state) const override {
+    return state[0] > 0.5 ? 1 : 0;
+  }
+  double value(std::span<const double>) const override { return 0.0; }
+  std::vector<double> action_probs(
+      std::span<const double> state) const override {
+    return act(state) == 1 ? std::vector<double>{0.1, 0.9}
+                           : std::vector<double>{0.9, 0.1};
+  }
+  std::shared_ptr<core::Teacher> clone() const override {
+    ++*clones_;
+    return std::make_shared<CountingCloneTeacher>(clones_);
+  }
+
+ private:
+  std::atomic<int>* clones_;
+};
+
+class CloneProbeScenario final : public api::Scenario {
+ public:
+  explicit CloneProbeScenario(std::atomic<int>* clones) : clones_(clones) {}
+  std::string key() const override { return "clone-probe"; }
+  std::string description() const override { return "clone-counting rule"; }
+  api::LocalSystem make_local(const api::ScenarioOptions&) const override {
+    api::LocalSystem sys;
+    sys.teacher = std::make_shared<CountingCloneTeacher>(clones_);
+    sys.env = std::make_shared<SplitLineEnv>(77);
+    sys.distill_defaults.collect.episodes = 6;
+    sys.distill_defaults.collect.max_steps = 25;
+    sys.distill_defaults.dagger_iterations = 2;
+    sys.distill_defaults.max_leaves = 8;
+    sys.distill_defaults.feature_names = {"x"};
+    return sys;
+  }
+
+ private:
+  std::atomic<int>* clones_;
+};
+
+TEST(Service, DistillClonesTeacherPerJobAndOffSwitchShares) {
+  constexpr int kJobs = 3;
+  std::string cloned_tree;
+  // Default: one deep clone per job, and every run owns its copy.
+  {
+    std::atomic<int> clones{0};
+    api::ScenarioRegistry reg;
+    reg.add(std::make_unique<CloneProbeScenario>(&clones));
+    serve::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.registry = &reg;
+    ASSERT_TRUE(cfg.clone_distill_teachers);  // the documented default
+    serve::Service svc(cfg);
+    std::vector<serve::JobHandle> jobs;
+    for (int i = 0; i < kJobs; ++i) {
+      jobs.push_back(svc.submit_distill("clone-probe"));
+    }
+    svc.wait_all();
+    for (auto& job : jobs) {
+      ASSERT_EQ(job.status(), serve::JobStatus::kDone) << job.error();
+      const core::Teacher* owned = job.distill_run().system.teacher.get();
+      // Each run's teacher is a private copy, distinct from every other
+      // job's and (checked via the clone counter) from the cached build.
+      for (auto& other : jobs) {
+        if (&other != &job) {
+          EXPECT_NE(owned, other.distill_run().system.teacher.get());
+        }
+      }
+    }
+    EXPECT_EQ(clones.load(), kJobs);
+    cloned_tree = tree::serialize(jobs[0].distill_run().result.tree);
+  }
+  // A/B off switch: no clones, shared cached teacher, identical tree.
+  {
+    std::atomic<int> clones{0};
+    api::ScenarioRegistry reg;
+    reg.add(std::make_unique<CloneProbeScenario>(&clones));
+    serve::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.registry = &reg;
+    cfg.clone_distill_teachers = false;
+    serve::Service svc(cfg);
+    auto a = svc.submit_distill("clone-probe");
+    auto b = svc.submit_distill("clone-probe");
+    svc.wait_all();
+    ASSERT_EQ(a.status(), serve::JobStatus::kDone) << a.error();
+    EXPECT_EQ(clones.load(), 0);
+    EXPECT_EQ(a.distill_run().system.teacher.get(),
+              b.distill_run().system.teacher.get());
+    // The clone is weight-identical, so both paths distill the same tree.
+    EXPECT_EQ(tree::serialize(a.distill_run().result.tree), cloned_tree);
+  }
+}
+
+TEST(Service, NonCloneableTeacherStillDistills) {
+  // RuleTeacher keeps the default clone() (nullptr): the service must fall
+  // back to sharing the cached teacher, not fail the job.
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line"));
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+  auto a = svc.submit_distill("line");
+  auto b = svc.submit_distill("line");
+  svc.wait_all();
+  ASSERT_EQ(a.status(), serve::JobStatus::kDone) << a.error();
+  ASSERT_EQ(b.status(), serve::JobStatus::kDone) << b.error();
+  EXPECT_EQ(a.distill_run().system.teacher.get(),
+            b.distill_run().system.teacher.get());
+}
+
+TEST(Teacher, PolicyNetTeacherCloneIsBitwiseEquivalent) {
+  metis::Rng rng(9);
+  nn::PolicyNet net(4, 16, 2, 3, rng);
+  core::PolicyNetTeacher teacher(&net);
+  const auto copy = teacher.clone();
+  ASSERT_NE(copy, nullptr);
+  metis::Rng probe(10);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> state(4);
+    for (double& v : state) v = probe.uniform(-2.0, 2.0);
+    EXPECT_EQ(copy->act(state), teacher.act(state));
+    EXPECT_EQ(copy->value(state), teacher.value(state));  // bitwise
+    EXPECT_EQ(copy->action_probs(state), teacher.action_probs(state));
+  }
+}
+
+// ---- pool-borrowed parallel_for ---------------------------------------------
+
+TEST(ParallelFor, PoolOverloadMatchesTransientAndSequential) {
+  constexpr std::size_t kCount = 257;
+  auto run = [&](auto&& go) {
+    std::vector<double> out(kCount, 0.0);
+    go([&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5 + 1.0; });
+    return out;
+  };
+  const auto seq = run([&](const std::function<void(std::size_t)>& fn) {
+    util::parallel_for(kCount, 1, fn);
+  });
+  const auto transient = run([&](const std::function<void(std::size_t)>& fn) {
+    util::parallel_for(kCount, 4, fn);
+  });
+  util::ThreadPool pool(3);
+  const auto borrowed = run([&](const std::function<void(std::size_t)>& fn) {
+    util::parallel_for(kCount, &pool, 4, fn);
+  });
+  const auto defaulted = run([&](const std::function<void(std::size_t)>& fn) {
+    util::parallel_for(kCount, &pool, 0, fn);  // 0 = pool size + caller
+  });
+  EXPECT_EQ(transient, seq);
+  EXPECT_EQ(borrowed, seq);
+  EXPECT_EQ(defaulted, seq);
+  // nullptr pool falls back to the transient path.
+  const auto fallback = run([&](const std::function<void(std::size_t)>& fn) {
+    util::parallel_for(kCount, nullptr, 4, fn);
+  });
+  EXPECT_EQ(fallback, seq);
+}
+
+TEST(ParallelFor, PoolOverloadDoesNotDeadlockFromInsidePoolWorker) {
+  // A pool worker calling the borrowing parallel_for on ITS OWN pool must
+  // finish even though no other worker exists: the caller drains the index
+  // range itself rather than waiting on helpers that can never be
+  // scheduled.
+  util::ThreadPool pool(1);
+  std::promise<std::vector<int>> done;
+  auto fut = done.get_future();
+  pool.submit([&] {
+    std::vector<int> out(64, 0);
+    util::parallel_for(out.size(), &pool, 4,
+                       [&](std::size_t i) { out[i] = static_cast<int>(i); });
+    done.set_value(std::move(out));
+  });
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  const auto out = fut.get();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ParallelFor, PoolOverloadPropagatesExceptions) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(
+      util::parallel_for(100, &pool, 3,
+                         [&](std::size_t i) {
+                           if (i == 57) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> hits{0};
+  util::parallel_for(10, &pool, 3, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(Lime, PoolBorrowedClusterFitsMatchTransient) {
+  metis::Rng rng(13);
+  std::vector<std::vector<double>> x(200, std::vector<double>(3));
+  nn::Tensor targets(200, 2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (double& v : x[i]) v = rng.uniform(-1.0, 1.0);
+    targets(i, 0) = x[i][0] + 0.5 * x[i][1];
+    targets(i, 1) = x[i][2] - x[i][0] * 0.25;
+  }
+  core::SurrogateConfig cfg;
+  cfg.clusters = 4;
+  cfg.workers = 3;
+  const auto transient = core::LimeSurrogate::fit(x, targets, cfg);
+  util::ThreadPool pool(2);
+  cfg.pool = &pool;
+  const auto borrowed = core::LimeSurrogate::fit(x, targets, cfg);
+
+  const nn::Tensor a = transient.predict_batch(x);
+  const nn::Tensor b = borrowed.predict_batch(x);
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << i << "," << j;  // bitwise
+    }
   }
 }
 
