@@ -1,7 +1,6 @@
 #include "metis/api/registry.h"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 #include "metis/util/check.h"
@@ -25,7 +24,7 @@ void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
   std::vector<std::string> keys = {raw->key()};
   for (auto& alias : raw->aliases()) keys.push_back(alias);
 
-  std::unique_lock lock(mu_);
+  util::WriterLock lock(mu_);
   for (std::size_t i = 0; i < keys.size(); ++i) {
     const auto& k = keys[i];
     MET_CHECK_MSG(!k.empty(), "scenario keys must be non-empty");
@@ -48,7 +47,7 @@ const Scenario* ScenarioRegistry::find_locked(std::string_view key) const {
 }
 
 const Scenario* ScenarioRegistry::find(std::string_view key) const {
-  std::shared_lock lock(mu_);
+  util::SharedLock lock(mu_);
   return find_locked(key);
 }
 
@@ -60,7 +59,7 @@ const Scenario& ScenarioRegistry::get(std::string_view key) const {
 }
 
 std::vector<std::string> ScenarioRegistry::keys() const {
-  std::shared_lock lock(mu_);
+  util::SharedLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(scenarios_.size());
   for (const auto& s : scenarios_) out.push_back(s->key());
@@ -69,7 +68,7 @@ std::vector<std::string> ScenarioRegistry::keys() const {
 }
 
 std::size_t ScenarioRegistry::size() const {
-  std::shared_lock lock(mu_);
+  util::SharedLock lock(mu_);
   return scenarios_.size();
 }
 

@@ -13,12 +13,12 @@
 #pragma once
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "metis/api/scenario.h"
+#include "metis/util/mutex.h"
 
 namespace metis::api {
 
@@ -53,11 +53,12 @@ class ScenarioRegistry {
     std::string key;  // primary or alias
     const Scenario* scenario = nullptr;
   };
-  [[nodiscard]] const Scenario* find_locked(std::string_view key) const;
+  [[nodiscard]] const Scenario* find_locked(std::string_view key) const
+      REQUIRES_SHARED(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<Scenario>> scenarios_;
-  std::vector<Entry> index_;
+  mutable util::SharedMutex mu_;
+  std::vector<std::unique_ptr<Scenario>> scenarios_ GUARDED_BY(mu_);
+  std::vector<Entry> index_ GUARDED_BY(mu_);
 };
 
 // Registers the six built-in scenario families (idempotent per registry —

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
@@ -16,6 +15,7 @@
 #include "metis/nn/arena.h"
 #include "metis/nn/autodiff.h"
 #include "metis/util/check.h"
+#include "metis/util/exception_slot.h"
 
 namespace metis::core {
 namespace {
@@ -331,8 +331,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
       } else {
         const std::size_t base = cfg.episodes / workers;
         const std::size_t rem = cfg.episodes % workers;
-        std::exception_ptr error;
-        std::mutex error_mu;
+        util::ExceptionSlot error;
         std::vector<std::thread> threads;
         threads.reserve(workers);
         for (std::size_t w = 0; w < workers; ++w) {
@@ -344,13 +343,12 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
                                      episode_offset, block_first, count,
                                      per_episode);
             } catch (...) {
-              std::lock_guard<std::mutex> lock(error_mu);
-              if (!error) error = std::current_exception();
+              error.capture();
             }
           });
         }
         for (auto& t : threads) t.join();
-        if (error) std::rethrow_exception(error);
+        error.rethrow_if_set();
       }
       return merge_in_episode_order(std::move(per_episode));
     }
@@ -372,9 +370,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
     if (cloneable) {
       std::vector<std::vector<CollectedSample>> per_episode(cfg.episodes);
       std::atomic<std::size_t> next{0};
-      std::atomic<bool> failed{false};
-      std::exception_ptr error;
-      std::mutex error_mu;
+      util::ExceptionSlot error;
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (std::size_t w = 0; w < workers; ++w) {
@@ -387,20 +383,18 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
               const std::size_t ep = next.fetch_add(1);
               // One failed episode aborts the round: stop claiming so the
               // caller sees the error promptly, not after the full round.
-              if (ep >= cfg.episodes || failed.load()) return;
+              if (ep >= cfg.episodes || error.failed()) return;
               per_episode[ep] = collect_episode(teacher, *envs[w], cfg,
                                                 student, episode_offset + ep);
               if (cfg.on_episode_done) cfg.on_episode_done();
             }
           } catch (...) {
-            failed.store(true);
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (!error) error = std::current_exception();
+            error.capture();
           }
         });
       }
       for (auto& t : threads) t.join();
-      if (error) std::rethrow_exception(error);
+      error.rethrow_if_set();
       return merge_in_episode_order(std::move(per_episode));
     }
     // Env cannot clone: fall through to the sequential reference path.

@@ -55,7 +55,9 @@ class EventLoop {
   int wake_fd_ = -1;  // eventfd: stop() kicks it so epoll_wait returns
   std::atomic<bool> stop_{false};
   // shared_ptr so a callback stays alive while executing even if the
-  // handler removes its own fd mid-call.
+  // handler removes its own fd mid-call. Loop-thread-only (see the class
+  // comment); callers that need the same guarantee on their own state
+  // formalize it with util::ThreadRole — serve::Server is the template.
   std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
 };
 

@@ -59,6 +59,7 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   return out;
 }
 
+// metis-lint: begin-hot-path
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
   // Drop the already-consumed prefix before growing, so a long-lived
   // connection's buffer stays bounded by one in-flight frame + one read.
@@ -90,6 +91,7 @@ bool FrameDecoder::next(Frame& frame) {
   consumed_ += 4 + static_cast<std::size_t>(len);
   return true;
 }
+// metis-lint: end-hot-path
 
 // ---- payload primitives -----------------------------------------------------
 

@@ -19,7 +19,11 @@
 //    tensor allocated inside a scope may die after it, and vice versa).
 //  - The pool, its depth counter, and the stats are all thread_local —
 //    no locks, no sharing; each collection/serve worker recycles its own
-//    buffers.
+//    buffers. This is the arena's entire concurrency contract: there is
+//    deliberately nothing here for the clang thread-safety analysis to
+//    annotate (the only shared state is the atomic enable flags), and it
+//    must stay that way — a mutex in the allocator would sit on every
+//    tensor hot path.
 //  - Scopes nest: the cache drains only when the outermost scope exits
 //    (a test or bench can hold an outer scope to keep buffers warm
 //    across whole collection rounds). Parked bytes are capped per

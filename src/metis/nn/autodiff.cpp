@@ -14,6 +14,7 @@ namespace {
 
 thread_local bool t_grad_enabled = true;
 
+// metis-lint: begin-hot-path
 // Allocates the node + control block as one fused block from the arena
 // node pool (all such blocks share one size, so inside an arena::Scope a
 // steady-state loop recycles them with zero mallocs). The opt-out falls
@@ -23,6 +24,7 @@ Var alloc_node(Tensor value, bool requires_grad) {
     return std::allocate_shared<Node>(arena::NodeAllocator<Node>{},
                                       std::move(value), requires_grad);
   }
+  // metis-lint: allow(the node-pool opt-out deliberately heap-allocates)
   return std::make_shared<Node>(std::move(value), requires_grad);
 }
 
@@ -44,6 +46,7 @@ Var make_node(Tensor value, BackwardFn&& backward, const Parents&... parents) {
   }
   return node;
 }
+// metis-lint: end-hot-path
 
 // Element-wise unary op helper: out = f(a), da += g(a, out) * dout.
 template <typename FwdFn, typename BwdFn>
@@ -566,6 +569,7 @@ Var mask_regularizer(const Var& w, const Var& support, double c1, double c2,
       w, support);
 }
 
+// metis-lint: begin-hot-path
 void backward(const Var& root) {
   MET_CHECK_MSG(root->value().rows() == 1 && root->value().cols() == 1,
                 "backward() requires a scalar root");
@@ -605,5 +609,6 @@ void backward(const Var& root) {
     (*it)->run_backward();
   }
 }
+// metis-lint: end-hot-path
 
 }  // namespace metis::nn

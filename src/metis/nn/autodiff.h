@@ -43,6 +43,7 @@ using Var = std::shared_ptr<Node>;
 
 namespace detail {
 
+// metis-lint: begin-hot-path
 // Fixed-capacity, never-heap-allocating closure holder for a node's
 // backward function. Every op's backward lambda captures at most one
 // scalar (a bias flag, a split column, an epsilon), so a small inline
@@ -82,6 +83,7 @@ class BackwardFn {
   alignas(std::max_align_t) unsigned char buf_[kCapacity] = {};
   void (*invoke_)(const unsigned char*, Node&) = nullptr;
 };
+// metis-lint: end-hot-path
 
 }  // namespace detail
 

@@ -24,6 +24,7 @@ std::atomic<Backend>& backend_slot() {
   return slot;
 }
 
+// metis-lint: begin-hot-path
 // ---- naive kernels ----------------------------------------------------------
 // The seed's reference loop, order (r, k, c) with the zero-skip on a —
 // kept operation-for-operation so the naive backend IS the old
@@ -488,5 +489,7 @@ void matmul_transA_acc(const Tensor& a, const Tensor& b, Tensor& acc) {
     acc += tmp;
   }
 }
+
+// metis-lint: end-hot-path
 
 }  // namespace metis::nn::gemm

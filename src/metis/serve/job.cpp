@@ -35,14 +35,16 @@ const std::string& JobHandle::scenario() const {
 
 JobStatus JobHandle::status() const {
   MET_CHECK(valid());
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   return state_->status;
 }
 
 void JobHandle::wait() const {
   MET_CHECK(valid());
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return is_terminal(state_->status); });
+  util::MutexLock lock(state_->mu);
+  // Manual predicate loop: clang thread-safety analysis cannot see through
+  // a wait-with-predicate lambda.
+  while (!is_terminal(state_->status)) state_->cv.wait(state_->mu);
 }
 
 JobProgress JobHandle::progress() const {
@@ -64,7 +66,7 @@ JobProgress JobHandle::progress() const {
 
 bool JobHandle::cancel() const {
   MET_CHECK(valid());
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   if (state_->status != JobStatus::kQueued) return false;
   state_->status = JobStatus::kCancelled;
   state_->cv.notify_all();
@@ -73,13 +75,14 @@ bool JobHandle::cancel() const {
 
 std::string JobHandle::error() const {
   MET_CHECK(valid());
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   return state_->error;
 }
 
 namespace {
 
-[[noreturn]] void throw_unfinished(const detail::JobState& state) {
+[[noreturn]] void throw_unfinished(const detail::JobState& state)
+    REQUIRES(state.mu) {
   if (state.status == JobStatus::kFailed) {
     if (state.exception) std::rethrow_exception(state.exception);
     throw std::runtime_error("job '" + state.scenario +
@@ -97,7 +100,7 @@ namespace {
 const api::DistillRun& JobHandle::distill_run() const {
   MET_CHECK(valid());
   wait();
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   if (state_->kind != JobKind::kDistill) {
     throw std::logic_error("job is not a distillation job");
   }
@@ -108,7 +111,7 @@ const api::DistillRun& JobHandle::distill_run() const {
 const api::InterpretRun& JobHandle::interpret_run() const {
   MET_CHECK(valid());
   wait();
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   if (state_->kind != JobKind::kInterpret) {
     throw std::logic_error("job is not an interpretation job");
   }
@@ -119,7 +122,7 @@ const api::InterpretRun& JobHandle::interpret_run() const {
 api::DistillRun JobHandle::take_distill_run() {
   MET_CHECK(valid());
   wait();
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   if (state_->kind != JobKind::kDistill) {
     throw std::logic_error("job is not a distillation job");
   }
@@ -132,7 +135,7 @@ api::DistillRun JobHandle::take_distill_run() {
 api::InterpretRun JobHandle::take_interpret_run() {
   MET_CHECK(valid());
   wait();
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   if (state_->kind != JobKind::kInterpret) {
     throw std::logic_error("job is not an interpretation job");
   }

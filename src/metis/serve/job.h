@@ -8,15 +8,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "metis/api/runs.h"
+#include "metis/util/mutex.h"
 
 namespace metis::serve {
 
@@ -68,7 +67,10 @@ struct ProgressCounters {
 };
 
 // Shared record behind a JobHandle. The service's workers write it; any
-// number of handle holders read it. All fields below `mu` are guarded.
+// number of handle holders read it. The fields up to `progress` are
+// immutable after enqueue (id is assigned under the service's table lock
+// before the job is published); everything below `mu` is GUARDED_BY it —
+// enforced at compile time by the clang thread-safety leg.
 struct JobState {
   JobId id = 0;
   JobKind kind = JobKind::kDistill;
@@ -78,16 +80,16 @@ struct JobState {
   std::shared_ptr<ProgressCounters> progress =
       std::make_shared<ProgressCounters>();
 
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  JobStatus status = JobStatus::kQueued;
-  std::optional<api::DistillRun> distill_run;
-  std::optional<api::InterpretRun> interpret_run;
+  mutable util::Mutex mu;
+  util::CondVar cv;
+  JobStatus status GUARDED_BY(mu) = JobStatus::kQueued;
+  std::optional<api::DistillRun> distill_run GUARDED_BY(mu);
+  std::optional<api::InterpretRun> interpret_run GUARDED_BY(mu);
   // Set when status == kFailed: the message for polling callers, and the
   // original exception so result accessors rethrow the submitted
   // pipeline's own error type (unknown key stays std::invalid_argument).
-  std::string error;
-  std::exception_ptr exception;
+  std::string error GUARDED_BY(mu);
+  std::exception_ptr exception GUARDED_BY(mu);
 };
 
 }  // namespace detail

@@ -19,7 +19,7 @@ Server::~Server() { stop(); }
 
 void Server::add_tree(const std::string& name, tree::FlatTree tree) {
   auto shared = std::make_shared<const tree::FlatTree>(std::move(tree));
-  std::lock_guard lock(trees_mu_);
+  util::MutexLock lock(trees_mu_);
   trees_[name] = std::move(shared);
 }
 
@@ -28,13 +28,19 @@ void Server::start() {
   if (!config_.unix_path.empty()) {
     unix_listener_.emplace(net::Listener::unix_domain(config_.unix_path));
     const net::Listener& l = *unix_listener_;
-    loop_.add(l.fd(), EPOLLIN, [this, &l](std::uint32_t) { on_accept(l); });
+    loop_.add(l.fd(), EPOLLIN, [this, &l](std::uint32_t) {
+      util::ScopedThreadRole role(loop_role_);
+      on_accept(l);
+    });
   }
   if (config_.tcp) {
     tcp_listener_.emplace(net::Listener::tcp(config_.tcp_port));
     tcp_port_ = tcp_listener_->port();
     const net::Listener& l = *tcp_listener_;
-    loop_.add(l.fd(), EPOLLIN, [this, &l](std::uint32_t) { on_accept(l); });
+    loop_.add(l.fd(), EPOLLIN, [this, &l](std::uint32_t) {
+      util::ScopedThreadRole role(loop_role_);
+      on_accept(l);
+    });
   }
   if (!unix_listener_ && !tcp_listener_) {
     throw std::runtime_error(
@@ -49,7 +55,9 @@ void Server::stop() {
   loop_.stop();
   loop_thread_.join();
   started_ = false;
-  // The loop thread is gone; its state is ours to tear down.
+  // The loop thread is gone, so its role transfers to us for teardown —
+  // the ScopedThreadRole makes that hand-off explicit to the analysis.
+  util::ScopedThreadRole role(loop_role_);
   for (auto& [fd, conn] : conns_) {
     loop_.remove(fd);
     ::close(fd);
@@ -85,6 +93,7 @@ void Server::on_accept(const net::Listener& listener) {
     conn->fd = fd;
     loop_.add(fd, EPOLLIN,
               [this, fd](std::uint32_t events) {
+                util::ScopedThreadRole role(loop_role_);
                 on_connection_event(fd, events);
               });
     conns_.emplace(fd, std::move(conn));
@@ -160,7 +169,7 @@ void Server::handle_frame(Connection& conn, const net::Frame& frame) {
         const auto req = net::OpenSessionRequest::decode(frame);
         std::shared_ptr<const tree::FlatTree> tree;
         {
-          std::lock_guard lock(trees_mu_);
+          util::MutexLock lock(trees_mu_);
           auto it = trees_.find(req.tree);
           if (it != trees_.end()) tree = it->second;
         }
@@ -176,6 +185,7 @@ void Server::handle_frame(Connection& conn, const net::Frame& frame) {
         reply(conn, net::SessionOpenedReply{id}.encode());
         return;
       }
+      // metis-lint: begin-hot-path
       case MsgType::kQuery: {
         const auto req = net::QueryRequest::decode(frame);
         auto it = conn.sessions.find(req.session);
@@ -192,6 +202,7 @@ void Server::handle_frame(Connection& conn, const net::Frame& frame) {
               net::DecisionReply{req.session, req.seq, decision}.encode());
         return;
       }
+      // metis-lint: end-hot-path
       case MsgType::kSubmitDistill:
       case MsgType::kSubmitInterpret:
         handle_submit(conn, frame);

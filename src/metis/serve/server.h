@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -41,6 +40,7 @@
 #include "metis/net/wire.h"
 #include "metis/serve/service.h"
 #include "metis/tree/flat_tree.h"
+#include "metis/util/mutex.h"
 
 namespace metis::serve {
 
@@ -118,15 +118,18 @@ class Server {
         : decoder(max_frame_bytes) {}
   };
 
-  void on_accept(const net::Listener& listener);
-  void on_connection_event(int fd, std::uint32_t events);
-  void handle_frame(Connection& conn, const net::Frame& frame);
-  void handle_submit(Connection& conn, const net::Frame& frame);
-  void handle_result(Connection& conn, const net::Frame& frame);
-  void reply(Connection& conn, const net::Frame& frame);
-  void flush(Connection& conn);
-  void close_connection(int fd);
-  [[nodiscard]] std::size_t inflight_jobs();
+  void on_accept(const net::Listener& listener) REQUIRES(loop_role_);
+  void on_connection_event(int fd, std::uint32_t events) REQUIRES(loop_role_);
+  void handle_frame(Connection& conn, const net::Frame& frame)
+      REQUIRES(loop_role_);
+  void handle_submit(Connection& conn, const net::Frame& frame)
+      REQUIRES(loop_role_);
+  void handle_result(Connection& conn, const net::Frame& frame)
+      REQUIRES(loop_role_);
+  void reply(Connection& conn, const net::Frame& frame) REQUIRES(loop_role_);
+  void flush(Connection& conn) REQUIRES(loop_role_);
+  void close_connection(int fd) REQUIRES(loop_role_);
+  [[nodiscard]] std::size_t inflight_jobs() REQUIRES(loop_role_);
 
   ServerConfig config_;
   Service service_;
@@ -139,14 +142,26 @@ class Server {
 
   // Deployed trees; the only cross-thread state the query plane touches,
   // and only at open-session time (queries use the session's shared_ptr).
-  std::mutex trees_mu_;
-  std::map<std::string, std::shared_ptr<const tree::FlatTree>> trees_;
+  util::Mutex trees_mu_;
+  std::map<std::string, std::shared_ptr<const tree::FlatTree>> trees_
+      GUARDED_BY(trees_mu_);
 
-  // Loop-thread-only.
-  std::map<int, std::unique_ptr<Connection>> conns_;
-  std::uint64_t next_session_ = 1;
-  std::vector<JobHandle> inflight_;  // admission-control ledger
+  // "Loop thread only" as a compile-time capability: a zero-cost
+  // util::ThreadRole acquired by the loop callbacks (and by stop()'s
+  // teardown, AFTER joining the loop thread). Everything below is
+  // GUARDED_BY it, so touching connection state off the loop thread is a
+  // clang -Werror=thread-safety build break, not a latent race.
+  util::ThreadRole loop_role_;
+  std::map<int, std::unique_ptr<Connection>> conns_ GUARDED_BY(loop_role_);
+  std::uint64_t next_session_ GUARDED_BY(loop_role_) = 1;
+  // Admission-control ledger.
+  std::vector<JobHandle> inflight_ GUARDED_BY(loop_role_);
 
+  // Written by the loop thread, read by stats() from any thread. Every
+  // counter is monotonic and independently atomic (relaxed): stats() is a
+  // monitoring snapshot, not a transaction, so no cross-counter ordering
+  // is promised — a snapshot may be mid-update but never torn. Audited
+  // for the thread-safety contract; keep new counters atomic too.
   struct AtomicStats {
     std::atomic<std::uint64_t> connections_accepted{0};
     std::atomic<std::uint64_t> sessions_opened{0};

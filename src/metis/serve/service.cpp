@@ -28,7 +28,7 @@ const api::ScenarioRegistry& Service::registry() const {
 
 JobHandle Service::enqueue(std::shared_ptr<detail::JobState> state) {
   {
-    std::lock_guard<std::mutex> lock(table_mu_);
+    util::MutexLock lock(table_mu_);
     state->id = next_id_++;
     table_.emplace(state->id, state);
   }
@@ -56,13 +56,13 @@ JobHandle Service::submit_interpret(std::string_view key,
 }
 
 JobHandle Service::find(JobId id) const {
-  std::lock_guard<std::mutex> lock(table_mu_);
+  util::MutexLock lock(table_mu_);
   auto it = table_.find(id);
   return it == table_.end() ? JobHandle() : JobHandle(it->second);
 }
 
 std::vector<JobHandle> Service::jobs() const {
-  std::lock_guard<std::mutex> lock(table_mu_);
+  util::MutexLock lock(table_mu_);
   std::vector<JobHandle> out;
   out.reserve(table_.size());
   for (const auto& [id, state] : table_) out.push_back(JobHandle(state));
@@ -82,11 +82,11 @@ void Service::wait_all() {
 }
 
 bool Service::forget(JobId id) {
-  std::lock_guard<std::mutex> lock(table_mu_);
+  util::MutexLock lock(table_mu_);
   auto it = table_.find(id);
   if (it == table_.end()) return false;
   {
-    std::lock_guard<std::mutex> state_lock(it->second->mu);
+    util::MutexLock state_lock(it->second->mu);
     if (!is_terminal(it->second->status)) return false;
   }
   table_.erase(it);
@@ -94,12 +94,12 @@ bool Service::forget(JobId id) {
 }
 
 std::size_t Service::prune_finished() {
-  std::lock_guard<std::mutex> lock(table_mu_);
+  util::MutexLock lock(table_mu_);
   std::size_t evicted = 0;
   for (auto it = table_.begin(); it != table_.end();) {
     bool terminal;
     {
-      std::lock_guard<std::mutex> state_lock(it->second->mu);
+      util::MutexLock state_lock(it->second->mu);
       terminal = is_terminal(it->second->status);
     }
     if (terminal) {
@@ -113,7 +113,7 @@ std::size_t Service::prune_finished() {
 }
 
 void Service::clear_cache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(cache_mu_);
   // Slots shared with in-flight jobs stay alive through their shared_ptr;
   // future jobs start from fresh slots (and rebuild).
   local_.clear();
@@ -149,7 +149,7 @@ void evict_idle_lru(SlotMap& map, std::size_t capacity) {
 
 std::shared_ptr<Service::LocalSlot> Service::local_slot(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(cache_mu_);
   auto& slot = local_[key];
   if (slot == nullptr) slot = std::make_shared<LocalSlot>();
   slot->last_used = ++cache_tick_;
@@ -160,7 +160,7 @@ std::shared_ptr<Service::LocalSlot> Service::local_slot(
 
 std::shared_ptr<Service::GlobalSlot> Service::global_slot(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(cache_mu_);
   auto& slot = global_[key];
   if (slot == nullptr) slot = std::make_shared<GlobalSlot>();
   slot->last_used = ++cache_tick_;
@@ -171,7 +171,7 @@ std::shared_ptr<Service::GlobalSlot> Service::global_slot(
 
 void Service::run_job(const std::shared_ptr<detail::JobState>& state) {
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    util::MutexLock lock(state->mu);
     if (state->status != JobStatus::kQueued) return;  // cancelled
     if (stopping_.load()) {
       state->status = JobStatus::kCancelled;
@@ -208,7 +208,7 @@ void Service::run_job(const std::shared_ptr<detail::JobState>& state) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    util::MutexLock lock(state->mu);
     if (final_status == JobStatus::kDone) {
       if (state->kind == JobKind::kDistill) {
         state->distill_run = std::move(distill_run);
@@ -234,7 +234,7 @@ void Service::run_distill(const detail::JobState& state,
   // the same key block here and share it, other keys proceed in parallel.
   api::LocalSystem sys;
   {
-    std::lock_guard<std::mutex> lock(slot->build_mu);
+    util::MutexLock lock(slot->build_mu);
     if (!slot->built) {
       slot->system = scenario.make_local(config_.options);
       MET_CHECK_MSG(
@@ -277,11 +277,11 @@ void Service::run_distill(const detail::JobState& state,
   // env lock so concurrent same-key jobs serialize instead of racing one
   // live episode. In that fallback the returned run still references the
   // shared env (see the class comment for the caller-side caveat).
-  std::unique_lock<std::mutex> env_lock;
+  util::OptionalLock env_lock;
   if (auto cloned = sys.env->clone()) {
     sys.env = std::move(cloned);
   } else {
-    env_lock = std::unique_lock<std::mutex>(slot->env_mu);
+    env_lock.lock(slot->env_mu);
   }
 
   // Mirror the interpret-side model clones on the teacher: inference is
@@ -310,7 +310,7 @@ void Service::run_interpret(const detail::JobState& state,
 
   api::GlobalSystem sys;
   {
-    std::lock_guard<std::mutex> lock(slot->build_mu);
+    util::MutexLock lock(slot->build_mu);
     if (!slot->built) {
       slot->system = scenario.make_global(config_.options);
       MET_CHECK_MSG(slot->system.model != nullptr,
@@ -345,15 +345,15 @@ void Service::run_interpret(const detail::JobState& state,
   // serialize on the slot's run lock, as does the
   // clone_interpret_models=false A/B baseline.
   std::shared_ptr<core::MaskableModel> model = sys.model;
-  std::unique_lock<std::mutex> run_lock;
+  util::OptionalLock run_lock;
   if (config_.clone_interpret_models) {
     if (auto cloned = sys.model->clone()) {
       model = std::move(cloned);
     } else {
-      run_lock = std::unique_lock<std::mutex>(slot->run_mu);
+      run_lock.lock(slot->run_mu);
     }
   } else {
-    run_lock = std::unique_lock<std::mutex>(slot->run_mu);
+    run_lock.lock(slot->run_mu);
   }
   out.result = core::find_critical_connections(*model, cfg);
   // Re-running the returned config must not tick this job's counters.

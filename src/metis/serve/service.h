@@ -35,7 +35,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +42,7 @@
 #include "metis/api/registry.h"
 #include "metis/api/runs.h"
 #include "metis/serve/job.h"
+#include "metis/util/mutex.h"
 #include "metis/util/thread_pool.h"
 
 namespace metis::serve {
@@ -138,23 +138,32 @@ class Service {
   // `last_used` is the LRU stamp (cache_mu_ guards it): a slot whose only
   // reference is the cache map itself is idle and evictable.
   struct LocalSlot {
-    std::mutex build_mu;
-    bool built = false;
-    api::LocalSystem system;
-    std::mutex env_mu;
+    util::Mutex build_mu;
+    bool built GUARDED_BY(build_mu) = false;
+    api::LocalSystem system GUARDED_BY(build_mu);
+    // Serializes EXECUTION of same-key jobs sharing a non-cloneable env;
+    // guards no fields here (the env lives inside `system`), so it is
+    // taken through util::OptionalLock outside the analysis.
+    util::Mutex env_mu;
+    // LRU stamp. Guarded by the owning Service's cache_mu_, which clang's
+    // analysis cannot express across objects — keep every access under
+    // cache_mu_ by hand (evict_idle_lru / the slot accessors do).
     std::uint64_t last_used = 0;
   };
   struct GlobalSlot {
-    std::mutex build_mu;
-    bool built = false;
-    api::GlobalSystem system;
+    util::Mutex build_mu;
+    bool built GUARDED_BY(build_mu) = false;
+    api::GlobalSystem system GUARDED_BY(build_mu);
     // The Figure-6 search backpropagates through the model, accumulating
     // (unused) gradients into its weight nodes — concurrent searches over
     // ONE model would race on those tensors. Interpret jobs therefore
     // clone the model per job (MaskableModel::clone) and run without any
     // lock; models that cannot clone — and the
     // clone_interpret_models=false A/B path — serialize here instead.
-    std::mutex run_mu;
+    // Like env_mu: an execution lock guarding no fields, taken via
+    // util::OptionalLock.
+    util::Mutex run_mu;
+    // LRU stamp; see LocalSlot::last_used.
     std::uint64_t last_used = 0;
   };
 
@@ -167,14 +176,19 @@ class Service {
 
   ServiceConfig config_;
 
-  mutable std::mutex table_mu_;
-  std::map<JobId, std::shared_ptr<detail::JobState>> table_;
-  JobId next_id_ = 1;
+  mutable util::Mutex table_mu_;
+  std::map<JobId, std::shared_ptr<detail::JobState>> table_
+      GUARDED_BY(table_mu_);
+  JobId next_id_ GUARDED_BY(table_mu_) = 1;
 
-  std::mutex cache_mu_;  // guards the slot maps, never held while building
-  std::uint64_t cache_tick_ = 0;  // LRU clock for the slot maps
-  std::map<std::string, std::shared_ptr<LocalSlot>, std::less<>> local_;
-  std::map<std::string, std::shared_ptr<GlobalSlot>, std::less<>> global_;
+  // Guards the slot maps and their LRU bookkeeping; never held while
+  // building (builds serialize on the slot's own build_mu).
+  util::Mutex cache_mu_;
+  std::uint64_t cache_tick_ GUARDED_BY(cache_mu_) = 0;  // LRU clock
+  std::map<std::string, std::shared_ptr<LocalSlot>, std::less<>> local_
+      GUARDED_BY(cache_mu_);
+  std::map<std::string, std::shared_ptr<GlobalSlot>, std::less<>> global_
+      GUARDED_BY(cache_mu_);
 
   std::atomic<bool> stopping_{false};
   util::ThreadPool pool_;  // last member: jobs may touch everything above

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <exception>
 #include <memory>
-#include <mutex>
 
+#include "metis/util/exception_slot.h"
+#include "metis/util/mutex.h"
 #include "metis/util/thread_pool.h"
 
 namespace metis::util {
@@ -19,27 +18,23 @@ void parallel_for(std::size_t count, std::size_t workers,
     return;
   }
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
+  ExceptionSlot error;
   ThreadPool pool(std::min(workers, count));
   for (std::size_t w = 0; w < pool.size(); ++w) {
     pool.submit([&] {
       try {
         for (std::size_t i = next.fetch_add(1); i < count;
              i = next.fetch_add(1)) {
-          if (failed.load(std::memory_order_relaxed)) return;
+          if (error.failed()) return;
           fn(i);
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        error.capture();
       }
     });
   }
   pool.wait_idle();
-  if (error) std::rethrow_exception(error);
+  error.rethrow_if_set();
 }
 
 namespace {
@@ -56,23 +51,20 @@ struct BorrowCtx {
   std::size_t count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t in_flight = 0;  // guarded by mu
-  std::exception_ptr error;   // guarded by mu
+  ExceptionSlot error;
+  Mutex mu;
+  CondVar cv;
+  std::size_t in_flight GUARDED_BY(mu) = 0;
 
   void drain() {
     try {
       for (std::size_t i = next.fetch_add(1); i < count;
            i = next.fetch_add(1)) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (error.failed()) return;
         (*fn)(i);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (!error) error = std::current_exception();
-      failed.store(true, std::memory_order_relaxed);
+      error.capture();
       // Park the counter past the end so helpers not yet started never
       // draw a real index (and never dereference fn).
       next.store(count, std::memory_order_relaxed);
@@ -105,12 +97,12 @@ void parallel_for(std::size_t count, ThreadPool* pool, std::size_t workers,
   for (std::size_t h = 0; h < helpers; ++h) {
     pool->submit([ctx] {
       {
-        std::lock_guard<std::mutex> lock(ctx->mu);
+        MutexLock lock(ctx->mu);
         ++ctx->in_flight;
       }
       ctx->drain();
       {
-        std::lock_guard<std::mutex> lock(ctx->mu);
+        MutexLock lock(ctx->mu);
         --ctx->in_flight;
       }
       ctx->cv.notify_all();
@@ -121,9 +113,11 @@ void parallel_for(std::size_t count, ThreadPool* pool, std::size_t workers,
   // is stuck behind other pool work, this drains the loop to completion.
   ctx->drain();
 
-  std::unique_lock<std::mutex> lock(ctx->mu);
-  ctx->cv.wait(lock, [&] { return ctx->in_flight == 0; });
-  if (ctx->error) std::rethrow_exception(ctx->error);
+  {
+    MutexLock lock(ctx->mu);
+    while (ctx->in_flight != 0) ctx->cv.wait(ctx->mu);
+  }
+  ctx->error.rethrow_if_set();
 }
 
 }  // namespace metis::util

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   MET_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     MET_CHECK_MSG(!stopping_, "ThreadPool: submit after shutdown");
     queue_.push_back(std::move(task));
   }
@@ -34,16 +34,16 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || busy_ != 0) idle_cv_.wait(mu_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -51,7 +51,7 @@ void ThreadPool::worker_loop() {
     }
     task();  // tasks must not throw; Service wraps job bodies in try/catch
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --busy_;
       if (queue_.empty() && busy_ == 0) idle_cv_.notify_all();
     }

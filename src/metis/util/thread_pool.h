@@ -8,13 +8,13 @@
 // (Service's job table does).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "metis/util/mutex.h"
 
 namespace metis::util {
 
@@ -39,13 +39,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for tasks
-  std::condition_variable idle_cv_;   // wait_idle() waits for drain
-  std::deque<std::function<void()>> queue_;
-  std::size_t busy_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait for tasks
+  CondVar idle_cv_;  // wait_idle() waits for drain
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::size_t busy_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only by the constructor
 };
 
 }  // namespace metis::util

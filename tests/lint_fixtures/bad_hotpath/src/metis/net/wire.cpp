@@ -1,0 +1,18 @@
+#include "wire.h"
+
+namespace metis::net {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+Frame ErrorReply::encode() const { return {}; }
+ErrorReply ErrorReply::decode(const Frame&) { return {}; }
+
+// The hot-path markers were deleted from this file: the "expected at
+// least one hot-path region" finding pins them in place.
+
+}  // namespace metis::net

@@ -1,0 +1,14 @@
+// Wire half of the bad_hotpath fixture — kept exhaustive so the only
+// seeded findings are the hot-path ones.
+#pragma once
+
+namespace metis::net {
+
+enum class MsgType : std::uint8_t {
+  kError = 0,  // ErrorReply — something went wrong
+};
+
+struct Frame {};
+struct ErrorReply {};
+
+}  // namespace metis::net

@@ -1,0 +1,25 @@
+// Negative controls: everything in this file is allowed inside a
+// hot-path region and must NOT be flagged (the selftest asserts no
+// finding mentions this file).
+#include <memory>
+#include <new>
+
+namespace metis::nn {
+
+struct Node {
+  double v = 0.0;
+};
+
+// metis-lint: begin-hot-path
+void placement_and_allowed(unsigned char* buf) {
+  ::new (static_cast<void*>(buf)) Node{1.0};  // placement new: allowed
+  // A string mentioning new Node is not code.
+  const char* doc = "constructs a new Node in place";
+  (void)doc;
+  // metis-lint: allow(pool opt-out fallback, mirrors nn/autodiff.cpp)
+  auto fallback = std::make_shared<Node>();
+  (void)fallback;
+}
+// metis-lint: end-hot-path
+
+}  // namespace metis::nn

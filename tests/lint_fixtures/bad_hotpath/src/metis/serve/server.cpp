@@ -1,0 +1,17 @@
+#include "../net/wire.h"
+
+#include <functional>
+
+namespace metis::serve {
+
+// metis-lint: begin-hot-path
+void handle_frame(const net::Frame& frame) {
+  // Seeded violations: a per-frame heap allocation and a type-erased
+  // callback on the query path.
+  auto* scratch = new double[8];
+  std::function<void()> cb = [scratch] { delete[] scratch; };
+  cb();
+}
+// metis-lint: end-hot-path
+
+}  // namespace metis::serve

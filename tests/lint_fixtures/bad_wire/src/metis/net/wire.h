@@ -1,0 +1,22 @@
+// Seeded-violation fixture: kPing lost its to_string case, PingReply
+// lost its decode(), and the kQuery dispatch arm was removed from
+// handle_frame — the three regressions the wire-exhaustiveness check
+// exists to catch.
+#pragma once
+
+namespace metis::net {
+
+enum class MsgType : std::uint8_t {
+  kError = 0,  // ErrorReply — something went wrong
+  kPing = 1,   // PingRequest -> kPong | kError
+  kPong = 2,   // PingReply
+  kQuery = 3,  // QueryRequest -> kPong | kError
+};
+
+struct Frame {};
+struct ErrorReply {};
+struct PingRequest {};
+struct PingReply {};
+struct QueryRequest {};
+
+}  // namespace metis::net

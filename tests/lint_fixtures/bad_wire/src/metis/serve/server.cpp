@@ -1,0 +1,17 @@
+#include "../net/wire.h"
+
+namespace metis::serve {
+
+// metis-lint: begin-hot-path
+void handle_frame(const net::Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kPing:
+      return;
+    // The kQuery arm was removed — a default: swallows it silently.
+    default:
+      return;
+  }
+}
+// metis-lint: end-hot-path
+
+}  // namespace metis::serve

@@ -1,0 +1,28 @@
+#include "wire.h"
+
+namespace metis::net {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kError: return "error";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kQuery: return "query";
+  }
+  return "unknown";
+}
+
+Frame ErrorReply::encode() const { return {}; }
+ErrorReply ErrorReply::decode(const Frame&) { return {}; }
+Frame PingRequest::encode() const { return {}; }
+PingRequest PingRequest::decode(const Frame&) { return {}; }
+Frame PongReply::encode() const { return {}; }
+PongReply PongReply::decode(const Frame&) { return {}; }
+Frame QueryRequest::encode() const { return {}; }
+QueryRequest QueryRequest::decode(const Frame&) { return {}; }
+
+// metis-lint: begin-hot-path
+void decode_loop() {}
+// metis-lint: end-hot-path
+
+}  // namespace metis::net

@@ -1,0 +1,21 @@
+// Minimal fixture mirroring the real wire.h conventions: every
+// enumerator comment starts with the message struct name, and request
+// types mark their reply with `->`.
+#pragma once
+
+namespace metis::net {
+
+enum class MsgType : std::uint8_t {
+  kError = 0,  // ErrorReply — something went wrong
+  kPing = 1,   // PingRequest -> kPong | kError
+  kPong = 2,   // PongReply
+  kQuery = 3,  // QueryRequest -> kPong | kError
+};
+
+struct Frame {};
+struct ErrorReply {};
+struct PingRequest {};
+struct PongReply {};
+struct QueryRequest {};
+
+}  // namespace metis::net

@@ -1,0 +1,18 @@
+#include "../net/wire.h"
+
+namespace metis::serve {
+
+// metis-lint: begin-hot-path
+void handle_frame(const net::Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kPing:
+      return;
+    case MsgType::kQuery:
+      return;
+    default:
+      return;
+  }
+}
+// metis-lint: end-hot-path
+
+}  // namespace metis::serve

@@ -627,5 +627,156 @@ TEST(Server, StopIsIdempotentAndRestartable) {
   server2.stop();
 }
 
+// ---- robustness: seeded byte mutation ---------------------------------------
+
+// Deterministic fuzz of the frame decoder: take a valid multi-message byte
+// stream, flip a few seeded bytes, and feed the result in seeded chunk
+// sizes. The decoder must either yield frames or throw WireError — never
+// crash, loop, or read out of bounds (the CI UBSan leg runs this test with
+// -fno-sanitize-recover=all, so any UB in the bounds checks is fatal).
+// Decoded frames are additionally pushed through the per-message payload
+// decoders, which see arbitrarily corrupted payloads here.
+TEST(Wire, SeededByteMutationNeverBreaksFraming) {
+  std::vector<std::uint8_t> stream;
+  {
+    auto append = [&stream](const net::Frame& f) {
+      const auto bytes = net::encode_frame(f);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+    };
+    append(net::OpenSessionRequest{"abr"}.encode());
+    append(net::SessionOpenedReply{7}.encode());
+    append(net::QueryRequest{7, 3, {0.25, -1.0, 3.5}}.encode());
+    append(net::DecisionReply{7, 3, 2.0}.encode());
+    append(net::SubmitDistillRequest{"abr", {}}.encode());
+    append(net::PollRequest{12}.encode());
+    net::JobStatusReply status;
+    status.job = 12;
+    status.status = 1;
+    status.rounds_total = 4;
+    append(status.encode());
+    append(net::ErrorReply{"boom"}.encode());
+  }
+
+  Rng rng(20260808);  // fixed seed: every run mutates identically
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<std::uint8_t> bytes = stream;
+    const std::size_t flips = 1 + rng.uniform_int(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_int(bytes.size());
+      bytes[pos] = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+
+    net::FrameDecoder decoder;
+    std::size_t off = 0;
+    std::size_t frames = 0;
+    bool dead = false;  // unframeable: stream-fatal WireError seen
+    while (off < bytes.size() && !dead) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.uniform_int(37), bytes.size() - off);
+      decoder.feed(bytes.data() + off, chunk);
+      off += chunk;
+      try {
+        net::Frame frame;
+        while (decoder.next(frame)) {
+          ++frames;
+          try {
+            switch (frame.type) {
+              case net::MsgType::kOpenSession:
+                (void)net::OpenSessionRequest::decode(frame);
+                break;
+              case net::MsgType::kSessionOpened:
+                (void)net::SessionOpenedReply::decode(frame);
+                break;
+              case net::MsgType::kQuery:
+                (void)net::QueryRequest::decode(frame);
+                break;
+              case net::MsgType::kDecision:
+                (void)net::DecisionReply::decode(frame);
+                break;
+              case net::MsgType::kSubmitDistill:
+                (void)net::SubmitDistillRequest::decode(frame);
+                break;
+              case net::MsgType::kPoll:
+                (void)net::PollRequest::decode(frame);
+                break;
+              case net::MsgType::kJobStatus:
+                (void)net::JobStatusReply::decode(frame);
+                break;
+              case net::MsgType::kError:
+                (void)net::ErrorReply::decode(frame);
+                break;
+              default:
+                break;  // a type this stream never carried, or corrupted
+            }
+          } catch (const net::WireError&) {
+            // Corrupted payload of a well-framed message: recoverable.
+          }
+        }
+      } catch (const net::WireError&) {
+        dead = true;  // bad frame header: the stream cannot re-sync
+      }
+    }
+    // An unmutated stream carries 8 frames; a mutated one may frame
+    // fewer (or die), but can never conjure more from the same bytes.
+    EXPECT_LE(frames, 8u) << "iteration " << iter;
+  }
+}
+
+// ---- stats: cross-thread snapshot contract ----------------------------------
+
+// Regression for the concurrency audit: Server::stats() must be callable
+// from any thread while the loop thread is serving traffic (every counter
+// is independently atomic; snapshots are monotonic, never torn). Hammer
+// stats() from two reader threads during live query traffic and check
+// monotonicity per counter, then exact final totals.
+TEST(Server, StatsSnapshotsAreMonotonicUnderConcurrentReads) {
+  const tree::DecisionTree dtree = make_test_tree();
+  const tree::FlatTree flat = tree::FlatTree::compile(dtree);
+
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+  serve::Server server(cfg);
+  server.add_tree("t", tree::FlatTree::compile(dtree));
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> regressions{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      serve::Server::Stats last;
+      while (!done.load(std::memory_order_acquire)) {
+        const serve::Server::Stats s = server.stats();
+        if (s.connections_accepted < last.connections_accepted ||
+            s.sessions_opened < last.sessions_opened ||
+            s.decisions_served < last.decisions_served ||
+            s.error_replies < last.error_replies) {
+          ++regressions;
+        }
+        last = s;
+      }
+    });
+  }
+
+  constexpr std::size_t kQueries = 400;
+  net::Client client = net::Client::connect_unix(cfg.unix_path);
+  const std::uint64_t sid = client.open_session("t");
+  const auto queries = random_features(kQueries, 97);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const double served = client.query(sid, i, queries[i]);
+    ASSERT_TRUE(bit_equal(served, flat.predict(queries[i])));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(regressions.load(), 0u);
+  const serve::Server::Stats s = server.stats();
+  EXPECT_EQ(s.decisions_served, kQueries);
+  EXPECT_EQ(s.sessions_opened, 1u);
+  EXPECT_EQ(s.connections_accepted, 1u);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace metis

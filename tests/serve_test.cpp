@@ -681,6 +681,62 @@ TEST(Service, ProgressCountersReachTheirTotals) {
   EXPECT_EQ(done.episodes_done, 12u);
 }
 
+// Regression for the concurrency audit: ProgressCounters are written by
+// the collection threads and polled lock-free by any number of handle
+// holders, under an explicit ordering contract — done counters bump with
+// release AFTER the totals are stored, so an acquire reader that sees a
+// non-zero done count must also see the totals, and a snapshot can never
+// show done > total. Hammer progress() from several reader threads for
+// the job's whole lifetime (the TSan CI leg runs this test too).
+TEST(Service, ProgressSnapshotsNeverExceedTotalsUnderConcurrentReads) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line"));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  api::DistillOverrides o;
+  o.episodes = 8;
+  o.dagger_iterations = 3;
+  o.collect_workers = 2;  // done ticks come from collection worker threads
+  auto job = svc.submit_distill("line", o);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      serve::JobProgress last;
+      while (!done.load(std::memory_order_acquire)) {
+        const serve::JobProgress p = job.progress();
+        // Contract: done never exceeds total in any snapshot, and done
+        // counters are monotonic across snapshots from one reader.
+        if (p.rounds_done > p.rounds_total ||
+            p.episodes_done > p.episodes_total ||
+            p.steps_done > p.steps_total ||
+            p.rounds_done < last.rounds_done ||
+            p.episodes_done < last.episodes_done) {
+          ++violations;
+        }
+        last = p;
+      }
+    });
+  }
+
+  job.wait();
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  ASSERT_EQ(job.status(), serve::JobStatus::kDone) << job.error();
+  EXPECT_EQ(violations.load(), 0u);
+  const serve::JobProgress final_p = job.progress();
+  EXPECT_EQ(final_p.rounds_done, 3u);
+  EXPECT_EQ(final_p.episodes_done, 24u);
+  EXPECT_EQ(final_p.episodes_total, 24u);
+}
+
 TEST(Service, ProgressRespectsOverridesAndStaysZeroOnFailure) {
   api::ScenarioRegistry reg;
   reg.add(std::make_unique<LineScenario>("line"));

