@@ -15,7 +15,6 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -107,9 +106,18 @@ int main(int argc, char** argv) {
   cfg.tcp_port = tcp_port;
   cfg.service.workers = workers;
   cfg.service.options.scale = scale;
+  // Distilled trees hot-swap into the query plane automatically: the
+  // server watches its own control plane for completed distill jobs and
+  // add_tree()s them under the scenario key — no caller-side wiring.
+  cfg.auto_deploy_distilled = true;
   serve::Server server(cfg);
 
-  tree::DecisionTree dtree;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // Started before the tree exists: auto-deploy runs on the loop thread,
+  // and queries for "abr" get a clean unknown-tree error until it lands.
+  server.start();
+
   if (distill) {
     // The real §3.2 conversion, through the server's own control plane.
     std::cout << "distilling abr scenario (scale " << scale << ")...\n";
@@ -119,25 +127,20 @@ int main(int argc, char** argv) {
       std::cerr << "distill failed: " << job.error() << "\n";
       return 1;
     }
-    dtree = job.take_distill_run().result.tree;
-  } else {
-    dtree = fit_demo_tree(/*seed=*/7);
-  }
-  std::cout << "tree ready: " << dtree.leaf_count() << " leaves\n";
-
-  {
-    std::ofstream out(tree_out);
-    out << tree::serialize(dtree);
-    if (!out) {
-      std::cerr << "cannot write " << tree_out << "\n";
-      return 1;
+    const tree::DecisionTree& dtree = job.distill_run().result.tree;
+    std::cout << "tree ready: " << dtree.leaf_count() << " leaves\n";
+    tree::save(dtree, tree_out);  // crash-safe: old file or new, never torn
+    while (!server.has_tree("abr")) {  // auto-deploy lands within one
+      std::this_thread::sleep_for(      // housekeeping tick
+          std::chrono::milliseconds(5));
     }
+  } else {
+    const tree::DecisionTree dtree = fit_demo_tree(/*seed=*/7);
+    std::cout << "tree ready: " << dtree.leaf_count() << " leaves\n";
+    tree::save(dtree, tree_out);
+    server.add_tree("abr", tree::FlatTree::compile(dtree));
   }
-  server.add_tree("abr", tree::FlatTree::compile(dtree));
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
-  server.start();
   std::cout << "serving tree \"abr\" on " << socket_path;
   if (use_tcp) std::cout << " and 127.0.0.1:" << server.tcp_port();
   std::cout << "\ntree written to " << tree_out << " — Ctrl-C to stop\n";

@@ -23,6 +23,11 @@ struct DistillOverrides {
   std::optional<std::size_t> collect_workers;    // episode shards per round
   std::optional<bool> collect_lockstep;          // cross-episode batching
   std::optional<std::uint64_t> seed;
+  // Wall-clock budget measured from job submission; a job past it stops
+  // at its next checkpoint and reports kTimedOut. Consumed by
+  // serve::Service (not a core-config field: the deadline belongs to the
+  // job, not the algorithm).
+  std::optional<std::uint64_t> deadline_ms;
 };
 
 // Sparse overrides on top of a scenario's InterpretConfig defaults.
@@ -32,6 +37,8 @@ struct InterpretOverrides {
   std::optional<std::size_t> steps;
   std::optional<double> lr;
   std::optional<std::uint64_t> seed;
+  // Same semantics as DistillOverrides::deadline_ms.
+  std::optional<std::uint64_t> deadline_ms;
 };
 
 // A completed distillation: the tree plus everything needed to keep

@@ -37,6 +37,7 @@ DistillResult distill_policy(const Teacher& teacher, RolloutEnv& env,
   // with it off the ablation sees a genuinely uniform dataset.
   CollectConfig collect = cfg.collect;
   collect.weight_by_advantage = cfg.resample;
+  collect.cancel = cfg.cancel;  // episode-level checkpoints inside rounds
   auto dataset_of = [&](const std::vector<CollectedSample>& samples) {
     return to_dataset(samples, cfg.feature_names);
   };
@@ -52,6 +53,7 @@ DistillResult distill_policy(const Teacher& teacher, RolloutEnv& env,
   // visited state gets a teacher label, the dataset is aggregated, and the
   // student is refit.
   for (std::size_t iter = 1; iter < cfg.dagger_iterations; ++iter) {
+    cfg.cancel.check();  // round boundary
     StudentPolicy policy = [&student](std::span<const double> features) {
       return static_cast<std::size_t>(student.predict(features));
     };
@@ -66,6 +68,7 @@ DistillResult distill_policy(const Teacher& teacher, RolloutEnv& env,
   // sample weights — the deterministic, variance-free equivalent of the
   // multinomial draw in [7] (resample_by_weight implements the literal
   // procedure; cfg.resample_size > 0 opts into it).
+  cfg.cancel.check();  // last boundary before the final fit
   tree::Dataset data = dataset_of(all);
   if (cfg.resample && cfg.resample_size > 0) {
     data = resample_by_weight(data, cfg.resample_size, rng);

@@ -33,6 +33,10 @@ struct DistillConfig {
   // DAgger round — dagger_iterations calls total), from the distilling
   // thread. Serve-path progress reporting; tree fits are not covered.
   std::function<void()> on_round_done;
+  // Cooperative cancellation, polled at DAgger-round boundaries here and
+  // propagated into the collection rounds (collect.cancel is overwritten
+  // with this token). Never alters a run that completes.
+  util::CancelToken cancel;
 
   DistillConfig() {
     fit.task = tree::Task::kClassification;

@@ -72,6 +72,7 @@ InterpretResult find_critical_connections(const MaskableModel& model,
   // their release site.
   nn::arena::Scope arena;
   for (std::size_t step = 0; step < cfg.steps; ++step) {
+    cfg.cancel.check();  // mask-step boundary
     nn::Var w = masked();
     nn::Var y = model.decisions(w);
     // D(Y_W, Y_I) (Eq. 6) + λ1·||W|| (Eq. 7; W >= 0 by construction, so

@@ -20,6 +20,7 @@
 
 #include "metis/hypergraph/hypergraph.h"
 #include "metis/nn/autodiff.h"
+#include "metis/util/cancel.h"
 #include "metis/util/rng.h"
 
 namespace metis::core {
@@ -59,6 +60,9 @@ struct InterpretConfig {
   // for serve::JobHandle::progress() on interpret jobs. Must be cheap and
   // thread-safe; does not influence the optimization.
   std::function<void()> on_step;
+  // Cooperative cancellation, polled at mask-step boundaries. Never
+  // alters a run that completes.
+  util::CancelToken cancel;
 };
 
 struct ScoredConnection {

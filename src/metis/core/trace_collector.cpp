@@ -177,6 +177,9 @@ void collect_block_lockstep(const Teacher& teacher,
 
   const bool fused = cfg.weight_by_advantage && cfg.batched_inference;
   for (std::size_t t = 0; t < cfg.max_steps && !active.empty(); ++t) {
+    // Every episode of the block is mid-flight at once, so the natural
+    // cancellation boundary here is the lockstep step.
+    cfg.cancel.check();
     // Phase 1: assemble the step's queries across the block. Episode e
     // contributes either a fused group (Eq. 1 lookahead available) or a
     // single act row; with batched_inference off it keeps the scalar
@@ -384,6 +387,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
               // One failed episode aborts the round: stop claiming so the
               // caller sees the error promptly, not after the full round.
               if (ep >= cfg.episodes || error.failed()) return;
+              cfg.cancel.check();  // episode boundary
               per_episode[ep] = collect_episode(teacher, *envs[w], cfg,
                                                 student, episode_offset + ep);
               if (cfg.on_episode_done) cfg.on_episode_done();
@@ -404,6 +408,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
   per_episode.reserve(cfg.episodes);
   nn::arena::Scope arena;  // recycle buffers across the whole round
   for (std::size_t ep = 0; ep < cfg.episodes; ++ep) {
+    cfg.cancel.check();  // episode boundary
     per_episode.push_back(
         collect_episode(teacher, env, cfg, student, episode_offset + ep));
     if (cfg.on_episode_done) cfg.on_episode_done();

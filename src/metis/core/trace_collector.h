@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "metis/core/teacher.h"
+#include "metis/util/cancel.h"
 #include "metis/util/rng.h"
 
 namespace metis::core {
@@ -65,6 +66,11 @@ struct CollectConfig {
   // Called from worker threads when the round is sharded, possibly
   // concurrently — the callback must be thread-safe.
   std::function<void()> on_episode_done;
+  // Cooperative cancellation, polled at episode boundaries (and between
+  // lockstep steps). Checkpoints never alter the computation — a round
+  // that runs to completion is bitwise identical with or without a token
+  // attached; a fired token aborts the round via CancelledError.
+  util::CancelToken cancel;
 };
 
 struct CollectedSample {

@@ -5,22 +5,65 @@
 // send_frame()/read_frame() are public so callers can pipeline (the load
 // demo sends one query per simulated session, then matches replies by
 // seq); the typed helpers below are the simple request/reply path.
+//
+// Robustness (all opt-in via ClientConfig; the zero-argument connect_*
+// factories behave exactly as before):
+//  * connect_timeout_ms / read_timeout_ms bound the two blocking waits;
+//    expiry throws TimeoutError (a subclass of std::runtime_error, so
+//    existing catch sites keep working).
+//  * reconnect() re-dials the remembered endpoint with exponential
+//    backoff + seeded jitter — deterministic delays for a given seed.
+//  * query_robust() is the idempotent-query path: on a torn connection or
+//    read timeout it reconnects, re-opens its cached session, and retries
+//    the query, up to max_retries dials. Queries are stateless tree
+//    lookups, so replaying one is always safe; the control-plane helpers
+//    deliberately have no such wrapper (a replayed submit double-spends a
+//    worker slot).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "metis/net/wire.h"
+#include "metis/util/rng.h"
 
 namespace metis::net {
 
+struct ClientConfig {
+  // Bound on connect() (per dial attempt). 0 = block indefinitely.
+  std::uint64_t connect_timeout_ms = 0;
+  // Bound on read_frame() waiting for the first byte of a reply.
+  // 0 = block indefinitely.
+  std::uint64_t read_timeout_ms = 0;
+  // Re-dial attempts for reconnect()/query_robust() (0 = fail fast on the
+  // first error; N = up to N re-dials after the initial failure).
+  std::uint32_t max_retries = 0;
+  // Backoff between re-dials: min(backoff_max_ms, backoff_base_ms * 2^k),
+  // scaled by a jitter factor in [0.5, 1.0) drawn from `seed` — seeded so
+  // a retry schedule is replayable in tests.
+  std::uint64_t backoff_base_ms = 10;
+  std::uint64_t backoff_max_ms = 1000;
+  std::uint64_t seed = 1;
+};
+
+// A bounded wait expired (connect or read). The connection is unusable
+// afterwards except via reconnect().
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
 class Client {
  public:
-  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_unix(const std::string& path,
+                                           const ClientConfig& config = {});
   [[nodiscard]] static Client connect_tcp(const std::string& host,
-                                          std::uint16_t port);
+                                          std::uint16_t port,
+                                          const ClientConfig& config = {});
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -29,10 +72,18 @@ class Client {
   ~Client();
 
   void send_frame(const Frame& frame);
-  // Blocks until a full frame arrives; throws on EOF or malformed stream.
+  // Blocks until a full frame arrives; throws on EOF or malformed stream,
+  // TimeoutError when read_timeout_ms elapses first.
   [[nodiscard]] Frame read_frame();
   // send + read, the unpipelined path.
   [[nodiscard]] Frame call(const Frame& frame);
+
+  // Closes the current socket and re-dials the original endpoint, with up
+  // to max_retries additional attempts under exponential backoff + jitter.
+  // Sessions opened on the old connection are gone (the server's session
+  // table is per-connection); query_robust() re-opens its own. Throws the
+  // last dial error when every attempt fails.
+  void reconnect();
 
   // -- typed helpers (throw WireError carrying the server's message on a
   //    kError reply, and on kBusy for the submit helpers) ----------------
@@ -40,6 +91,14 @@ class Client {
   [[nodiscard]] std::uint64_t open_session(const std::string& tree);
   [[nodiscard]] double query(std::uint64_t session, std::uint64_t seq,
                              const std::vector<double>& features);
+  // Self-healing query against a named tree: opens (and caches) a session
+  // for `tree`, and on connection failure or timeout reconnects with
+  // backoff, re-opens the session, and replays the query. Server-reported
+  // errors (unknown tree, malformed request) are NOT retried — those are
+  // deterministic.
+  [[nodiscard]] double query_robust(const std::string& tree,
+                                    std::uint64_t seq,
+                                    const std::vector<double>& features);
   // nullopt => server replied BUSY (admission control).
   [[nodiscard]] std::optional<std::uint64_t> submit_distill(
       const std::string& scenario, const api::DistillOverrides& overrides);
@@ -48,14 +107,32 @@ class Client {
   [[nodiscard]] JobStatusReply poll(std::uint64_t job);
   [[nodiscard]] DistillResultReply distill_result(std::uint64_t job);
   [[nodiscard]] InterpretResultReply interpret_result(std::uint64_t job);
+  // True when the cancellation reached a still-live job (see
+  // JobHandle::cancel for the exact semantics).
+  [[nodiscard]] bool cancel_job(std::uint64_t job);
 
   [[nodiscard]] int fd() const { return fd_; }
 
  private:
   Client() = default;
 
+  // Remembered endpoint for reconnect().
+  enum class Endpoint { kNone, kUnix, kTcp };
+
+  [[nodiscard]] static int dial(Endpoint endpoint, const std::string& path,
+                                const std::string& host, std::uint16_t port,
+                                const ClientConfig& config);
+
   int fd_ = -1;
   FrameDecoder decoder_;
+  ClientConfig config_;
+  Endpoint endpoint_ = Endpoint::kNone;
+  std::string unix_path_;
+  std::string tcp_host_;
+  std::uint16_t tcp_port_ = 0;
+  Rng backoff_rng_{1};
+  // query_robust()'s session cache: tree name -> open session id.
+  std::map<std::string, std::uint64_t> sessions_;
 };
 
 }  // namespace metis::net

@@ -2,6 +2,7 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <array>
@@ -9,6 +10,9 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "metis/net/io.h"
 
 namespace metis::net {
 
@@ -28,17 +32,27 @@ EventLoop::EventLoop() {
     ::close(epoll_fd_);
     throw_errno("eventfd");
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = wake_fd_;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  if (timer_fd_ < 0) {
     ::close(wake_fd_);
     ::close(epoll_fd_);
-    throw_errno("epoll_ctl(wake)");
+    throw_errno("timerfd_create");
+  }
+  for (const int fd : {wake_fd_, timer_fd_}) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(timer_fd_);
+      ::close(wake_fd_);
+      ::close(epoll_fd_);
+      throw_errno("epoll_ctl(internal)");
+    }
   }
 }
 
 EventLoop::~EventLoop() {
+  if (timer_fd_ >= 0) ::close(timer_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
@@ -68,21 +82,115 @@ void EventLoop::remove(int fd) {
   callbacks_.erase(fd);
 }
 
+EventLoop::TimerId EventLoop::add_timer(std::chrono::nanoseconds initial_delay,
+                                        std::chrono::nanoseconds period,
+                                        std::function<void()> callback) {
+  const TimerId id = next_timer_id_++;
+  TimerEntry entry;
+  entry.when = std::chrono::steady_clock::now() + initial_delay;
+  entry.period = period;
+  entry.callback =
+      std::make_shared<std::function<void()>>(std::move(callback));
+  timer_order_.emplace(entry.when, id);
+  timers_.emplace(id, std::move(entry));
+  rearm_timerfd();
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  // The deadline-ordered index keeps a stale entry; dispatch skips ids
+  // that are no longer in timers_ (at worst one spurious timerfd wake).
+  timers_.erase(id);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    util::MutexLock lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // Retry injected failures (EINTR/ECONNRESET, and EINVAL from a
+  // fault-clamped short write — a real eventfd write never sees these):
+  // losing the kick would strand a posted task or a stop() past the next
+  // natural wake.
+  while (io::write(wake_fd_, &one, sizeof(one)) < 0 &&
+         (errno == EINTR || errno == ECONNRESET || errno == EINVAL)) {
+  }
+}
+
+void EventLoop::drain_posted_tasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    util::MutexLock lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::dispatch_due_timers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timer_order_.empty() && timer_order_.begin()->first <= now) {
+    const TimerId id = timer_order_.begin()->second;
+    timer_order_.erase(timer_order_.begin());
+    auto it = timers_.find(id);
+    if (it == timers_.end() || it->second.when > now) continue;  // stale
+    auto callback = it->second.callback;
+    if (it->second.period.count() > 0) {
+      // Rearm before running so a slow callback skips beats instead of
+      // bursting to catch up.
+      auto next = it->second.when + it->second.period;
+      if (next <= now) next = now + it->second.period;
+      it->second.when = next;
+      timer_order_.emplace(next, id);
+    } else {
+      timers_.erase(it);
+    }
+    (*callback)();
+  }
+  rearm_timerfd();
+}
+
+void EventLoop::rearm_timerfd() {
+  itimerspec spec{};  // zero it_value = disarm
+  if (!timer_order_.empty()) {
+    const auto when = timer_order_.begin()->first.time_since_epoch();
+    const auto secs = std::chrono::duration_cast<std::chrono::seconds>(when);
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(when) -
+              std::chrono::duration_cast<std::chrono::nanoseconds>(secs);
+    spec.it_value.tv_sec = static_cast<time_t>(secs.count());
+    spec.it_value.tv_nsec = static_cast<long>(ns.count());
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+      spec.it_value.tv_nsec = 1;  // "now", not "disarm"
+    }
+  }
+  if (::timerfd_settime(timer_fd_, TFD_TIMER_ABSTIME, &spec, nullptr) != 0) {
+    throw_errno("timerfd_settime");
+  }
+}
+
 void EventLoop::run() {
   std::array<epoll_event, 64> events{};
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n =
-        ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
-                     /*timeout=*/-1);
+    const int n = io::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()),
+                                 /*timeout=*/-1);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("epoll_wait");
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[static_cast<std::size_t>(i)].data.fd;
-      if (fd == wake_fd_) {
+      if (fd == wake_fd_ || fd == timer_fd_) {
+        // Drain so level-triggered epoll quiets down. A fault-injected
+        // read failure is harmless: the fd stays readable and the next
+        // iteration retries; timer dispatch below never depends on the
+        // timerfd payload.
         std::uint64_t drained = 0;
-        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        while (io::read(fd, &drained, sizeof(drained)) > 0) {
         }
         continue;
       }
@@ -95,13 +203,14 @@ void EventLoop::run() {
       auto cb = it->second;
       (*cb)(events[static_cast<std::size_t>(i)].events);
     }
+    drain_posted_tasks();
+    dispatch_due_timers();
   }
 }
 
 void EventLoop::stop() {
   stop_.store(true, std::memory_order_release);
-  const std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  wake();
 }
 
 }  // namespace metis::net

@@ -1,6 +1,6 @@
 // Minimal epoll event loop for the serving front-end.
 //
-// Single-threaded by design: one thread calls run(), and every fd
+// Single-threaded by design: one thread calls run(), and every fd/timer
 // callback executes on that thread, so per-connection state needs no
 // locks — the property that lets the query plane answer FlatTree
 // decisions inline without ever contending with the job workers. Each
@@ -8,17 +8,27 @@
 // burst of query traffic across many connections is drained per wake
 // rather than per event.
 //
-// stop() is the only cross-thread entry point: it flips a flag and kicks
-// an eventfd so a blocked epoll_wait returns promptly (graceful
-// shutdown). add()/modify()/remove() must be called on the loop thread or
-// before run() starts.
+// Time lives in the loop too: a timerfd on CLOCK_MONOTONIC backs a queue
+// of one-shot and periodic timers (add_timer/cancel_timer, loop-thread
+// only like add/modify/remove). serve::Server builds idle-timeout
+// reaping, write-stall detection, and its bounded graceful stop on top.
+//
+// Cross-thread entry points are stop() and post(): both kick an eventfd
+// so a blocked epoll wait returns promptly. post() runs the task on the
+// loop thread before the next wait — the sanctioned way for outside
+// threads to touch loop-owned state.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
+
+#include "metis/util/mutex.h"
 
 namespace metis::net {
 
@@ -26,6 +36,7 @@ class EventLoop {
  public:
   // Fired with the ready epoll event bits (EPOLLIN, EPOLLOUT, EPOLLHUP...).
   using Callback = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
 
   EventLoop();
   ~EventLoop();
@@ -41,7 +52,23 @@ class EventLoop {
   // dispatch batch skips events whose fd was removed earlier in the batch.
   void remove(int fd);
 
-  // Runs until stop(). Dispatches ready callbacks in epoll order.
+  // Schedules `callback` to fire after `initial_delay`, then every
+  // `period` (period zero = one-shot). Loop-thread only (or before
+  // run()). Callbacks run on the loop thread and may add/cancel timers,
+  // including their own.
+  TimerId add_timer(std::chrono::nanoseconds initial_delay,
+                    std::chrono::nanoseconds period,
+                    std::function<void()> callback);
+  // Loop-thread only. Idempotent; cancelling a fired one-shot is a no-op.
+  void cancel_timer(TimerId id);
+
+  // Thread-safe: queues `task` to run on the loop thread before its next
+  // epoll wait and wakes the loop. Tasks posted after stop() may never
+  // run.
+  void post(std::function<void()> task);
+
+  // Runs until stop(). Dispatches ready callbacks in epoll order, then
+  // posted tasks, then due timers.
   void run();
   // Thread-safe; idempotent. Wakes a blocked run() via the eventfd.
   void stop();
@@ -51,14 +78,38 @@ class EventLoop {
   }
 
  private:
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point when;
+    std::chrono::nanoseconds period{0};
+    // shared_ptr so the callable survives cancel_timer from inside its
+    // own invocation.
+    std::shared_ptr<std::function<void()>> callback;
+  };
+
+  void wake();
+  void drain_posted_tasks();
+  void dispatch_due_timers();
+  void rearm_timerfd();
+
   int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: stop() kicks it so epoll_wait returns
+  int wake_fd_ = -1;   // eventfd: stop()/post() kick it
+  int timer_fd_ = -1;  // timerfd on CLOCK_MONOTONIC backing the queue
   std::atomic<bool> stop_{false};
   // shared_ptr so a callback stays alive while executing even if the
   // handler removes its own fd mid-call. Loop-thread-only (see the class
   // comment); callers that need the same guarantee on their own state
   // formalize it with util::ThreadRole — serve::Server is the template.
   std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
+
+  // Timer queue: id -> entry, plus a deadline-ordered index. Cancelled
+  // ids are erased from timers_ only; stale index entries are skipped at
+  // dispatch. Loop-thread-only.
+  TimerId next_timer_id_ = 1;
+  std::unordered_map<TimerId, TimerEntry> timers_;
+  std::multimap<std::chrono::steady_clock::time_point, TimerId> timer_order_;
+
+  util::Mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_ GUARDED_BY(tasks_mu_);
 };
 
 }  // namespace metis::net

@@ -1,0 +1,108 @@
+#include "metis/net/io.h"
+
+#include <cerrno>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "metis/util/fault.h"
+
+// metis-lint: allow-raw-syscalls — this file IS the shim.
+
+namespace metis::net::io {
+
+namespace {
+
+std::atomic<util::FaultPlan*> g_plan{nullptr};
+
+// Decides the injected action for this call, if any. Returns kNone on
+// the no-plan fast path.
+util::FaultAction decide(util::FaultSite site) {
+  util::FaultPlan* plan = g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return util::FaultAction::kNone;
+  const util::FaultAction action = plan->next(site);
+  if (action == util::FaultAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan->delay_us()));
+    return util::FaultAction::kNone;  // delayed, then proceed normally
+  }
+  return action;
+}
+
+// Applies a fail-style action (kEIntr/kReset) by setting errno; returns
+// true when the caller should bail with -1 instead of doing I/O.
+bool fail_now(util::FaultAction action) {
+  switch (action) {
+    case util::FaultAction::kEIntr:
+      errno = EINTR;
+      return true;
+    case util::FaultAction::kReset:
+      errno = ECONNRESET;
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t clamp_len(util::FaultAction action, std::size_t len) {
+  // A genuine short op: the real syscall runs, just over 1 byte, so the
+  // kernel-visible behavior (partial progress) is authentic.
+  if (action == util::FaultAction::kShortOp && len > 1) return 1;
+  return len;
+}
+
+}  // namespace
+
+void set_fault_plan(util::FaultPlan* plan) {
+  g_plan.store(plan, std::memory_order_release);
+}
+
+util::FaultPlan* fault_plan() {
+  return g_plan.load(std::memory_order_acquire);
+}
+
+ssize_t read(int fd, void* buf, std::size_t count) {
+  const auto action = decide(util::FaultSite::kRead);
+  if (fail_now(action)) return -1;
+  return ::read(fd, buf, clamp_len(action, count));
+}
+
+ssize_t write(int fd, const void* buf, std::size_t count) {
+  const auto action = decide(util::FaultSite::kWrite);
+  if (fail_now(action)) return -1;
+  return ::write(fd, buf, clamp_len(action, count));
+}
+
+ssize_t recv(int fd, void* buf, std::size_t len, int flags) {
+  const auto action = decide(util::FaultSite::kRecv);
+  if (fail_now(action)) return -1;
+  return ::recv(fd, buf, clamp_len(action, len), flags);
+}
+
+ssize_t send(int fd, const void* buf, std::size_t len, int flags) {
+  const auto action = decide(util::FaultSite::kSend);
+  if (fail_now(action)) return -1;
+  return ::send(fd, buf, clamp_len(action, len), flags);
+}
+
+int accept4(int fd, sockaddr* addr, socklen_t* addrlen, int flags) {
+  if (fail_now(decide(util::FaultSite::kAccept))) return -1;
+  return ::accept4(fd, addr, addrlen, flags);
+}
+
+int epoll_wait(int epfd, epoll_event* events, int maxevents, int timeout) {
+  if (fail_now(decide(util::FaultSite::kEpollWait))) return -1;
+  return ::epoll_wait(epfd, events, maxevents, timeout);
+}
+
+int poll(pollfd* fds, nfds_t nfds, int timeout) {
+  if (fail_now(decide(util::FaultSite::kPoll))) return -1;
+  return ::poll(fds, nfds, timeout);
+}
+
+int connect(int fd, const sockaddr* addr, socklen_t addrlen) {
+  if (fail_now(decide(util::FaultSite::kConnect))) return -1;
+  return ::connect(fd, addr, addrlen);
+}
+
+}  // namespace metis::net::io

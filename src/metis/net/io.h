@@ -1,0 +1,46 @@
+// The single syscall gateway for src/metis/net/.
+//
+// Every read/write/recv/send/accept4/epoll_wait/poll/connect issued by
+// the net layer goes through these wrappers — metis-lint enforces that no
+// raw syscall appears in src/metis/net/ outside this file — so a
+// util::FaultPlan installed via set_fault_plan() can deterministically
+// inject EINTR, ECONNRESET, short reads/writes, and delays at *every*
+// call site. With no plan installed each wrapper is a direct passthrough
+// (one relaxed atomic load on the hot path).
+//
+// The wrappers do NOT retry or loop: they fail exactly like the raw
+// syscalls (return -1 + errno) so callers keep their explicit EINTR/
+// EAGAIN discipline, and the chaos tests exercise those loops for real.
+//
+// metis-lint: allow-raw-syscalls — these declarations ARE the shim.
+#pragma once
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace metis::util {
+class FaultPlan;
+}
+
+namespace metis::net::io {
+
+// Installs (or clears, with nullptr) the process-wide fault plan. The
+// plan must outlive its installation; tests install before starting
+// traffic and clear after joining everything.
+void set_fault_plan(util::FaultPlan* plan);
+util::FaultPlan* fault_plan();
+
+ssize_t read(int fd, void* buf, std::size_t count);
+ssize_t write(int fd, const void* buf, std::size_t count);
+ssize_t recv(int fd, void* buf, std::size_t len, int flags);
+ssize_t send(int fd, const void* buf, std::size_t len, int flags);
+int accept4(int fd, sockaddr* addr, socklen_t* addrlen, int flags);
+int epoll_wait(int epfd, epoll_event* events, int maxevents, int timeout);
+int poll(pollfd* fds, nfds_t nfds, int timeout);
+int connect(int fd, const sockaddr* addr, socklen_t addrlen);
+
+}  // namespace metis::net::io

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "metis/net/io.h"
+
 namespace metis::net {
 
 namespace {
@@ -117,15 +119,16 @@ Listener::~Listener() {
 }
 
 int Listener::accept() const {
-  const int client = ::accept4(fd_, nullptr, nullptr,
-                               SOCK_NONBLOCK | SOCK_CLOEXEC);
-  if (client < 0) {
+  for (;;) {
+    const int client = io::accept4(fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client >= 0) return client;
+    if (errno == EINTR) continue;  // interrupted before a connection arrived
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
       return -1;
     }
     throw_errno("accept4");
   }
-  return client;
 }
 
 }  // namespace metis::net

@@ -20,6 +20,8 @@ const char* to_string(MsgType type) {
     case MsgType::kResult: return "result";
     case MsgType::kDistillResult: return "distill_result";
     case MsgType::kInterpretResult: return "interpret_result";
+    case MsgType::kCancelJob: return "cancel_job";
+    case MsgType::kCancelResult: return "cancel_result";
   }
   return "unknown";
 }
@@ -42,7 +44,7 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 
 // The last type value; anything above is not a MsgType.
 constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kInterpretResult);
+    static_cast<std::uint8_t>(MsgType::kCancelResult);
 
 }  // namespace
 
@@ -182,18 +184,18 @@ PayloadReader reader_for(const Frame& frame, MsgType expected) {
 }
 
 // Sparse optional fields: u8 presence flag + value when present.
-template <typename T, typename Write>
-void put_opt(PayloadWriter& w, const std::optional<T>& v, Write&& write) {
+template <typename T, typename Put>
+void put_opt(PayloadWriter& w, const std::optional<T>& v, Put&& put) {
   w.u8(v.has_value() ? 1 : 0);
-  if (v.has_value()) write(*v);
+  if (v.has_value()) put(*v);
 }
 
-template <typename T, typename Read>
-std::optional<T> get_opt(PayloadReader& r, Read&& read) {
+template <typename T, typename Get>
+std::optional<T> get_opt(PayloadReader& r, Get&& get) {
   const std::uint8_t present = r.u8();
   if (present > 1) throw WireError("bad optional-presence flag");
   if (present == 0) return std::nullopt;
-  return read();
+  return get();
 }
 
 void put_distill_overrides(PayloadWriter& w, const api::DistillOverrides& o) {
@@ -207,6 +209,7 @@ void put_distill_overrides(PayloadWriter& w, const api::DistillOverrides& o) {
   put_opt(w, o.collect_workers, size);
   put_opt(w, o.collect_lockstep, [&](bool v) { w.u8(v ? 1 : 0); });
   put_opt(w, o.seed, [&](std::uint64_t v) { w.u64(v); });
+  put_opt(w, o.deadline_ms, [&](std::uint64_t v) { w.u64(v); });
 }
 
 api::DistillOverrides get_distill_overrides(PayloadReader& r) {
@@ -222,6 +225,7 @@ api::DistillOverrides get_distill_overrides(PayloadReader& r) {
   o.collect_workers = get_opt<std::size_t>(r, size);
   o.collect_lockstep = get_opt<bool>(r, flag);
   o.seed = get_opt<std::uint64_t>(r, [&] { return r.u64(); });
+  o.deadline_ms = get_opt<std::uint64_t>(r, [&] { return r.u64(); });
   return o;
 }
 
@@ -232,6 +236,7 @@ void put_interpret_overrides(PayloadWriter& w,
   put_opt(w, o.steps, [&](std::size_t v) { w.u64(v); });
   put_opt(w, o.lr, [&](double v) { w.f64(v); });
   put_opt(w, o.seed, [&](std::uint64_t v) { w.u64(v); });
+  put_opt(w, o.deadline_ms, [&](std::uint64_t v) { w.u64(v); });
 }
 
 api::InterpretOverrides get_interpret_overrides(PayloadReader& r) {
@@ -244,6 +249,7 @@ api::InterpretOverrides get_interpret_overrides(PayloadReader& r) {
   });
   o.lr = get_opt<double>(r, real);
   o.seed = get_opt<std::uint64_t>(r, [&] { return r.u64(); });
+  o.deadline_ms = get_opt<std::uint64_t>(r, [&] { return r.u64(); });
   return o;
 }
 
@@ -463,6 +469,36 @@ DistillResultReply DistillResultReply::decode(const Frame& frame) {
   m.leaves = r.u32();
   m.fidelity = r.f64();
   m.tree_text = r.str();
+  r.expect_end();
+  return m;
+}
+
+Frame CancelJobRequest::encode() const {
+  PayloadWriter w;
+  w.u64(job);
+  return {MsgType::kCancelJob, w.take()};
+}
+
+CancelJobRequest CancelJobRequest::decode(const Frame& frame) {
+  PayloadReader r = reader_for(frame, MsgType::kCancelJob);
+  CancelJobRequest m;
+  m.job = r.u64();
+  r.expect_end();
+  return m;
+}
+
+Frame CancelResultReply::encode() const {
+  PayloadWriter w;
+  w.u64(job);
+  w.u8(delivered ? 1 : 0);
+  return {MsgType::kCancelResult, w.take()};
+}
+
+CancelResultReply CancelResultReply::decode(const Frame& frame) {
+  PayloadReader r = reader_for(frame, MsgType::kCancelResult);
+  CancelResultReply m;
+  m.job = r.u64();
+  m.delivered = r.u8() != 0;
   r.expect_end();
   return m;
 }

@@ -55,6 +55,8 @@ enum class MsgType : std::uint8_t {
   kResult = 11,         // ResultRequest -> kDistillResult | kInterpretResult
   kDistillResult = 12,  // DistillResultReply
   kInterpretResult = 13,// InterpretResultReply
+  kCancelJob = 14,      // CancelJobRequest -> kCancelResult | kError
+  kCancelResult = 15,   // CancelResultReply
 };
 [[nodiscard]] const char* to_string(MsgType type);
 
@@ -243,6 +245,25 @@ struct DistillResultReply {
   std::string tree_text;
   [[nodiscard]] Frame encode() const;
   [[nodiscard]] static DistillResultReply decode(const Frame& frame);
+};
+
+// Requests cooperative cancellation of a submitted job (control plane).
+// The job observes the token at its next work-unit boundary; poll for the
+// terminal kCancelled/kTimedOut/kDone status afterwards.
+struct CancelJobRequest {
+  std::uint64_t job = 0;
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static CancelJobRequest decode(const Frame& frame);
+};
+
+// `delivered` is true when the cancellation request reached a live
+// (non-terminal) job — not a guarantee the job ends kCancelled: it may
+// still finish kDone if it was past its last checkpoint.
+struct CancelResultReply {
+  std::uint64_t job = 0;
+  bool delivered = false;
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static CancelResultReply decode(const Frame& frame);
 };
 
 // Interpret result summary: the Figure-6 diagnostics plus the top-ranked

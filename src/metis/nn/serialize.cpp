@@ -1,16 +1,19 @@
 #include "metis/nn/serialize.h"
 
-#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include "metis/util/atomic_file.h"
 
 namespace metis::nn {
 
 bool save_parameters(const std::vector<Var>& params,
                      const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+  // Render to memory, then publish with write-temp + fsync + rename: a
+  // crash (or power cut) mid-save can never leave a half-written cache at
+  // `path` — readers see the old file or the new one, nothing in between.
+  std::ostringstream out;
   out << "metis-params v1\n" << params.size() << "\n";
   out << std::setprecision(17);
   for (const auto& p : params) {
@@ -20,12 +23,11 @@ bool save_parameters(const std::vector<Var>& params,
       out << t.data()[i] << (i + 1 == t.rows() * t.cols() ? "\n" : " ");
     }
   }
-  if (!out) {
-    out.close();
-    std::remove(path.c_str());
+  try {
+    return util::write_file_atomic(path, out.str());
+  } catch (const std::exception&) {
     return false;
   }
-  return true;
 }
 
 bool load_parameters(const std::vector<Var>& params,

@@ -14,6 +14,7 @@ const char* to_string(JobStatus status) {
     case JobStatus::kDone: return "done";
     case JobStatus::kFailed: return "failed";
     case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kTimedOut: return "timed_out";
   }
   return "unknown";
 }
@@ -47,6 +48,18 @@ void JobHandle::wait() const {
   while (!is_terminal(state_->status)) state_->cv.wait(state_->mu);
 }
 
+JobStatus JobHandle::wait_for(std::chrono::nanoseconds timeout) const {
+  MET_CHECK(valid());
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(state_->mu);
+  while (!is_terminal(state_->status)) {
+    const auto remaining = deadline - std::chrono::steady_clock::now();
+    if (remaining <= std::chrono::nanoseconds::zero()) break;
+    state_->cv.wait_for(state_->mu, remaining);
+  }
+  return state_->status;
+}
+
 JobProgress JobHandle::progress() const {
   MET_CHECK(valid());
   const detail::ProgressCounters& p = *state_->progress;
@@ -67,9 +80,14 @@ JobProgress JobHandle::progress() const {
 bool JobHandle::cancel() const {
   MET_CHECK(valid());
   util::MutexLock lock(state_->mu);
-  if (state_->status != JobStatus::kQueued) return false;
-  state_->status = JobStatus::kCancelled;
-  state_->cv.notify_all();
+  if (is_terminal(state_->status)) return false;
+  // Fire the token either way: a worker that dequeues a kCancelled job
+  // skips it, and a running pipeline stops at its next checkpoint.
+  state_->cancel_source.cancel();
+  if (state_->status == JobStatus::kQueued) {
+    state_->status = JobStatus::kCancelled;
+    state_->cv.notify_all();
+  }
   return true;
 }
 
@@ -91,6 +109,9 @@ namespace {
   if (state.status == JobStatus::kDone) {
     throw std::logic_error("job '" + state.scenario +
                            "': result already taken");
+  }
+  if (state.status == JobStatus::kTimedOut) {
+    throw std::logic_error("job '" + state.scenario + "' timed out");
   }
   throw std::logic_error("job '" + state.scenario + "' was cancelled");
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <string>
 
 #include "metis/api/runs.h"
+#include "metis/util/cancel.h"
 #include "metis/util/mutex.h"
 
 namespace metis::serve {
@@ -23,14 +25,27 @@ using JobId = std::uint64_t;
 
 enum class JobKind { kDistill, kInterpret };
 
-// kQueued -> kRunning -> kDone | kFailed
+// kQueued -> kRunning -> kDone | kFailed | kCancelled | kTimedOut
 // kQueued -> kCancelled            (cancel() before a worker picks it up)
-enum class JobStatus { kQueued, kRunning, kDone, kFailed, kCancelled };
+// kQueued -> kTimedOut             (deadline expired before a worker did)
+//
+// A running job ends kCancelled/kTimedOut *cooperatively*: cancel() (or
+// the submit-time deadline) fires the job's CancelToken, and the pipeline
+// stops at its next work-unit checkpoint — episode, DAgger round, or
+// mask step — freeing the worker slot promptly.
+enum class JobStatus {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+  kTimedOut,
+};
 
 [[nodiscard]] const char* to_string(JobStatus status);
 [[nodiscard]] inline bool is_terminal(JobStatus status) {
   return status == JobStatus::kDone || status == JobStatus::kFailed ||
-         status == JobStatus::kCancelled;
+         status == JobStatus::kCancelled || status == JobStatus::kTimedOut;
 }
 
 // Snapshot of a job's pipeline progress, finer-grained than the
@@ -79,6 +94,12 @@ struct JobState {
   api::InterpretOverrides interpret_overrides;
   std::shared_ptr<ProgressCounters> progress =
       std::make_shared<ProgressCounters>();
+  // Cancellation/deadline plumbing. The source is created at enqueue and
+  // never reassigned; cancel()/token() are internally thread-safe, so it
+  // lives in the immutable prefix. The deadline (if any) is armed at
+  // submit time, measured from submitted_at.
+  util::CancelSource cancel_source;
+  std::chrono::steady_clock::time_point submitted_at;
 
   mutable util::Mutex mu;
   util::CondVar cv;
@@ -115,8 +136,16 @@ class JobHandle {
   // Blocks until the job reaches a terminal state.
   void wait() const;
 
-  // Cancels the job iff it has not started; returns whether it did. A
-  // running or finished job is not interrupted (returns false).
+  // Blocks until the job reaches a terminal state or `timeout` elapses;
+  // returns the status observed at that point (possibly still kQueued or
+  // kRunning on timeout — the job itself is unaffected).
+  [[nodiscard]] JobStatus wait_for(std::chrono::nanoseconds timeout) const;
+
+  // Requests cancellation. Returns true when the request was delivered to
+  // a non-terminal job: a queued job flips to kCancelled immediately; a
+  // running job's CancelToken fires and the pipeline stops at its next
+  // checkpoint (it may still finish kDone if it was already past the last
+  // one). Returns false for jobs already in a terminal state.
   bool cancel() const;
 
   // Result accessors: wait(), then return the run or throw — the failed

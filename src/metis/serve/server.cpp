@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <utility>
 
+#include "metis/net/io.h"
 #include "metis/tree/tree_io.h"
 
 namespace metis::serve {
@@ -21,6 +23,11 @@ void Server::add_tree(const std::string& name, tree::FlatTree tree) {
   auto shared = std::make_shared<const tree::FlatTree>(std::move(tree));
   util::MutexLock lock(trees_mu_);
   trees_[name] = std::move(shared);
+}
+
+bool Server::has_tree(const std::string& name) const {
+  util::MutexLock lock(trees_mu_);
+  return trees_.find(name) != trees_.end();
 }
 
 void Server::start() {
@@ -46,18 +53,39 @@ void Server::start() {
     throw std::runtime_error(
         "Server::start: no listener configured (set unix_path and/or tcp)");
   }
+  // Housekeeping timer: armed before the loop thread exists (add_timer is
+  // legal off-thread only until run()), fires on the loop thread forever
+  // after. Skipped entirely when nothing needs periodic work.
+  if (config_.idle_timeout_ms > 0 || config_.write_stall_timeout_ms > 0 ||
+      config_.auto_deploy_distilled) {
+    const auto period =
+        std::chrono::milliseconds(std::max<std::uint64_t>(
+            1, config_.housekeeping_interval_ms));
+    loop_.add_timer(period, period, [this] {
+      util::ScopedThreadRole role(loop_role_);
+      housekeeping();
+    });
+  }
   loop_thread_ = std::thread([this] { loop_.run(); });
   started_ = true;
 }
 
 void Server::stop() {
   if (!started_) return;
-  loop_.stop();
+  // Graceful, bounded drain: run the shutdown sequence ON the loop thread
+  // (it owns every connection), then wait for the loop to exit. The loop
+  // exit is bounded by begin_drain()'s force-stop timer, so this join
+  // cannot hang on a slow peer.
+  loop_.post([this] {
+    util::ScopedThreadRole role(loop_role_);
+    begin_drain();
+  });
   loop_thread_.join();
   started_ = false;
   // The loop thread is gone, so its role transfers to us for teardown —
   // the ScopedThreadRole makes that hand-off explicit to the analysis.
   util::ScopedThreadRole role(loop_role_);
+  draining_ = false;
   for (auto& [fd, conn] : conns_) {
     loop_.remove(fd);
     ::close(fd);
@@ -70,6 +98,78 @@ void Server::stop() {
   tcp_listener_.reset();
 }
 
+void Server::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  // Stop accepting first: a drain with an open front door never finishes.
+  if (unix_listener_) loop_.remove(unix_listener_->fd());
+  if (tcp_listener_) loop_.remove(tcp_listener_->fd());
+  // Final flush per connection. flush() may close (and erase) the conn on
+  // error or full drain, so walk a snapshot of fds and re-find each.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (const int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Connection& conn = *it->second;
+    if (conn.out_off >= conn.outbuf.size()) {
+      close_connection(fd);  // nothing pending — close now
+    } else {
+      flush(conn);  // closes via the draining_ branch when it empties
+    }
+  }
+  if (conns_.empty()) {
+    loop_.stop();
+    return;
+  }
+  // Some peers still owe us a drain: give them stop_timeout_ms, then cut.
+  const auto deadline = std::chrono::milliseconds(
+      std::max<std::uint64_t>(1, config_.stop_timeout_ms));
+  loop_.add_timer(deadline, std::chrono::nanoseconds::zero(),
+                  [this] { loop_.stop(); });
+}
+
+void Server::housekeeping() {
+  const auto now = std::chrono::steady_clock::now();
+  if (config_.idle_timeout_ms > 0 || config_.write_stall_timeout_ms > 0) {
+    const auto idle = std::chrono::milliseconds(config_.idle_timeout_ms);
+    const auto stall =
+        std::chrono::milliseconds(config_.write_stall_timeout_ms);
+    std::vector<int> reap;
+    for (const auto& [fd, conn] : conns_) {
+      if (config_.idle_timeout_ms > 0 && now - conn->last_activity >= idle) {
+        reap.push_back(fd);
+        continue;
+      }
+      if (config_.write_stall_timeout_ms > 0 && conn->want_write &&
+          now - conn->stall_since >= stall) {
+        reap.push_back(fd);
+      }
+    }
+    for (const int fd : reap) {
+      stats_.connections_reaped.fetch_add(1, std::memory_order_relaxed);
+      close_connection(fd);
+    }
+  }
+  if (config_.auto_deploy_distilled) {
+    for (const JobHandle& job : service_.jobs()) {
+      if (job.kind() != JobKind::kDistill) continue;
+      if (job.status() != JobStatus::kDone) continue;
+      if (!deployed_jobs_.insert(job.id()).second) continue;
+      try {
+        // distill_run() returns without blocking (status is kDone) unless
+        // a caller already took the result — then skip, don't crash.
+        const api::DistillRun& run = job.distill_run();
+        add_tree(job.scenario(), tree::FlatTree::compile(run.result.tree));
+        stats_.trees_auto_deployed.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::logic_error&) {
+        // Result taken out from under us; the job stays marked deployed.
+      }
+    }
+  }
+}
+
 Server::Stats Server::stats() const {
   Stats s;
   s.connections_accepted = stats_.connections_accepted.load();
@@ -79,6 +179,8 @@ Server::Stats Server::stats() const {
   s.busy_replies = stats_.busy_replies.load();
   s.error_replies = stats_.error_replies.load();
   s.connections_dropped = stats_.connections_dropped.load();
+  s.connections_reaped = stats_.connections_reaped.load();
+  s.trees_auto_deployed = stats_.trees_auto_deployed.load();
   return s;
 }
 
@@ -91,6 +193,7 @@ void Server::on_accept(const net::Listener& listener) {
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
     conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
     loop_.add(fd, EPOLLIN,
               [this, fd](std::uint32_t events) {
                 util::ScopedThreadRole role(loop_role_);
@@ -116,8 +219,9 @@ void Server::on_connection_event(int fd, std::uint32_t events) {
   std::uint8_t buf[16384];
   bool peer_closed = false;
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const ssize_t n = net::io::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      conn.last_activity = std::chrono::steady_clock::now();
       try {
         conn.decoder.feed(buf, static_cast<std::size_t>(n));
       } catch (const net::WireError&) {
@@ -232,6 +336,17 @@ void Server::handle_frame(Connection& conn, const net::Frame& frame) {
       case MsgType::kResult:
         handle_result(conn, frame);
         return;
+      case MsgType::kCancelJob: {
+        const auto req = net::CancelJobRequest::decode(frame);
+        const JobHandle job = service_.find(req.job);
+        if (!job.valid()) {
+          stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
+          reply(conn, net::ErrorReply{"unknown job"}.encode());
+          return;
+        }
+        reply(conn, net::CancelResultReply{req.job, job.cancel()}.encode());
+        return;
+      }
       default:
         // A reply type, or a type added by a newer client.
         stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
@@ -337,10 +452,12 @@ void Server::flush(Connection& conn) {
   const int fd = conn.fd;
   while (conn.out_off < conn.outbuf.size()) {
     const ssize_t n =
-        ::send(fd, conn.outbuf.data() + conn.out_off,
-               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+        net::io::send(fd, conn.outbuf.data() + conn.out_off,
+                      conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out_off += static_cast<std::size_t>(n);
+      // Send progress resets the slow-loris clock.
+      conn.stall_since = std::chrono::steady_clock::now();
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -354,6 +471,7 @@ void Server::flush(Connection& conn) {
       }
       if (!conn.want_write) {
         conn.want_write = true;
+        conn.stall_since = std::chrono::steady_clock::now();
         loop_.modify(fd, EPOLLIN | EPOLLOUT);
       }
       return;
@@ -368,6 +486,9 @@ void Server::flush(Connection& conn) {
     conn.want_write = false;
     loop_.modify(fd, EPOLLIN);
   }
+  // Once draining, a fully flushed connection has nothing left to live
+  // for — close it, and let the last close stop the loop.
+  if (draining_) close_connection(fd);
 }
 
 void Server::close_connection(int fd) {
@@ -378,6 +499,7 @@ void Server::close_connection(int fd) {
   // The connection's jobs stay in inflight_ (they still occupy workers);
   // the ledger prunes them as they finish.
   conns_.erase(it);
+  if (draining_ && conns_.empty()) loop_.stop();
 }
 
 }  // namespace metis::serve

@@ -27,10 +27,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,6 +61,26 @@ struct ServerConfig {
   // A connection whose unsent replies exceed this is dropped (slow or
   // stalled consumer) rather than buffered without bound.
   std::size_t max_write_buffer_bytes = 4u << 20;
+
+  // --- robustness knobs (each 0 = disabled) ---------------------------------
+  // Reap connections with no inbound bytes for this long (wedged/silent
+  // peers — a connected client that never speaks still costs an fd).
+  std::uint64_t idle_timeout_ms = 0;
+  // Reap connections whose pending replies made no send progress for this
+  // long (slow-loris readers that accept a byte an hour — the bounded
+  // write buffer alone cannot catch those).
+  std::uint64_t write_stall_timeout_ms = 0;
+  // Cadence of the reaper/auto-deploy timer on the loop thread.
+  std::uint64_t housekeeping_interval_ms = 50;
+  // Upper bound on graceful stop(): pending replies get this long to
+  // drain before remaining connections are cut. Always > 0.
+  std::uint64_t stop_timeout_ms = 1000;
+  // Hot-swap every completed distill job's tree into the query plane
+  // under its scenario key (via add_tree), so clients can open sessions
+  // against what the control plane just trained without any caller-side
+  // wiring. Jobs whose result was already taken are skipped.
+  bool auto_deploy_distilled = false;
+
   // The owned control-plane service (workers, registry, cache bound...).
   ServiceConfig service;
 };
@@ -74,12 +96,16 @@ class Server {
   // Registers/replaces a deployable tree under `name`. Thread-safe; may be
   // called while serving (existing sessions keep the tree they opened).
   void add_tree(const std::string& name, tree::FlatTree tree);
+  // True once a tree is deployed under `name` (thread-safe; the poll
+  // clients use to wait for auto_deploy_distilled to land).
+  [[nodiscard]] bool has_tree(const std::string& name) const;
 
   // Binds the configured listeners and spawns the loop thread.
   void start();
-  // Stops the loop, closes every connection, unbinds. Idempotent. Jobs
-  // already submitted to the Service keep running (the Service drains them
-  // on destruction); stop() does not wait for them.
+  // Graceful, bounded stop: stops accepting, lets pending replies drain
+  // for up to stop_timeout_ms, then closes every connection and unbinds.
+  // Idempotent. Jobs already submitted to the Service keep running (the
+  // Service drains them on destruction); stop() does not wait for them.
   void stop();
 
   [[nodiscard]] Service& service() { return service_; }
@@ -97,6 +123,8 @@ class Server {
     std::uint64_t busy_replies = 0;
     std::uint64_t error_replies = 0;
     std::uint64_t connections_dropped = 0;  // protocol/overflow closes
+    std::uint64_t connections_reaped = 0;   // idle/write-stall timeouts
+    std::uint64_t trees_auto_deployed = 0;  // auto_deploy_distilled swaps
   };
   [[nodiscard]] Stats stats() const;
 
@@ -113,6 +141,10 @@ class Server {
     bool want_write = false;   // EPOLLOUT currently armed
     std::map<std::uint64_t, Session> sessions;
     std::vector<JobHandle> jobs;  // for the per-connection quota
+    // Reaper bookkeeping: last inbound byte, and the last time a pending
+    // flush made send progress (meaningful only while want_write).
+    std::chrono::steady_clock::time_point last_activity;
+    std::chrono::steady_clock::time_point stall_since;
 
     explicit Connection(std::size_t max_frame_bytes)
         : decoder(max_frame_bytes) {}
@@ -130,6 +162,12 @@ class Server {
   void flush(Connection& conn) REQUIRES(loop_role_);
   void close_connection(int fd) REQUIRES(loop_role_);
   [[nodiscard]] std::size_t inflight_jobs() REQUIRES(loop_role_);
+  // Periodic loop-thread maintenance: idle/write-stall reaping and
+  // auto_deploy_distilled hot swaps.
+  void housekeeping() REQUIRES(loop_role_);
+  // Begins the graceful shutdown on the loop thread: unregisters the
+  // listeners, flushes/closes connections, arms the stop deadline.
+  void begin_drain() REQUIRES(loop_role_);
 
   ServerConfig config_;
   Service service_;
@@ -142,7 +180,7 @@ class Server {
 
   // Deployed trees; the only cross-thread state the query plane touches,
   // and only at open-session time (queries use the session's shared_ptr).
-  util::Mutex trees_mu_;
+  mutable util::Mutex trees_mu_;
   std::map<std::string, std::shared_ptr<const tree::FlatTree>> trees_
       GUARDED_BY(trees_mu_);
 
@@ -156,6 +194,12 @@ class Server {
   std::uint64_t next_session_ GUARDED_BY(loop_role_) = 1;
   // Admission-control ledger.
   std::vector<JobHandle> inflight_ GUARDED_BY(loop_role_);
+  // Graceful-stop state: set by begin_drain(); once draining, a fully
+  // flushed connection closes instead of idling, and the last close (or
+  // the stop deadline) stops the loop.
+  bool draining_ GUARDED_BY(loop_role_) = false;
+  // Distill jobs already hot-swapped by auto_deploy_distilled.
+  std::set<JobId> deployed_jobs_ GUARDED_BY(loop_role_);
 
   // Written by the loop thread, read by stats() from any thread. Every
   // counter is monotonic and independently atomic (relaxed): stats() is a
@@ -170,6 +214,8 @@ class Server {
     std::atomic<std::uint64_t> busy_replies{0};
     std::atomic<std::uint64_t> error_replies{0};
     std::atomic<std::uint64_t> connections_dropped{0};
+    std::atomic<std::uint64_t> connections_reaped{0};
+    std::atomic<std::uint64_t> trees_auto_deployed{0};
   };
   AtomicStats stats_;
 };

@@ -37,12 +37,28 @@ JobHandle Service::enqueue(std::shared_ptr<detail::JobState> state) {
   return handle;
 }
 
+namespace {
+
+// Deadlines are measured from submission (queue time counts against the
+// budget — a deadline is a promise to the caller, not to the worker).
+void arm_deadline(detail::JobState& state,
+                  const std::optional<std::uint64_t>& deadline_ms) {
+  state.submitted_at = std::chrono::steady_clock::now();
+  if (deadline_ms.has_value()) {
+    state.cancel_source.set_deadline(state.submitted_at +
+                                     std::chrono::milliseconds(*deadline_ms));
+  }
+}
+
+}  // namespace
+
 JobHandle Service::submit_distill(std::string_view key,
                                   const api::DistillOverrides& overrides) {
   auto state = std::make_shared<detail::JobState>();
   state->kind = JobKind::kDistill;
   state->scenario = std::string(key);
   state->distill_overrides = overrides;
+  arm_deadline(*state, overrides.deadline_ms);
   return enqueue(std::move(state));
 }
 
@@ -52,6 +68,7 @@ JobHandle Service::submit_interpret(std::string_view key,
   state->kind = JobKind::kInterpret;
   state->scenario = std::string(key);
   state->interpret_overrides = overrides;
+  arm_deadline(*state, overrides.deadline_ms);
   return enqueue(std::move(state));
 }
 
@@ -170,11 +187,20 @@ std::shared_ptr<Service::GlobalSlot> Service::global_slot(
 }
 
 void Service::run_job(const std::shared_ptr<detail::JobState>& state) {
+  const util::CancelToken token = state->cancel_source.token();
   {
     util::MutexLock lock(state->mu);
     if (state->status != JobStatus::kQueued) return;  // cancelled
     if (stopping_.load()) {
       state->status = JobStatus::kCancelled;
+      state->cv.notify_all();
+      return;
+    }
+    if (token.cancelled()) {
+      // The deadline expired (or cancel() raced the dequeue) while the
+      // job sat in the queue: never start the pipeline.
+      state->status =
+          token.timed_out() ? JobStatus::kTimedOut : JobStatus::kCancelled;
       state->cv.notify_all();
       return;
     }
@@ -197,6 +223,12 @@ void Service::run_job(const std::shared_ptr<detail::JobState>& state) {
     } else {
       run_interpret(*state, interpret_run);
     }
+  } catch (const util::CancelledError& e) {
+    // Cooperative stop at a checkpoint: the worker slot frees right here,
+    // and partial pipeline output is discarded (results stay all-or-
+    // nothing). No error/exception recorded — these are not failures.
+    final_status =
+        e.timed_out() ? JobStatus::kTimedOut : JobStatus::kCancelled;
   } catch (const std::exception& e) {
     final_status = JobStatus::kFailed;
     error = e.what();
@@ -215,7 +247,7 @@ void Service::run_job(const std::shared_ptr<detail::JobState>& state) {
       } else {
         state->interpret_run = std::move(interpret_run);
       }
-    } else {
+    } else if (final_status == JobStatus::kFailed) {
       state->error = std::move(error);
       state->exception = exception;
     }
@@ -297,9 +329,13 @@ void Service::run_distill(const detail::JobState& state,
   out.scenario = scenario.key();
   out.system = sys;
   out.config = cfg;
-  // Re-running the returned config must not tick this job's counters.
+  // Re-running the returned config must not tick this job's counters —
+  // nor observe this job's (long-dead) cancellation token.
   out.config.collect.on_episode_done = nullptr;
   out.config.on_round_done = nullptr;
+  // Thread the job's token through the pipeline's round/episode
+  // checkpoints (attached last so it never leaks into out.config).
+  cfg.cancel = state.cancel_source.token();
   out.result = core::distill_policy(*sys.teacher, *sys.env, cfg);
 }
 
@@ -355,9 +391,13 @@ void Service::run_interpret(const detail::JobState& state,
   } else {
     run_lock.lock(slot->run_mu);
   }
+  // Thread the job's token through the mask-step checkpoints.
+  cfg.cancel = state.cancel_source.token();
   out.result = core::find_critical_connections(*model, cfg);
-  // Re-running the returned config must not tick this job's counters.
+  // Re-running the returned config must not tick this job's counters —
+  // nor observe this job's cancellation token.
   cfg.on_step = nullptr;
+  cfg.cancel = util::CancelToken();
   out.config = std::move(cfg);
 }
 

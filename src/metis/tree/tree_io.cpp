@@ -1,9 +1,12 @@
 #include "metis/tree/tree_io.h"
 
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
+#include "metis/util/atomic_file.h"
 #include "metis/util/check.h"
 
 namespace metis::tree {
@@ -216,6 +219,27 @@ std::string emit_c_source(const DecisionTree& tree,
   emit_node(tree.root(), tree, classify, 1, os);
   os << "}\n";
   return os.str();
+}
+
+void save(const DecisionTree& tree, const std::string& path) {
+  if (!util::write_file_atomic(path, serialize(tree))) {
+    // Only the test-hook crash simulation makes write_file_atomic return
+    // false; a production save() never takes this branch.
+    throw std::runtime_error("tree::save: simulated crash before publish");
+  }
+}
+
+DecisionTree load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("tree::load: cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("tree::load: read error on " + path);
+  }
+  return deserialize(text.str());
 }
 
 }  // namespace metis::tree

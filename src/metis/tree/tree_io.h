@@ -37,6 +37,15 @@ void print_tree(const DecisionTree& tree, std::ostream& os,
 [[nodiscard]] std::string serialize(const DecisionTree& tree);
 [[nodiscard]] DecisionTree deserialize(const std::string& text);
 
+// Crash-safe file persistence of the serialize()/deserialize() text form.
+// save() publishes via write-temp + fsync + atomic rename, so `path`
+// always holds either the previous tree or the complete new one — a tree
+// artifact on disk is loadable or absent, never torn. load() throws
+// std::runtime_error when the file is missing/unreadable and the
+// deserializer's error on malformed content.
+void save(const DecisionTree& tree, const std::string& path);
+[[nodiscard]] DecisionTree load(const std::string& path);
+
 // Emits a standalone C function implementing the tree — nested if/else
 // over a feature array, no loops, no state. This is the §6.4 data-plane
 // offload artifact: the paper ported Metis+AuTO-lRLA to a SmartNIC in

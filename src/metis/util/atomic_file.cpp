@@ -1,0 +1,80 @@
+#include "metis/util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace metis::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+// fsync the directory containing `path` so the rename is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, const std::string& data,
+                       const AtomicWriteOptions& options) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) throw_errno("open(" + tmp + ")");
+
+  std::size_t off = 0;
+  const std::size_t limit =
+      options.fail_after_bytes < data.size() ? options.fail_after_bytes
+                                             : data.size();
+  while (off < limit) {
+    const ssize_t n = ::write(fd, data.data() + off, limit - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_errno("write(" + tmp + ")");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  if (limit < data.size()) {
+    // Simulated kill mid-write: leave the torn temp file behind (as a
+    // real crash would) and never touch the destination.
+    ::close(fd);
+    return false;
+  }
+
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("fsync(" + tmp + ")");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("close(" + tmp + ")");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("rename(" + tmp + " -> " + path + ")");
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+}  // namespace metis::util

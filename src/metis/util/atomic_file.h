@@ -1,0 +1,31 @@
+// Crash-safe file writes: write-temp + fsync + atomic rename.
+//
+// The artifact stores (tree_io, nn/serialize) must never leave a torn
+// file at the destination path: either the old content survives or the
+// new content is complete. write_file_atomic stages into
+// "<path>.tmp.<pid>", fsyncs the data, renames over the destination, and
+// fsyncs the directory so the rename itself is durable. On any failure
+// the temp file is removed and the destination is untouched.
+//
+// AtomicWriteOptions::fail_after_bytes is a test hook simulating a crash
+// mid-write: the write stops (temp file left behind, like a real kill
+// would) and the function reports failure without touching `path`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace metis::util {
+
+struct AtomicWriteOptions {
+  // Test hook: abort after writing this many bytes, leaving the temp
+  // file behind as a simulated crash. SIZE_MAX = never.
+  std::size_t fail_after_bytes = static_cast<std::size_t>(-1);
+};
+
+// Writes `data` to `path` atomically. Throws std::runtime_error on real
+// I/O errors; returns false only for the simulated-crash test hook.
+bool write_file_atomic(const std::string& path, const std::string& data,
+                       const AtomicWriteOptions& options = {});
+
+}  // namespace metis::util

@@ -1,0 +1,69 @@
+#include "metis/util/fault.h"
+
+#include "metis/util/rng.h"
+
+namespace metis::util {
+
+bool fault_applicable(FaultSite site, FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone:
+    case FaultAction::kEIntr:
+    case FaultAction::kDelay:
+      return true;
+    case FaultAction::kShortOp:
+    case FaultAction::kReset:
+      // Stream ops only: a short accept/epoll_wait is meaningless and a
+      // reset there would mask listener liveness.
+      return site == FaultSite::kRead || site == FaultSite::kWrite ||
+             site == FaultSite::kRecv || site == FaultSite::kSend;
+  }
+  return false;
+}
+
+FaultAction FaultPlan::action_at(std::uint64_t index) const {
+  // One derived stream per schedule position: the decision is a pure
+  // function of (seed, index), independent of which thread got there.
+  Rng rng = Rng::derive(spec_.seed, index);
+  double u = rng.uniform();
+  if (u < spec_.eintr) return FaultAction::kEIntr;
+  u -= spec_.eintr;
+  if (u < spec_.short_op) return FaultAction::kShortOp;
+  u -= spec_.short_op;
+  if (u < spec_.reset) return FaultAction::kReset;
+  u -= spec_.reset;
+  if (u < spec_.delay) return FaultAction::kDelay;
+  return FaultAction::kNone;
+}
+
+FaultAction FaultPlan::next(FaultSite site) {
+  const std::uint64_t index =
+      counter_.fetch_add(1, std::memory_order_relaxed);
+  FaultAction action = action_at(index);
+  if (action == FaultAction::kNone) return action;
+  if (!fault_applicable(site, action)) return FaultAction::kNone;
+  if (spec_.max_faults != 0) {
+    // Claim a slot in the fault budget; once spent, the plan is inert.
+    // Give the slot back on a losing claim so faults_injected() settles
+    // at exactly max_faults instead of counting suppressed decisions.
+    const std::uint64_t used =
+        faults_.fetch_add(1, std::memory_order_relaxed);
+    if (used >= spec_.max_faults) {
+      faults_.fetch_sub(1, std::memory_order_relaxed);
+      return FaultAction::kNone;
+    }
+  } else {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return action;
+}
+
+std::vector<FaultAction> FaultPlan::schedule_prefix(std::size_t n) const {
+  std::vector<FaultAction> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(action_at(static_cast<std::uint64_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace metis::util

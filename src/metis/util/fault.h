@@ -1,0 +1,96 @@
+// Deterministic fault injection for the net/ syscall shim.
+//
+// A FaultPlan is a *replayable schedule*: the action taken at the i-th
+// intercepted syscall is a pure function of (seed, i) via Rng::derive, so
+// the same seed replays the identical fault sequence no matter how
+// threads interleave — only the global call counter is shared state, and
+// it is a single fetch_add. Chaos tests install a plan through
+// net::io::set_fault_plan, hammer the server/client, and assert graceful
+// degradation; a determinism test asserts schedule_prefix(seed, n) is
+// reproducible.
+//
+// Actions are filtered per call *site*: readiness/accept-style calls
+// (accept4, epoll_wait, poll, connect) can only see EINTR or a delay —
+// a "short accept" is meaningless — while stream ops (read/write/recv/
+// send) additionally get short ops and ECONNRESET.
+//
+// `max_faults` bounds the total number of injected faults so that tests
+// like "EINTR at every site" (eintr = 1.0) still terminate: once the
+// budget is spent the plan becomes a no-op and real I/O proceeds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace metis::util {
+
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kEIntr,     // fail the call with errno = EINTR (no I/O performed)
+  kShortOp,   // clamp a stream read/write to 1 byte (real syscall runs)
+  kReset,     // fail the call with errno = ECONNRESET (no I/O performed)
+  kDelay,     // sleep delay_us, then perform the call normally
+};
+
+enum class FaultSite : std::uint8_t {
+  kRead = 0,
+  kWrite,
+  kRecv,
+  kSend,
+  kAccept,
+  kEpollWait,
+  kPoll,
+  kConnect,
+};
+
+// Probabilities are evaluated in order: eintr, short_op, reset, delay;
+// the remainder is kNone. Sum must be <= 1.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double eintr = 0.0;
+  double short_op = 0.0;
+  double reset = 0.0;
+  double delay = 0.0;
+  std::uint32_t delay_us = 100;
+  // Total injected-fault budget (kNone decisions are free). 0 = unlimited.
+  std::uint64_t max_faults = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultSpec& spec) : spec_(spec) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // Decides the action for the next intercepted call at `site`. Thread
+  // safe; the schedule position is claimed with one fetch_add.
+  FaultAction next(FaultSite site);
+
+  // The raw (site-independent) schedule for calls [0, n) — what next()
+  // would decide at each position before site filtering and the fault
+  // budget. Pure function of the seed; used by the determinism test.
+  [[nodiscard]] std::vector<FaultAction> schedule_prefix(std::size_t n) const;
+
+  [[nodiscard]] std::uint32_t delay_us() const { return spec_.delay_us; }
+  [[nodiscard]] std::uint64_t calls() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] FaultAction action_at(std::uint64_t index) const;
+
+  FaultSpec spec_;
+  std::atomic<std::uint64_t> counter_{0};
+  std::atomic<std::uint64_t> faults_{0};
+};
+
+// True when `action` may be injected at `site` (readiness sites only
+// tolerate EINTR/delay).
+bool fault_applicable(FaultSite site, FaultAction action);
+
+}  // namespace metis::util

@@ -27,6 +27,7 @@
 //                                formally annotated, not just commented
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -137,6 +138,19 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  // Timed wait; returns false on timeout. Same adopt/release discipline
+  // as wait() — ownership stays with the caller's MutexLock — and same
+  // rule: loop on the predicate, a true return only means "woken".
+  template <class Rep, class Period>
+  bool wait_for(Mutex& mu,
+                const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

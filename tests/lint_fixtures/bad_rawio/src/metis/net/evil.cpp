@@ -1,0 +1,19 @@
+// Seeded violations for metis-lint --selftest: raw syscalls in a net/
+// source outside the io shim. Never compiled.
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace metis::net {
+
+long drain(int fd, void* buf, unsigned long n) {
+  long got = ::recv(fd, buf, n, 0);      // qualified raw syscall
+  if (got < 0) got = read(fd, buf, n);   // unqualified raw syscall
+  return got;
+}
+
+int wait_some(int ep, epoll_event* evs) {
+  return epoll_wait(ep, evs, 64, -1);    // unqualified raw syscall
+}
+
+}  // namespace metis::net

@@ -1,0 +1,14 @@
+// Shim-routed calls in the same fixture must stay clean: io::recv is not
+// a raw syscall, and read_frame is an identifier, not read(). Never
+// compiled.
+#include "metis/net/io.h"
+
+namespace metis::net {
+
+long drain_ok(int fd, void* buf, unsigned long n) {
+  return io::recv(fd, buf, n, 0);
+}
+
+long read_frame_count(long frames) { return frames; }
+
+}  // namespace metis::net

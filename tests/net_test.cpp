@@ -4,8 +4,17 @@
 // identical to in-process evaluation, across concurrent connections) and
 // the admission-controlled control plane (BUSY replies, poll/result flow,
 // clean shutdown with in-flight jobs).
+//
+// The robustness battery lives here too: EventLoop timers, idle/write-
+// stall reaping, bounded graceful stop, wire-level job cancellation,
+// auto-deploy of distilled trees, client timeouts/retry/reconnect, and
+// the Chaos.* tests that replay a seeded util::FaultPlan through the
+// net::io syscall shim (run standalone via `ctest -R Chaos`; override the
+// schedule with METIS_CHAOS_SEED).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -13,6 +22,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -22,10 +33,13 @@
 
 #include "metis/api/registry.h"
 #include "metis/net/client.h"
+#include "metis/net/event_loop.h"
+#include "metis/net/io.h"
 #include "metis/net/wire.h"
 #include "metis/serve/server.h"
 #include "metis/tree/flat_tree.h"
 #include "metis/tree/tree_io.h"
+#include "metis/util/fault.h"
 #include "metis/util/rng.h"
 
 namespace metis {
@@ -776,6 +790,416 @@ TEST(Server, StatsSnapshotsAreMonotonicUnderConcurrentReads) {
   EXPECT_EQ(s.sessions_opened, 1u);
   EXPECT_EQ(s.connections_accepted, 1u);
   server.stop();
+}
+
+// ---- event loop: timers and posted tasks ------------------------------------
+
+TEST(EventLoop, OneShotAndPeriodicTimersFireOnSchedule) {
+  net::EventLoop loop;
+  std::atomic<int> one_shot{0};
+  std::atomic<int> periodic{0};
+  net::EventLoop::TimerId periodic_id = 0;
+  loop.add_timer(std::chrono::milliseconds(5), std::chrono::nanoseconds(0),
+                 [&] { ++one_shot; });
+  periodic_id = loop.add_timer(
+      std::chrono::milliseconds(5), std::chrono::milliseconds(10), [&] {
+        // A periodic callback may cancel itself mid-invocation.
+        if (++periodic == 3) loop.cancel_timer(periodic_id);
+      });
+  loop.add_timer(std::chrono::milliseconds(300), std::chrono::nanoseconds(0),
+                 [&] { loop.stop(); });
+  std::thread runner([&] { loop.run(); });
+  runner.join();
+  EXPECT_EQ(one_shot.load(), 1);
+  EXPECT_EQ(periodic.load(), 3);
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+  net::EventLoop loop;
+  std::atomic<int> fired{0};
+  const auto id = loop.add_timer(std::chrono::milliseconds(10),
+                                 std::chrono::nanoseconds(0), [&] { ++fired; });
+  loop.cancel_timer(id);
+  loop.cancel_timer(id);  // idempotent
+  loop.add_timer(std::chrono::milliseconds(60), std::chrono::nanoseconds(0),
+                 [&] { loop.stop(); });
+  std::thread runner([&] { loop.run(); });
+  runner.join();
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(EventLoop, PostedTasksRunAndStopIsPrompt) {
+  net::EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) loop.post([&] { ++ran; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ran.load() < 16 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 16);
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.stop();
+  runner.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(2));
+}
+
+// ---- server: reaping, graceful stop -----------------------------------------
+
+// Acceptance criterion: a client that connects and then goes silent is
+// reaped within the idle timeout while a live client keeps being served.
+TEST(Server, WedgedClientIsReapedWithinIdleTimeout) {
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+  cfg.idle_timeout_ms = 150;
+  cfg.housekeeping_interval_ms = 10;
+  serve::Server server(cfg);
+  server.add_tree("t", tree::FlatTree::compile(make_test_tree()));
+  server.start();
+
+  net::Client wedged = net::Client::connect_unix(cfg.unix_path);
+  net::Client active = net::Client::connect_unix(cfg.unix_path);
+  const std::uint64_t sid = active.open_session("t");
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::uint64_t i = 0;
+  while (server.stats().connections_reaped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    // Live traffic keeps this connection's idle clock fresh.
+    (void)active.query(sid, i++, {0.1, 0.2, 0.3});
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.stats().connections_reaped, 1u);
+  // The wedged side observes the reap as a clean close...
+  EXPECT_THROW((void)wedged.read_frame(), std::runtime_error);
+  // ...and the live connection is untouched.
+  EXPECT_NO_THROW((void)active.query(sid, i, {0.4, 0.5, 0.6}));
+  server.stop();
+}
+
+// Slow-loris on the read side: the peer keeps the connection open but
+// never drains its replies, so the kernel buffer fills and the server's
+// outbuf tail cannot flush. write_stall_timeout_ms reaps it.
+TEST(Server, WriteStalledConnectionIsReaped) {
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+  cfg.write_stall_timeout_ms = 50;
+  cfg.housekeeping_interval_ms = 10;
+  serve::Server server(cfg);
+  server.add_tree("t", tree::FlatTree::compile(make_test_tree()));
+  server.start();
+
+  net::Client loris = net::Client::connect_unix(cfg.unix_path);
+  const std::uint64_t sid = loris.open_session("t");
+  // ~29 bytes of reply per query: 40k queries ≈ 1.1 MB of replies, far
+  // past any kernel socket buffer, well under the 4 MB outbuf cap.
+  const std::vector<double> q = {0.1, 0.2, 0.3};
+  try {
+    for (std::uint64_t i = 0; i < 40000; ++i) {
+      loris.send_frame(net::QueryRequest{sid, i, q}.encode());
+    }
+  } catch (const std::runtime_error&) {
+    // The reaper may fire while the flood is still in flight; the EPIPE
+    // is the reap observed from this side.
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().connections_reaped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.stats().connections_reaped, 1u);
+  EXPECT_EQ(server.stats().connections_dropped, 0u);  // reaped, not overflowed
+  server.stop();
+}
+
+// Acceptance criterion: stop() returns within the configured bound even
+// when a peer can never be flushed (it stops reading entirely).
+TEST(Server, GracefulStopIsBoundedWithUnflushableClient) {
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+  cfg.stop_timeout_ms = 250;
+  serve::Server server(cfg);
+  server.add_tree("t", tree::FlatTree::compile(make_test_tree()));
+  server.start();
+
+  net::Client loris = net::Client::connect_unix(cfg.unix_path);
+  const std::uint64_t sid = loris.open_session("t");
+  const std::vector<double> q = {0.1, 0.2, 0.3};
+  for (std::uint64_t i = 0; i < 40000; ++i) {
+    loris.send_frame(net::QueryRequest{sid, i, q}.encode());
+  }
+  // Wait until the server has actually handled the backlog so its outbuf
+  // holds an unflushable tail when the drain begins.
+  const auto handled =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().decisions_served < 40000 &&
+         std::chrono::steady_clock::now() < handled) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+}
+
+// ---- server: cancellation and auto-deploy over the wire ---------------------
+
+TEST(Server, CancelJobOverTheWire) {
+  auto gate = std::make_shared<Gate>();
+  api::ScenarioRegistry registry;
+  registry.add(std::make_unique<GatedScenario>(gate));
+
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+  cfg.service.registry = &registry;
+  serve::Server server(cfg);
+  server.start();
+
+  net::Client client = net::Client::connect_unix(cfg.unix_path);
+  EXPECT_THROW((void)client.cancel_job(424242), net::WireError);
+
+  const auto job = client.submit_distill("gated", {});
+  ASSERT_TRUE(job.has_value());
+  EXPECT_TRUE(client.cancel_job(*job));  // reached a live job
+  gate->release();
+  net::JobStatusReply status;
+  do {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    status = client.poll(*job);
+  } while (!serve::is_terminal(static_cast<serve::JobStatus>(status.status)));
+  EXPECT_EQ(static_cast<serve::JobStatus>(status.status),
+            serve::JobStatus::kCancelled);
+  // A second cancel finds the job already terminal.
+  EXPECT_FALSE(client.cancel_job(*job));
+  server.stop();
+}
+
+TEST(Server, AutoDeployPublishesDistilledTreeToQueryPlane) {
+  auto gate = std::make_shared<Gate>();
+  gate->release();  // distillation runs ungated here
+  api::ScenarioRegistry registry;
+  registry.add(std::make_unique<GatedScenario>(gate));
+
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+  cfg.service.registry = &registry;
+  cfg.auto_deploy_distilled = true;
+  cfg.housekeeping_interval_ms = 10;
+  serve::Server server(cfg);
+  server.start();
+  EXPECT_FALSE(server.has_tree("gated"));
+
+  net::Client client = net::Client::connect_unix(cfg.unix_path);
+  const auto job = client.submit_distill("gated", {});
+  ASSERT_TRUE(job.has_value());
+  net::JobStatusReply status;
+  do {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    status = client.poll(*job);
+  } while (!serve::is_terminal(static_cast<serve::JobStatus>(status.status)));
+  ASSERT_EQ(static_cast<serve::JobStatus>(status.status),
+            serve::JobStatus::kDone)
+      << status.error;
+
+  // The housekeeping tick hot-swaps the finished tree into the query
+  // plane under the scenario key — no caller-side add_tree.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!server.has_tree("gated") &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(server.has_tree("gated"));
+  EXPECT_EQ(server.stats().trees_auto_deployed, 1u);
+
+  // Served decisions match a FlatTree compiled from the wire-returned
+  // serialization, bitwise.
+  const auto result = client.distill_result(*job);
+  const tree::FlatTree flat =
+      tree::FlatTree::compile(tree::deserialize(result.tree_text));
+  const std::uint64_t sid = client.open_session("gated");
+  Rng rng(404);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const std::vector<double> x = {rng.uniform()};
+    EXPECT_TRUE(bit_equal(client.query(sid, i, x), flat.predict(x)));
+  }
+  server.stop();
+}
+
+// ---- client: timeouts, retry, reconnect -------------------------------------
+
+TEST(Client, ReadTimeoutThrowsTimeoutError) {
+  // A listener that accepts nothing: connects land in the backlog and no
+  // reply ever comes.
+  const std::string path = unique_socket_path();
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+
+  net::ClientConfig ccfg;
+  ccfg.read_timeout_ms = 50;
+  net::Client client = net::Client::connect_unix(path, ccfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.open_session("t"), net::TimeoutError);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(50));
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ::close(lfd);
+  ::unlink(path.c_str());
+}
+
+TEST(Client, ConnectToMissingEndpointFailsAfterRetries) {
+  net::ClientConfig ccfg;
+  ccfg.max_retries = 2;
+  ccfg.backoff_base_ms = 1;
+  ccfg.backoff_max_ms = 4;
+  EXPECT_THROW((void)net::Client::connect_unix("/tmp/metis_net_test_nowhere_" +
+                                                   std::to_string(::getpid()) +
+                                                   ".sock",
+                                               ccfg),
+               std::runtime_error);
+}
+
+TEST(Client, QueryRobustReconnectsAcrossServerRestart) {
+  const tree::DecisionTree dtree = make_test_tree();
+  const tree::FlatTree flat = tree::FlatTree::compile(dtree);
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+
+  net::ClientConfig ccfg;
+  ccfg.read_timeout_ms = 2000;
+  ccfg.max_retries = 8;
+  ccfg.backoff_base_ms = 1;
+  ccfg.backoff_max_ms = 8;
+  ccfg.seed = 7;
+
+  serve::Server first(cfg);
+  first.add_tree("t", tree::FlatTree::compile(dtree));
+  first.start();
+  net::Client client = net::Client::connect_unix(cfg.unix_path, ccfg);
+  const auto queries = random_features(4, 23);
+  EXPECT_TRUE(bit_equal(client.query_robust("t", 0, queries[0]),
+                        flat.predict(queries[0])));
+  first.stop();
+
+  // Same path, fresh server: the client's next robust query re-dials,
+  // re-opens its cached session, and replays.
+  serve::Server second(cfg);
+  second.add_tree("t", tree::FlatTree::compile(dtree));
+  second.start();
+  for (std::uint64_t i = 1; i < queries.size(); ++i) {
+    EXPECT_TRUE(bit_equal(client.query_robust("t", i, queries[i]),
+                          flat.predict(queries[i])));
+  }
+  second.stop();
+}
+
+// ---- chaos: seeded fault injection at every syscall site --------------------
+
+// Seed for the deterministic chaos schedule. Overridable so CI can sweep
+// seeds without recompiling: METIS_CHAOS_SEED=n ctest -R Chaos ...
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("METIS_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260808;
+}
+
+TEST(Chaos, QueryPlaneStaysBitwiseUnderSeededFaults) {
+  const tree::DecisionTree dtree = make_test_tree();
+  const tree::FlatTree flat = tree::FlatTree::compile(dtree);
+
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+  cfg.idle_timeout_ms = 5000;
+  cfg.write_stall_timeout_ms = 5000;
+  cfg.housekeeping_interval_ms = 20;
+  serve::Server server(cfg);
+  server.add_tree("t", tree::FlatTree::compile(dtree));
+  server.start();
+
+  util::FaultSpec spec;
+  spec.seed = chaos_seed();
+  spec.eintr = 0.05;
+  spec.short_op = 0.05;
+  spec.reset = 0.02;
+  spec.delay = 0.01;
+  spec.delay_us = 50;
+  spec.max_faults = 300;  // budget: liveness once the chaos is spent
+  util::FaultPlan plan(spec);
+  net::io::set_fault_plan(&plan);
+
+  net::ClientConfig ccfg;
+  ccfg.connect_timeout_ms = 2000;
+  ccfg.read_timeout_ms = 2000;
+  ccfg.max_retries = 16;
+  ccfg.backoff_base_ms = 1;
+  ccfg.backoff_max_ms = 8;
+  ccfg.seed = spec.seed;
+  net::Client client = net::Client::connect_unix(cfg.unix_path, ccfg);
+
+  const auto queries = random_features(200, 55);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // Short reads/writes, EINTR, torn connections, injected delays — the
+    // answer must still be the exact FlatTree decision, every time.
+    EXPECT_TRUE(bit_equal(client.query_robust("t", i, queries[i]),
+                          flat.predict(queries[i])))
+        << "query " << i;
+  }
+  server.stop();
+  net::io::set_fault_plan(nullptr);
+  EXPECT_GT(plan.faults_injected(), 0u);
+  EXPECT_GE(server.stats().decisions_served, queries.size());
+}
+
+TEST(Chaos, EIntrAtEverySyscallStillServes) {
+  const tree::DecisionTree dtree = make_test_tree();
+  const tree::FlatTree flat = tree::FlatTree::compile(dtree);
+
+  serve::ServerConfig cfg;
+  cfg.unix_path = unique_socket_path();
+  cfg.service.workers = 1;
+  serve::Server server(cfg);
+  server.add_tree("t", tree::FlatTree::compile(dtree));
+  server.start();
+
+  // Every intercepted syscall fails with EINTR until the budget is spent:
+  // any retry loop in net/ that mishandles EINTR hangs or errors here
+  // (the EINTR-audit regression).
+  util::FaultSpec spec;
+  spec.seed = chaos_seed() + 1;
+  spec.eintr = 1.0;
+  spec.max_faults = 3000;
+  util::FaultPlan plan(spec);
+  net::io::set_fault_plan(&plan);
+
+  net::Client client = net::Client::connect_unix(cfg.unix_path);
+  const std::uint64_t sid = client.open_session("t");
+  const auto queries = random_features(50, 91);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(
+        bit_equal(client.query(sid, i, queries[i]), flat.predict(queries[i])))
+        << "query " << i;
+  }
+  server.stop();
+  net::io::set_fault_plan(nullptr);
+  EXPECT_GT(plan.faults_injected(), 0u);
+  EXPECT_LE(plan.faults_injected(), spec.max_faults);
 }
 
 }  // namespace

@@ -494,7 +494,7 @@ class GatedScenario final : public api::Scenario {
   std::shared_future<void> gate_;
 };
 
-TEST(Service, CancelBeforeStartAndNotAfter) {
+TEST(Service, CancelQueuedImmediatelyAndRunningCooperatively) {
   std::promise<void> release;
   api::ScenarioRegistry reg;
   reg.add(std::make_unique<GatedScenario>("gated",
@@ -515,13 +515,128 @@ TEST(Service, CancelBeforeStartAndNotAfter) {
   EXPECT_TRUE(queued.cancel());
   EXPECT_EQ(queued.status(), serve::JobStatus::kCancelled);
   EXPECT_FALSE(queued.cancel());      // idempotent: already terminal
-  EXPECT_FALSE(running.cancel());     // already running: not interrupted
 
+  // The running job is mid-build (gated): cancel() is delivered, and the
+  // pipeline stops at its first checkpoint once the gate releases.
+  EXPECT_TRUE(running.cancel());
   release.set_value();
   running.wait();
-  EXPECT_EQ(running.status(), serve::JobStatus::kDone);
+  EXPECT_EQ(running.status(), serve::JobStatus::kCancelled);
+  EXPECT_FALSE(running.cancel());     // terminal now
+  EXPECT_THROW((void)running.distill_run(), std::logic_error);
   EXPECT_THROW((void)queued.distill_run(), std::logic_error);
   svc.wait_all();  // terminal cancelled jobs must not wedge wait_all
+}
+
+TEST(Service, DeadlineTimesOutRunningJobAndFreesWorker) {
+  std::promise<void> release;
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<GatedScenario>("gated",
+                                          release.get_future().share()));
+  reg.add(std::make_unique<LineScenario>("line"));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  api::DistillOverrides overrides;
+  overrides.deadline_ms = 1;  // expires while the build is gated
+  auto job = svc.submit_distill("gated", overrides);
+  while (job.status() == serve::JobStatus::kQueued) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // past deadline
+  release.set_value();
+
+  // Bounded wait: the pipeline must notice the expired deadline at its
+  // first checkpoint and report kTimedOut, not kCancelled or kDone.
+  const auto status = job.wait_for(std::chrono::seconds(30));
+  EXPECT_EQ(status, serve::JobStatus::kTimedOut);
+  EXPECT_THROW((void)job.distill_run(), std::logic_error);
+
+  // The worker slot is free again: an undeadlined job completes normally.
+  auto after = svc.submit_distill("line");
+  EXPECT_EQ(after.wait_for(std::chrono::seconds(60)),
+            serve::JobStatus::kDone);
+}
+
+TEST(Service, QueuedJobPastDeadlineNeverRuns) {
+  std::promise<void> release;
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<GatedScenario>("gated",
+                                          release.get_future().share()));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  auto running = svc.submit_distill("gated");
+  api::DistillOverrides overrides;
+  overrides.deadline_ms = 1;  // queue time counts against the deadline
+  auto queued = svc.submit_distill("gated", overrides);
+  while (running.status() == serve::JobStatus::kQueued) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  release.set_value();
+
+  // The queued job's deadline expired before a worker picked it up: it
+  // must end kTimedOut without ever building the scenario.
+  EXPECT_EQ(queued.wait_for(std::chrono::seconds(30)),
+            serve::JobStatus::kTimedOut);
+  EXPECT_EQ(running.wait_for(std::chrono::seconds(60)),
+            serve::JobStatus::kDone);
+}
+
+TEST(Service, WaitForReturnsCurrentStatusOnTimeout) {
+  std::promise<void> release;
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<GatedScenario>("gated",
+                                          release.get_future().share()));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  auto job = svc.submit_distill("gated");
+  // Gated: a short bounded wait must come back non-terminal, not hang.
+  const auto early = job.wait_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(serve::is_terminal(early));
+
+  release.set_value();
+  EXPECT_EQ(job.wait_for(std::chrono::seconds(60)), serve::JobStatus::kDone);
+  // Terminal jobs return instantly, even with a zero budget.
+  EXPECT_EQ(job.wait_for(std::chrono::nanoseconds::zero()),
+            serve::JobStatus::kDone);
+}
+
+TEST(Service, CompletedJobsBitwiseIdenticalUnderArmedDeadline) {
+  api::ScenarioRegistry reg;
+  reg.add(std::make_unique<LineScenario>("line"));
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.registry = &reg;
+  serve::Service svc(cfg);
+
+  auto plain = svc.submit_distill("line");
+  plain.wait();
+  ASSERT_EQ(plain.status(), serve::JobStatus::kDone);
+
+  // Same job with a far-future deadline: the token is armed and polled at
+  // every checkpoint, but never fires — the checkpoints must not perturb
+  // the computation, so the fitted tree is byte-identical.
+  api::DistillOverrides overrides;
+  overrides.deadline_ms = 10'000'000;
+  auto armed = svc.submit_distill("line", overrides);
+  armed.wait();
+  ASSERT_EQ(armed.status(), serve::JobStatus::kDone);
+
+  EXPECT_EQ(tree::serialize(armed.distill_run().result.tree),
+            tree::serialize(plain.distill_run().result.tree));
+  EXPECT_EQ(armed.distill_run().result.fidelity,
+            plain.distill_run().result.fidelity);  // bitwise (EXPECT_EQ)
 }
 
 TEST(Service, ForgetEvictsOnlyTerminalJobs) {

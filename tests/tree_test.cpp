@@ -2,14 +2,20 @@
 // deployment representation.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "metis/tree/cart.h"
 #include "metis/tree/dataset.h"
 #include "metis/tree/flat_tree.h"
 #include "metis/tree/prune.h"
 #include "metis/tree/tree_io.h"
+#include "metis/util/atomic_file.h"
 #include "metis/util/rng.h"
 
 namespace metis::tree {
@@ -546,6 +552,55 @@ TEST(CollapseRedundant, PreservesPredictionsOnRealTree) {
     std::vector<double> x = {rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
     EXPECT_DOUBLE_EQ(t.predict(x), before.predict(x));
   }
+}
+
+// ---- crash-safe file persistence --------------------------------------------
+
+std::string unique_tree_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/metis_tree_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".tree";
+}
+
+TEST(TreeIO, SaveLoadRoundTripsThroughDisk) {
+  metis::Rng rng(21);
+  const DecisionTree t =
+      DecisionTree::fit(threshold_dataset(300, rng), FitConfig{});
+  const std::string path = unique_tree_path();
+  save(t, path);
+  const DecisionTree back = load(path);
+  EXPECT_EQ(serialize(back), serialize(t));
+  std::remove(path.c_str());
+}
+
+TEST(TreeIO, KilledMidWriteArtifactIsNeverLoadable) {
+  metis::Rng rng(22);
+  const DecisionTree t =
+      DecisionTree::fit(threshold_dataset(300, rng), FitConfig{});
+  const std::string path = unique_tree_path();
+  save(t, path);
+  const std::string original = serialize(t);
+
+  // Simulate a kill partway through a re-save at every prefix length of
+  // the serialized form: whatever the crash point, load() must return the
+  // previous complete tree — a torn artifact is never observable.
+  const std::string updated = serialize(t) + "\n";
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{16},
+                          original.size() / 2, original.size() - 1}) {
+    metis::util::AtomicWriteOptions crash;
+    crash.fail_after_bytes = cut;
+    EXPECT_FALSE(metis::util::write_file_atomic(path, updated, crash));
+    EXPECT_EQ(serialize(load(path)), original) << "cut at " << cut;
+  }
+
+  // A crash before the very first save leaves nothing to load — missing,
+  // not torn.
+  const std::string fresh = unique_tree_path();
+  metis::util::AtomicWriteOptions crash;
+  crash.fail_after_bytes = 8;
+  EXPECT_FALSE(metis::util::write_file_atomic(fresh, original, crash));
+  EXPECT_THROW((void)load(fresh), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

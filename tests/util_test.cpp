@@ -1,18 +1,28 @@
 // Unit + property tests for metis/util: RNG distributions, statistics,
-// the table printer, and the annotated concurrency primitives
-// (Mutex/CondVar wrappers, ExceptionSlot).
+// the table printer, the annotated concurrency primitives
+// (Mutex/CondVar wrappers, ExceptionSlot), cooperative cancellation,
+// deterministic fault plans, and crash-safe atomic file writes.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "metis/util/atomic_file.h"
+#include "metis/util/cancel.h"
 #include "metis/util/check.h"
 #include "metis/util/exception_slot.h"
+#include "metis/util/fault.h"
 #include "metis/util/mutex.h"
 #include "metis/util/rng.h"
 #include "metis/util/stats.h"
@@ -336,6 +346,174 @@ TEST(ExceptionSlot, PreservesExceptionType) {
     slot.capture();
   }
   EXPECT_THROW(slot.rethrow_if_set(), std::invalid_argument);
+}
+
+// ---- cooperative cancellation ----------------------------------------------
+
+TEST(Cancel, DefaultTokenIsInert) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.timed_out());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(Cancel, ExplicitCancelFiresEveryToken) {
+  util::CancelSource source;
+  const util::CancelToken a = source.token();
+  const util::CancelToken b = source.token();
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_TRUE(source.cancel());    // first request
+  EXPECT_FALSE(source.cancel());   // idempotent afterwards
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_FALSE(a.timed_out());     // explicit cancel, not a deadline
+  try {
+    a.check();
+    FAIL() << "expected CancelledError";
+  } catch (const util::CancelledError& e) {
+    EXPECT_FALSE(e.timed_out());
+  }
+}
+
+TEST(Cancel, DeadlineExpiryReportsTimedOut) {
+  util::CancelSource source;
+  const util::CancelToken token = source.token();
+  source.set_deadline_after(std::chrono::hours(1));
+  EXPECT_FALSE(token.cancelled());  // far future: not yet
+  source.set_deadline_after(std::chrono::nanoseconds(-1));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.timed_out());
+  try {
+    token.check();
+    FAIL() << "expected CancelledError";
+  } catch (const util::CancelledError& e) {
+    EXPECT_TRUE(e.timed_out());
+  }
+}
+
+// ---- deterministic fault plans ----------------------------------------------
+
+TEST(Fault, SameSeedReplaysIdenticalSchedule) {
+  util::FaultSpec spec;
+  spec.seed = 42;
+  spec.eintr = 0.2;
+  spec.short_op = 0.2;
+  spec.reset = 0.1;
+  spec.delay = 0.1;
+  const util::FaultPlan a(spec);
+  const util::FaultPlan b(spec);
+  const auto sa = a.schedule_prefix(512);
+  const auto sb = b.schedule_prefix(512);
+  EXPECT_EQ(sa, sb);
+  // The schedule is non-trivial: with these probabilities, 512 draws must
+  // contain both faults and clean calls.
+  EXPECT_TRUE(std::count(sa.begin(), sa.end(), util::FaultAction::kNone) > 0);
+  EXPECT_TRUE(std::count(sa.begin(), sa.end(), util::FaultAction::kNone) <
+              512);
+  spec.seed = 43;
+  const util::FaultPlan c(spec);
+  EXPECT_NE(c.schedule_prefix(512), sa);
+}
+
+TEST(Fault, NextFollowsScheduleAndCountsCalls) {
+  util::FaultSpec spec;
+  spec.seed = 7;
+  spec.eintr = 0.5;
+  util::FaultPlan plan(spec);
+  const auto schedule = plan.schedule_prefix(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(plan.next(util::FaultSite::kRead), schedule[i]) << i;
+  }
+  EXPECT_EQ(plan.calls(), 64u);
+}
+
+TEST(Fault, ReadinessSitesOnlySeeEIntrAndDelay) {
+  EXPECT_TRUE(util::fault_applicable(util::FaultSite::kRecv,
+                                     util::FaultAction::kShortOp));
+  EXPECT_TRUE(util::fault_applicable(util::FaultSite::kWrite,
+                                     util::FaultAction::kReset));
+  EXPECT_FALSE(util::fault_applicable(util::FaultSite::kAccept,
+                                      util::FaultAction::kShortOp));
+  EXPECT_FALSE(util::fault_applicable(util::FaultSite::kEpollWait,
+                                      util::FaultAction::kReset));
+  EXPECT_TRUE(util::fault_applicable(util::FaultSite::kConnect,
+                                     util::FaultAction::kEIntr));
+  EXPECT_TRUE(util::fault_applicable(util::FaultSite::kPoll,
+                                     util::FaultAction::kDelay));
+
+  // A short-op-only plan never injects at an accept site.
+  util::FaultSpec spec;
+  spec.seed = 3;
+  spec.short_op = 1.0;
+  util::FaultPlan plan(spec);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(plan.next(util::FaultSite::kAccept), util::FaultAction::kNone);
+  }
+  EXPECT_EQ(plan.faults_injected(), 0u);
+}
+
+TEST(Fault, BudgetBoundsInjectedFaults) {
+  util::FaultSpec spec;
+  spec.seed = 9;
+  spec.eintr = 1.0;  // every call would fault...
+  spec.max_faults = 5;  // ...but the budget stops after 5
+  util::FaultPlan plan(spec);
+  std::uint64_t injected = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (plan.next(util::FaultSite::kRead) != util::FaultAction::kNone) {
+      ++injected;
+    }
+  }
+  EXPECT_EQ(injected, 5u);
+  EXPECT_EQ(plan.faults_injected(), 5u);
+}
+
+// ---- crash-safe atomic writes ----------------------------------------------
+
+std::string unique_tmp_file() {
+  static std::atomic<int> counter{0};
+  return "/tmp/metis_util_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".txt";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(AtomicFile, WritesAndOverwrites) {
+  const std::string path = unique_tmp_file();
+  EXPECT_TRUE(util::write_file_atomic(path, "first"));
+  EXPECT_EQ(slurp(path), "first");
+  EXPECT_TRUE(util::write_file_atomic(path, "second, longer content"));
+  EXPECT_EQ(slurp(path), "second, longer content");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, KillMidWriteNeverLeavesTornDestination) {
+  const std::string path = unique_tmp_file();
+  ASSERT_TRUE(util::write_file_atomic(path, "intact original artifact"));
+
+  // Simulated crash after 4 bytes of the replacement: the destination
+  // must still hold the complete original, bit for bit.
+  util::AtomicWriteOptions crash;
+  crash.fail_after_bytes = 4;
+  EXPECT_FALSE(
+      util::write_file_atomic(path, "replacement that never lands", crash));
+  EXPECT_EQ(slurp(path), "intact original artifact");
+
+  // Crash on a fresh path: no destination file may appear at all.
+  const std::string fresh = unique_tmp_file();
+  EXPECT_FALSE(util::write_file_atomic(fresh, "partial", crash));
+  EXPECT_FALSE(std::ifstream(fresh).good());
+
+  // And a later, uncrashed save publishes normally.
+  EXPECT_TRUE(util::write_file_atomic(path, "replacement that lands"));
+  EXPECT_EQ(slurp(path), "replacement that lands");
+  std::remove(path.c_str());
 }
 
 }  // namespace
