@@ -22,6 +22,10 @@ double InterpretResult::vertex_mask_sum(std::size_t vertex) const {
   return s;
 }
 
+// metis-lint: begin-deterministic — the §4.2 mask optimization: masks
+// must be bitwise identical across concurrent jobs, clones, and pool
+// legs. The only randomness is the explicitly seeded Rng(cfg.seed)
+// logits initialization below.
 InterpretResult find_critical_connections(const MaskableModel& model,
                                           const InterpretConfig& cfg) {
   MET_CHECK(cfg.steps > 0);
@@ -112,5 +116,6 @@ InterpretResult find_critical_connections(const MaskableModel& model,
             });
   return result;
 }
+// metis-lint: end-deterministic
 
 }  // namespace metis::core

@@ -39,6 +39,12 @@ void retain_large_alloc_pages() {
 #endif
 }
 
+// metis-lint: begin-deterministic — the §3.2/Eq. 1 collection pipeline:
+// datasets must be bitwise identical across worker counts, lockstep
+// on/off, and pool on/off, so no nondeterminism source may enter here.
+// All randomness flows through the envs' Rng::derive(seed, episode)
+// streams; episode k's trajectory is a pure function of (seed, k).
+
 // One episode of §3.2 step 1. Everything the episode touches is local to
 // the call — the env instance, the per-step teacher queries, the takeover
 // bookkeeping — so episodes can run concurrently on distinct envs and
@@ -415,5 +421,7 @@ std::vector<CollectedSample> collect_traces(const Teacher& teacher,
   }
   return merge_in_episode_order(std::move(per_episode));
 }
+
+// metis-lint: end-deterministic
 
 }  // namespace metis::core

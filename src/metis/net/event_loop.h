@@ -99,13 +99,15 @@ class EventLoop {
   // handler removes its own fd mid-call. Loop-thread-only (see the class
   // comment); callers that need the same guarantee on their own state
   // formalize it with util::ThreadRole — serve::Server is the template.
+  // metis-lint: allow(find/erase by fd only, never iterated; no order
+  // can reach an output)
   std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
 
   // Timer queue: id -> entry, plus a deadline-ordered index. Cancelled
   // ids are erased from timers_ only; stale index entries are skipped at
   // dispatch. Loop-thread-only.
   TimerId next_timer_id_ = 1;
-  std::unordered_map<TimerId, TimerEntry> timers_;
+  std::map<TimerId, TimerEntry> timers_;
   std::multimap<std::chrono::steady_clock::time_point, TimerId> timer_order_;
 
   util::Mutex tasks_mu_;

@@ -53,6 +53,8 @@ constexpr std::size_t kMaxPooledNodeBlocks = std::size_t{1} << 18;
 // ::operator new, so draining (at outermost-scope exit or thread exit)
 // releases them the ordinary way.
 struct ThreadPool {
+  // metis-lint: allow(iterated only by drain(), which frees every block;
+  // free() order is invisible to any output, so hashed order is fine)
   std::unordered_map<std::size_t, std::vector<void*>> buckets;
   std::size_t pooled_bytes = 0;
   int depth = 0;

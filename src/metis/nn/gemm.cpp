@@ -24,6 +24,10 @@ std::atomic<Backend>& backend_slot() {
   return slot;
 }
 
+// metis-lint: begin-deterministic — the GEMM kernels: the blocked
+// backend must be bitwise identical to the naive reference (same
+// floating-point operations in the same order), so kernel code may not
+// consult clocks, addresses, or any other run-varying input.
 // metis-lint: begin-hot-path
 // ---- naive kernels ----------------------------------------------------------
 // The seed's reference loop, order (r, k, c) with the zero-skip on a —
@@ -491,5 +495,6 @@ void matmul_transA_acc(const Tensor& a, const Tensor& b, Tensor& acc) {
 }
 
 // metis-lint: end-hot-path
+// metis-lint: end-deterministic
 
 }  // namespace metis::nn::gemm

@@ -289,6 +289,10 @@ void Server::handle_frame(Connection& conn, const net::Frame& frame) {
         reply(conn, net::SessionOpenedReply{id}.encode());
         return;
       }
+      // metis-lint: begin-deterministic — the query arm: the served
+      // decision must be bit-identical to in-process FlatTree::predict
+      // (the load demo bit_cast-compares them), so nothing on this arm
+      // may depend on time, thread identity, or hashed-container order.
       // metis-lint: begin-hot-path
       case MsgType::kQuery: {
         const auto req = net::QueryRequest::decode(frame);
@@ -307,6 +311,7 @@ void Server::handle_frame(Connection& conn, const net::Frame& frame) {
         return;
       }
       // metis-lint: end-hot-path
+      // metis-lint: end-deterministic
       case MsgType::kSubmitDistill:
       case MsgType::kSubmitInterpret:
         handle_submit(conn, frame);

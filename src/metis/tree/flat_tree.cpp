@@ -2,6 +2,9 @@
 
 #include "metis/util/check.h"
 
+// metis-lint: begin-deterministic — the query plane: every served
+// decision is bit_cast-compared against in-process evaluation, so
+// compile + predict must be pure functions of (tree, features).
 namespace metis::tree {
 namespace {
 
@@ -60,3 +63,4 @@ std::size_t FlatTree::memory_bytes() const {
 }
 
 }  // namespace metis::tree
+// metis-lint: end-deterministic

@@ -1,0 +1,315 @@
+#include "metis/util/lock_graph.h"
+
+#if METIS_LOCK_GRAPH_AVAILABLE
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace metis::util::lock_graph {
+namespace {
+
+// The sanitizer's own synchronization must not recurse into the hooks,
+// so it uses the raw primitive the rest of the tree is banned from.
+// metis-lint: allow-raw-mutex — the sanitizer cannot instrument itself.
+using RawMutex = std::mutex;
+
+const char* mode_name(Mode mode) {
+  return mode == Mode::kShared ? "shared" : "exclusive";
+}
+
+std::string format_site(const std::source_location& site) {
+  std::string out = site.file_name();
+  out += ':';
+  out += std::to_string(site.line());
+  return out;
+}
+
+// One frame of an acquisition stack as recorded on an edge: the static
+// site plus the mode, e.g. "exclusive @ src/metis/serve/service.cpp:106".
+std::string format_frame(Mode mode, const std::source_location& site) {
+  std::string out = mode_name(mode);
+  out += " @ ";
+  out += format_site(site);
+  return out;
+}
+
+struct Held {
+  const void* mu = nullptr;
+  int node = 0;
+  Mode mode = Mode::kExclusive;
+  std::source_location site;
+};
+
+// Thread-exit safety mirrors nn/arena: the trivially-destructible flag
+// outlives the vector, so hooks firing during static/thread teardown
+// (e.g. a global object's mutex) fall back to no-ops instead of touching
+// a dead object.
+thread_local bool t_stack_destroyed = false;
+
+struct HeldStack {
+  std::vector<Held> held;
+  ~HeldStack() { t_stack_destroyed = true; }
+};
+
+HeldStack& held_stack() {
+  thread_local HeldStack s;
+  return s;
+}
+
+struct Edge {
+  // The full acquisition stack of the thread that first recorded this
+  // ordering — every lock it held (site + mode) and the acquisition that
+  // created the edge, in acquisition order. Printed verbatim when a
+  // later inversion closes a cycle through this edge.
+  std::vector<std::string> stack;
+};
+
+struct Node {
+  const void* mu = nullptr;
+  std::string first_site;        // label: where this lock was first taken
+  std::map<int, Edge> out;       // ordered: deterministic iteration
+};
+
+// Never destroyed (leaked on purpose): mutexes owned by static-duration
+// objects unregister during static teardown, which may run after any
+// static graph object's destructor would have.
+struct Graph {
+  RawMutex mu;
+  std::map<const void*, int> index;
+  std::map<int, Node> nodes;
+  int next_id = 1;
+  std::uint64_t edge_count = 0;
+  std::uint64_t acquisitions = 0;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph;
+  return *g;
+}
+
+std::atomic<int>& enabled_state() {
+  // -1 = not yet read from the environment, 0 = off, 1 = on.
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+// Depth-first search for a path from `from` to `to`; on success fills
+// `path` with the node ids visited (from ... to). Graph mutex held.
+bool find_path(const Graph& g, int from, int to, std::set<int>& seen,
+               std::vector<int>& path) {
+  if (from == to) {
+    path.push_back(from);
+    return true;
+  }
+  if (!seen.insert(from).second) return false;
+  auto it = g.nodes.find(from);
+  if (it == g.nodes.end()) return false;
+  for (const auto& [next, edge] : it->second.out) {
+    if (find_path(g, next, to, seen, path)) {
+      path.insert(path.begin(), from);
+      return true;
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void report_cycle(const Graph& g, const Held& holder,
+                               const void* mu, Mode mode,
+                               const std::source_location& site,
+                               const std::vector<int>& path) {
+  std::string msg =
+      "metis lock-order sanitizer: lock-order cycle detected\n"
+      "  this thread is acquiring ";
+  msg += format_frame(mode, site);
+  msg += "\n  while holding:\n";
+  for (const Held& h : held_stack().held) {
+    msg += "    ";
+    msg += format_frame(h.mode, h.site);
+    auto node_it = g.nodes.find(h.node);
+    if (node_it != g.nodes.end()) {
+      msg += " (first acquired at " + node_it->second.first_site + ")";
+    }
+    msg += "\n";
+  }
+  msg += "  which inverts the previously recorded order ";
+  (void)mu;
+  // The first edge on the path new-lock -> ... -> held-lock carries the
+  // acquisition stack of the thread that established the opposite order.
+  if (path.size() >= 2) {
+    auto from_it = g.nodes.find(path[0]);
+    if (from_it != g.nodes.end()) {
+      auto edge_it = from_it->second.out.find(path[1]);
+      msg += "(recorded acquisition stack):\n";
+      if (edge_it != from_it->second.out.end()) {
+        for (const std::string& frame : edge_it->second.stack) {
+          msg += "    " + frame + "\n";
+        }
+      }
+    }
+  }
+  msg += "  (conflicting lock first acquired at ";
+  auto holder_it = g.nodes.find(holder.node);
+  msg += holder_it != g.nodes.end() ? holder_it->second.first_site.c_str()
+                                    : "<unknown>";
+  msg += ")\n";
+  std::fputs(msg.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void report_reentry(const Held& prior, Mode mode,
+                                 const std::source_location& site) {
+  std::string msg =
+      "metis lock-order sanitizer: same-thread re-acquisition of a held "
+      "lock\n  first acquired ";
+  msg += format_frame(prior.mode, prior.site);
+  msg += "\n  re-acquired    ";
+  msg += format_frame(mode, site);
+  msg +=
+      "\n  (std::mutex re-entry is undefined behavior; shared re-entry "
+      "deadlocks against a queued writer)\n";
+  std::fputs(msg.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void track_acquire(const void* mu, Mode mode,
+                   const std::source_location& site) {
+  if (t_stack_destroyed) return;
+  std::vector<Held>& held = held_stack().held;
+  for (const Held& h : held) {
+    if (h.mu == mu) report_reentry(h, mode, site);
+  }
+
+  Graph& g = graph();
+  int id = 0;
+  {
+    std::lock_guard<RawMutex> lock(g.mu);
+    ++g.acquisitions;
+    auto [it, inserted] = g.index.emplace(mu, g.next_id);
+    if (inserted) {
+      Node node;
+      node.mu = mu;
+      node.first_site = format_site(site);
+      g.nodes.emplace(g.next_id, std::move(node));
+      ++g.next_id;
+    }
+    id = it->second;
+
+    for (const Held& h : held) {
+      Node& from = g.nodes[h.node];
+      if (from.out.count(id) != 0) continue;  // ordering already known
+      std::vector<int> path;
+      std::set<int> seen;
+      if (find_path(g, id, h.node, seen, path)) {
+        report_cycle(g, h, mu, mode, site, path);
+      }
+      Edge edge;
+      edge.stack.reserve(held.size() + 1);
+      for (const Held& frame : held) {
+        edge.stack.push_back(format_frame(frame.mode, frame.site));
+      }
+      edge.stack.push_back(format_frame(mode, site));
+      from.out.emplace(id, std::move(edge));
+      ++g.edge_count;
+    }
+  }
+  held.push_back(Held{mu, id, mode, site});
+}
+
+}  // namespace
+
+bool enabled() {
+  std::atomic<int>& state = enabled_state();
+  int v = state.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("METIS_LOCK_GRAPH");
+    v = (env != nullptr && (std::strcmp(env, "1") == 0 ||
+                            std::strcmp(env, "on") == 0))
+            ? 1
+            : 0;
+    state.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_enabled(bool on) {
+  enabled_state().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+Stats stats() {
+  Graph& g = graph();
+  std::lock_guard<RawMutex> lock(g.mu);
+  Stats s;
+  s.acquisitions = g.acquisitions;
+  s.nodes = g.nodes.size();
+  s.edges = g.edge_count;
+  return s;
+}
+
+void reset() {
+  Graph& g = graph();
+  std::lock_guard<RawMutex> lock(g.mu);
+  g.index.clear();
+  g.nodes.clear();
+  g.next_id = 1;
+  g.edge_count = 0;
+  g.acquisitions = 0;
+  if (!t_stack_destroyed) held_stack().held.clear();
+}
+
+void before_acquire(const void* mu, Mode mode,
+                    const std::source_location& site) noexcept {
+  if (!enabled()) return;
+  track_acquire(mu, mode, site);
+}
+
+void on_try_acquired(const void* mu, Mode mode,
+                     const std::source_location& site) noexcept {
+  // A successful try_lock established real ordering for later blocking
+  // acquisitions, so it is tracked exactly like one. (It checked AFTER
+  // acquiring — a failed try_lock cannot deadlock and leaves no trace.)
+  if (!enabled()) return;
+  track_acquire(mu, mode, site);
+}
+
+void on_release(const void* mu) noexcept {
+  if (!enabled() || t_stack_destroyed) return;
+  std::vector<Held>& held = held_stack().held;
+  // Search from the top: releases are almost always LIFO, but scoped
+  // locks destroyed out of declaration order are legal and handled.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mu == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not tracked (acquired while detection was off): ignore.
+}
+
+void on_destroy(const void* mu) noexcept {
+  // Runs whether or not detection is currently enabled: a node recorded
+  // while enabled must not survive its lock even if detection was turned
+  // off meanwhile (address reuse would alias it).
+  Graph& g = graph();
+  std::lock_guard<RawMutex> lock(g.mu);
+  auto idx = g.index.find(mu);
+  if (idx == g.index.end()) return;
+  const int id = idx->second;
+  g.index.erase(idx);
+  g.nodes.erase(id);
+  for (auto& [node_id, node] : g.nodes) {
+    g.edge_count -= node.out.erase(id);
+  }
+}
+
+}  // namespace metis::util::lock_graph
+
+#endif  // METIS_LOCK_GRAPH_AVAILABLE

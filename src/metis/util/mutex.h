@@ -25,14 +25,34 @@
 //                                by one designated thread (the epoll loop
 //                                thread), so loop-thread-only state is
 //                                formally annotated, not just commented
+//
+// Debug builds additionally thread every acquisition through the
+// lock-order sanitizer (util/lock_graph.h, METIS_LOCK_GRAPH=1): each
+// lock/unlock below carries the caller's std::source_location and
+// reports into a global acquisition-order graph that aborts on the first
+// ordering inversion, printing both acquisition stacks. Release builds
+// compile the hooks away entirely — the wrappers are the std primitives
+// again. The defaulted source_location parameters are part of that
+// contract: call sites never change across build types.
+//
+// metis-lint: allow-raw-mutex — this file IS the lock vocabulary; the
+// raw std primitives it wraps are banned everywhere else in src/.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
+#include <source_location>
 
+#include "metis/util/lock_graph.h"
 #include "metis/util/thread_annotations.h"
+
+#if METIS_LOCK_GRAPH_AVAILABLE
+#define METIS_LOCK_GRAPH_HOOK(call) ::metis::util::lock_graph::call
+#else
+#define METIS_LOCK_GRAPH_HOOK(call) ((void)0)
+#endif
 
 namespace metis::util {
 
@@ -43,12 +63,34 @@ class CondVar;
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  ~Mutex() { METIS_LOCK_GRAPH_HOOK(on_destroy(this)); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock(const std::source_location& site =
+                std::source_location::current()) ACQUIRE() {
+    (void)site;
+    // Checked BEFORE blocking, so an inversion reports even on the
+    // schedule that would have deadlocked.
+    METIS_LOCK_GRAPH_HOOK(
+        before_acquire(this, lock_graph::Mode::kExclusive, site));
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+    METIS_LOCK_GRAPH_HOOK(on_release(this));
+  }
+  [[nodiscard]] bool try_lock(const std::source_location& site =
+                                  std::source_location::current())
+      TRY_ACQUIRE(true) {
+    (void)site;
+    const bool got = mu_.try_lock();
+    if (got) {
+      METIS_LOCK_GRAPH_HOOK(
+          on_try_acquired(this, lock_graph::Mode::kExclusive, site));
+    }
+    return got;
+  }
 
  private:
   friend class CondVar;
@@ -59,7 +101,12 @@ class CAPABILITY("mutex") Mutex {
 // vocabulary, visible to the analysis).
 class SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  explicit MutexLock(Mutex& mu, const std::source_location& site =
+                                    std::source_location::current())
+      ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(site);
+  }
   ~MutexLock() RELEASE() { mu_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -74,13 +121,32 @@ class SCOPED_CAPABILITY MutexLock {
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  ~SharedMutex() { METIS_LOCK_GRAPH_HOOK(on_destroy(this)); }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void lock(const std::source_location& site =
+                std::source_location::current()) ACQUIRE() {
+    (void)site;
+    METIS_LOCK_GRAPH_HOOK(
+        before_acquire(this, lock_graph::Mode::kExclusive, site));
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+    METIS_LOCK_GRAPH_HOOK(on_release(this));
+  }
+  void lock_shared(const std::source_location& site =
+                       std::source_location::current()) ACQUIRE_SHARED() {
+    (void)site;
+    METIS_LOCK_GRAPH_HOOK(
+        before_acquire(this, lock_graph::Mode::kShared, site));
+    mu_.lock_shared();
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    METIS_LOCK_GRAPH_HOOK(on_release(this));
+  }
 
  private:
   std::shared_mutex mu_;
@@ -89,7 +155,12 @@ class CAPABILITY("shared_mutex") SharedMutex {
 // RAII exclusive scope over a SharedMutex (writer side).
 class SCOPED_CAPABILITY WriterLock {
  public:
-  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  explicit WriterLock(SharedMutex& mu, const std::source_location& site =
+                                           std::source_location::current())
+      ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(site);
+  }
   ~WriterLock() RELEASE() { mu_.unlock(); }
 
   WriterLock(const WriterLock&) = delete;
@@ -103,8 +174,11 @@ class SCOPED_CAPABILITY WriterLock {
 // RELEASE_GENERIC: the analysis tracks the mode from the constructor.
 class SCOPED_CAPABILITY SharedLock {
  public:
-  explicit SharedLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
-    mu_.lock_shared();
+  explicit SharedLock(SharedMutex& mu, const std::source_location& site =
+                                           std::source_location::current())
+      ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared(site);
   }
   ~SharedLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
 
@@ -170,7 +244,10 @@ class CondVar {
 class OptionalLock {
  public:
   OptionalLock() = default;
-  explicit OptionalLock(Mutex& mu) { lock(mu); }
+  explicit OptionalLock(Mutex& mu, const std::source_location& site =
+                                       std::source_location::current()) {
+    lock(mu, site);
+  }
   ~OptionalLock() NO_THREAD_SAFETY_ANALYSIS {
     if (mu_ != nullptr) mu_->unlock();
   }
@@ -178,8 +255,10 @@ class OptionalLock {
   OptionalLock(const OptionalLock&) = delete;
   OptionalLock& operator=(const OptionalLock&) = delete;
 
-  void lock(Mutex& mu) NO_THREAD_SAFETY_ANALYSIS {
-    mu.lock();
+  void lock(Mutex& mu, const std::source_location& site =
+                           std::source_location::current())
+      NO_THREAD_SAFETY_ANALYSIS {
+    mu.lock(site);
     mu_ = &mu;
   }
   [[nodiscard]] bool held() const { return mu_ != nullptr; }

@@ -1,0 +1,41 @@
+// Negative controls: everything in this file is legal inside a
+// deterministic region and must NOT be flagged (the selftest asserts no
+// finding mentions this file).
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace metis {
+struct Rng {
+  explicit Rng(std::uint64_t) {}
+  static Rng derive(std::uint64_t, std::uint64_t) { return Rng(0); }
+  double uniform() { return 0.5; }
+};
+}  // namespace metis
+
+namespace metis::core {
+
+// Accounted-for unordered use: order never reaches an output.
+// metis-lint: allow(lookup-only scratch index, never iterated)
+std::unordered_map<int, int> g_scratch_index;
+
+// metis-lint: begin-deterministic
+double seeded_step(std::uint64_t seed, std::size_t episode) {
+  // Explicitly seeded streams are the sanctioned randomness: episode k's
+  // draw is a pure function of (seed, k).
+  Rng rng = Rng::derive(seed, episode);
+  double acc = rng.uniform();
+  // A string mentioning rand() or time() is prose, not code.
+  const char* doc = "never calls rand() or time() here";
+  (void)doc;
+  std::map<int, double> ordered;  // deterministic iteration is fine
+  ordered[1] = acc;
+  for (const auto& [k, v] : ordered) acc += v;
+  // metis-lint: allow(coarse progress timestamp, never enters results)
+  acc += 0.0;  // stand-in for an allowed steady_clock read
+  return acc;
+}
+// metis-lint: end-deterministic
+
+}  // namespace metis::core

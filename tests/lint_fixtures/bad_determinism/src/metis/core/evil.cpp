@@ -1,0 +1,37 @@
+// Seeded violations for metis-lint --selftest: every nondeterminism
+// source the determinism check bans, inside one marked region, plus an
+// unaccounted unordered container outside any region. Never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+namespace metis::core {
+
+// Outside any region: still needs an allow() under the tree-wide rule.
+std::unordered_map<int, double> g_unaccounted_cache;
+
+// metis-lint: begin-deterministic
+double collect_step(const double* features, int n) {
+  std::mt19937 engine;                       // std <random> engine
+  std::random_device entropy;                // unseeded randomness
+  double jitter = std::rand() / 1e9;         // unseeded randomness
+  jitter += static_cast<double>(time(nullptr));          // wall-clock read
+  const auto t0 = std::chrono::system_clock::now();      // clock read
+  (void)t0;
+  std::unordered_map<int, double> weights;   // unordered iteration order
+  for (int i = 0; i < n; ++i) weights[i] = features[i];
+  double sum = jitter + static_cast<double>(engine() + entropy());
+  for (const auto& [k, v] : weights) sum += v;
+  std::map<const double*, int> by_addr;      // pointer-keyed ordering
+  by_addr[features] = n;
+  const auto tid = std::this_thread::get_id();           // thread-id value
+  (void)tid;
+  return sum;
+}
+// metis-lint: end-deterministic
+
+}  // namespace metis::core

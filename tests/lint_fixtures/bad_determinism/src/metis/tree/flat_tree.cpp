@@ -1,0 +1,9 @@
+// Pin probe for metis-lint --selftest: this file is on the
+// REQUIRED_DETERMINISTIC_FILES list but carries no begin-deterministic
+// marker, so the check must report the missing region (deleting a
+// marker in the real tree fails the same way). Never compiled.
+namespace metis::tree {
+
+double predict_stub(const double* x) { return x[0]; }
+
+}  // namespace metis::tree

@@ -1,0 +1,23 @@
+// Seeded violations for metis-lint --selftest: raw std synchronization
+// primitives outside util/mutex.h — invisible to both the thread-safety
+// analysis and the lock-order sanitizer. Never compiled.
+#include <condition_variable>
+#include <mutex>
+
+namespace metis::serve {
+
+class EvilQueue {
+ public:
+  void push() {
+    std::lock_guard<std::mutex> lock(mu_);  // naked std::lock_guard
+    ++pending_;
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;               // raw std::mutex
+  std::condition_variable cv_;  // raw std::condition_variable
+  int pending_ = 0;
+};
+
+}  // namespace metis::serve

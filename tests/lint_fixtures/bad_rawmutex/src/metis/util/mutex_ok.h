@@ -1,0 +1,19 @@
+// Negative control: this file stands in for util/mutex.h — it carries
+// the shim marker, so its raw primitives must NOT be flagged.
+// metis-lint: allow-raw-mutex — this file IS the annotated vocabulary.
+#pragma once
+
+#include <mutex>
+
+namespace metis::util {
+
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace metis::util

@@ -3,6 +3,7 @@
 namespace metis::serve {
 
 // metis-lint: begin-hot-path
+// metis-lint: begin-deterministic
 void handle_frame(const net::Frame& frame) {
   switch (frame.type) {
     case MsgType::kPing:
@@ -13,6 +14,7 @@ void handle_frame(const net::Frame& frame) {
       return;
   }
 }
+// metis-lint: end-deterministic
 // metis-lint: end-hot-path
 
 }  // namespace metis::serve

@@ -23,6 +23,7 @@
 #include "metis/util/check.h"
 #include "metis/util/exception_slot.h"
 #include "metis/util/fault.h"
+#include "metis/util/lock_graph.h"
 #include "metis/util/mutex.h"
 #include "metis/util/rng.h"
 #include "metis/util/stats.h"
@@ -308,6 +309,122 @@ TEST(Mutex, OptionalLockTracksWhetherItWasTaken) {
   util::MutexLock reacquire(mu);  // ...or this would deadlock
   SUCCEED();
 }
+
+// ---- lock-order sanitizer ---------------------------------------------------
+
+#if METIS_LOCK_GRAPH_AVAILABLE
+
+// The death tests spawn threads inside the death statement, so the
+// fork-style default is unsafe; "threadsafe" re-executes the binary and
+// replays SetUp in the child, which re-arms detection there.
+class LockGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    util::lock_graph::set_enabled(true);
+    util::lock_graph::reset();
+  }
+  void TearDown() override {
+    util::lock_graph::reset();
+    util::lock_graph::set_enabled(false);
+  }
+};
+
+TEST_F(LockGraphTest, ConsistentOrderIsAccepted) {
+  util::Mutex a, b;
+  for (int i = 0; i < 3; ++i) {
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  }
+  const util::lock_graph::Stats s = util::lock_graph::stats();
+  EXPECT_EQ(s.acquisitions, 6u);
+  EXPECT_EQ(s.nodes, 2u);
+  EXPECT_EQ(s.edges, 1u);  // a->b recorded once, then recognized
+}
+
+TEST_F(LockGraphTest, InversionAbortsPrintingBothAcquisitionStacks) {
+  auto scenario = [] {
+    util::Mutex a, b;
+    {
+      util::MutexLock la(a);
+      util::MutexLock lb(b);  // records a -> b
+    }
+    std::thread t([&] {
+      util::MutexLock lb(b);
+      util::MutexLock la(a);  // b -> a closes the cycle: abort
+    });
+    t.join();
+  };
+  // Both sides of the inversion must be visible: the acquiring thread's
+  // held stack and the recorded stack of the thread that established the
+  // opposite order, each with util_test.cpp sites.
+  EXPECT_DEATH(scenario(),
+               "lock-order cycle detected(.|\n)*while holding(.|\n)*"
+               "util_test(.|\n)*recorded acquisition stack(.|\n)*"
+               "util_test");
+}
+
+TEST_F(LockGraphTest, SameThreadReentryAborts) {
+  EXPECT_DEATH(
+      {
+        util::Mutex m;
+        m.lock();
+        m.lock();  // UB on std::mutex; reported before blocking
+      },
+      "re-acquisition of a held lock");
+}
+
+TEST_F(LockGraphTest, SharedAndWriterAcquisitionsShareTheOrderGraph) {
+  auto scenario = [] {
+    util::SharedMutex rw;
+    util::Mutex mu;
+    {
+      util::SharedLock r(rw);
+      util::MutexLock l(mu);  // records rw -> mu (reader side)
+    }
+    std::thread t([&] {
+      util::MutexLock l(mu);
+      util::WriterLock w(rw);  // mu -> rw inverts it: abort
+    });
+    t.join();
+  };
+  EXPECT_DEATH(scenario(), "lock-order cycle detected(.|\n)*shared @");
+}
+
+TEST_F(LockGraphTest, SuccessfulTryLockIsTracked) {
+  util::Mutex a;
+  ASSERT_TRUE(a.try_lock());
+  a.unlock();
+  EXPECT_EQ(util::lock_graph::stats().acquisitions, 1u);
+}
+
+TEST_F(LockGraphTest, DestroyedLockLeavesTheGraph) {
+  {
+    util::Mutex a;
+    util::MutexLock l(a);
+  }  // ~Mutex unregisters: address reuse must not alias old edges
+  EXPECT_EQ(util::lock_graph::stats().nodes, 0u);
+}
+
+TEST_F(LockGraphTest, DisabledModeRecordsNothingAndNeverAborts) {
+  util::lock_graph::set_enabled(false);
+  util::lock_graph::reset();
+  util::Mutex a, b;
+  {
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  }
+  {
+    util::MutexLock lb(b);
+    util::MutexLock la(a);  // inverted order: must be silent when off
+  }
+  const util::lock_graph::Stats s = util::lock_graph::stats();
+  EXPECT_EQ(s.acquisitions, 0u);
+  EXPECT_EQ(s.nodes, 0u);
+  EXPECT_EQ(s.edges, 0u);
+}
+
+#endif  // METIS_LOCK_GRAPH_AVAILABLE
 
 TEST(ExceptionSlot, FirstCaptureWinsAcrossThreads) {
   util::ExceptionSlot slot;
