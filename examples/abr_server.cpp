@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
 
   std::string socket_path = "/tmp/metis_abr.sock";
   std::string tree_out = "metis_abr_tree.txt";
+  std::string store_dir;
   bool use_tcp = false;
   std::uint16_t tcp_port = 0;
   bool distill = false;
@@ -92,10 +93,11 @@ int main(int argc, char** argv) {
     else if (arg == "--distill") distill = true;
     else if (arg == "--scale") scale = std::stod(next("--scale"));
     else if (arg == "--workers") workers = std::stoul(next("--workers"));
+    else if (arg == "--store-dir") store_dir = next("--store-dir");
     else {
       std::cerr << "usage: abr_server [--socket PATH] [--tree-out FILE]\n"
                    "                  [--tcp PORT] [--distill] [--scale S]\n"
-                   "                  [--workers N]\n";
+                   "                  [--workers N] [--store-dir DIR]\n";
       return 2;
     }
   }
@@ -110,6 +112,11 @@ int main(int argc, char** argv) {
   // server watches its own control plane for completed distill jobs and
   // add_tree()s them under the scenario key — no caller-side wiring.
   cfg.auto_deploy_distilled = true;
+  // With --store-dir, the server opens (and crash-recovers) a versioned
+  // snapshot store there: previously published trees warm-boot into the
+  // query plane before the listeners bind, and every auto-deployed
+  // distill result is made durable before it becomes visible.
+  cfg.store_dir = store_dir;
   serve::Server server(cfg);
 
   std::signal(SIGINT, on_signal);
@@ -138,7 +145,17 @@ int main(int argc, char** argv) {
     const tree::DecisionTree dtree = fit_demo_tree(/*seed=*/7);
     std::cout << "tree ready: " << dtree.leaf_count() << " leaves\n";
     tree::save(dtree, tree_out);
-    server.add_tree("abr", tree::FlatTree::compile(dtree));
+    std::uint64_t version = 0;
+    if (auto* store = server.snapshot_store()) {
+      // Durable before visible, same as the auto-deploy path.
+      version = store->publish_tree("abr", dtree);
+    }
+    server.add_tree("abr", tree::FlatTree::compile(dtree), version);
+  }
+  if (auto* store = server.snapshot_store()) {
+    std::cout << "snapshot store at " << store->dir() << " (recovered "
+              << store->recovery().keys_recovered << " keys, quarantined "
+              << store->recovery().quarantined << ")\n";
   }
 
   std::cout << "serving tree \"abr\" on " << socket_path;

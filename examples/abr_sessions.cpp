@@ -185,14 +185,14 @@ int main(int argc, char** argv) {
       std::cerr << "external mode needs --tree FILE (written by abr_server)\n";
       return 2;
     }
-    std::ifstream in(tree_file);
-    if (!in) {
-      std::cerr << "cannot read " << tree_file << "\n";
+    try {
+      // tree::load verifies the CRC frame (and still accepts pre-framing
+      // files), so a torn or corrupt artifact fails here, not mid-run.
+      dtree = tree::load(tree_file);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot load " << tree_file << ": " << e.what() << "\n";
       return 1;
     }
-    std::stringstream ss;
-    ss << in.rdbuf();
-    dtree = tree::deserialize(ss.str());
   }
   const tree::FlatTree flat = tree::FlatTree::compile(dtree);
 

@@ -362,4 +362,10 @@ bool Client::cancel_job(std::uint64_t job) {
   return CancelResultReply::decode(reply).delivered;
 }
 
+TreeListReply Client::list_trees() {
+  const Frame reply = call(ListTreesRequest{}.encode());
+  if (reply.type == MsgType::kError) throw_server_error(reply);
+  return TreeListReply::decode(reply);
+}
+
 }  // namespace metis::net

@@ -110,6 +110,9 @@ class Client {
   // True when the cancellation reached a still-live job (see
   // JobHandle::cancel for the exact semantics).
   [[nodiscard]] bool cancel_job(std::uint64_t job);
+  // Snapshot of the deployed-tree table: names (sorted) and their
+  // snapshot-store versions (0 = deployed without a durable store).
+  [[nodiscard]] TreeListReply list_trees();
 
   [[nodiscard]] int fd() const { return fd_; }
 

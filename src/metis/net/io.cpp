@@ -2,10 +2,6 @@
 
 #include <cerrno>
 
-#include <atomic>
-#include <chrono>
-#include <thread>
-
 #include "metis/util/fault.h"
 
 // metis-lint: allow-raw-syscalls — this file IS the shim.
@@ -14,19 +10,12 @@ namespace metis::net::io {
 
 namespace {
 
-std::atomic<util::FaultPlan*> g_plan{nullptr};
-
-// Decides the injected action for this call, if any. Returns kNone on
-// the no-plan fast path.
+// Decides the injected action for this call, if any. The plan registry
+// and the delay/kill handling live in util::next_fault — shared with the
+// filesystem shim (util::fsio), so one installed plan covers socket and
+// disk sites with a single interleaved schedule.
 util::FaultAction decide(util::FaultSite site) {
-  util::FaultPlan* plan = g_plan.load(std::memory_order_acquire);
-  if (plan == nullptr) return util::FaultAction::kNone;
-  const util::FaultAction action = plan->next(site);
-  if (action == util::FaultAction::kDelay) {
-    std::this_thread::sleep_for(std::chrono::microseconds(plan->delay_us()));
-    return util::FaultAction::kNone;  // delayed, then proceed normally
-  }
-  return action;
+  return util::next_fault(site);
 }
 
 // Applies a fail-style action (kEIntr/kReset) by setting errno; returns
@@ -53,13 +42,9 @@ std::size_t clamp_len(util::FaultAction action, std::size_t len) {
 
 }  // namespace
 
-void set_fault_plan(util::FaultPlan* plan) {
-  g_plan.store(plan, std::memory_order_release);
-}
+void set_fault_plan(util::FaultPlan* plan) { util::set_fault_plan(plan); }
 
-util::FaultPlan* fault_plan() {
-  return g_plan.load(std::memory_order_acquire);
-}
+util::FaultPlan* fault_plan() { return util::fault_plan(); }
 
 ssize_t read(int fd, void* buf, std::size_t count) {
   const auto action = decide(util::FaultSite::kRead);

@@ -30,7 +30,10 @@ namespace metis::net::io {
 
 // Installs (or clears, with nullptr) the process-wide fault plan. The
 // plan must outlive its installation; tests install before starting
-// traffic and clear after joining everything.
+// traffic and clear after joining everything. Forwards to
+// util::set_fault_plan — the registry is shared with the filesystem shim
+// (util/fs_io.h), so one plan's schedule interleaves socket and disk
+// sites.
 void set_fault_plan(util::FaultPlan* plan);
 util::FaultPlan* fault_plan();
 

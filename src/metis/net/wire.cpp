@@ -26,6 +26,8 @@ const char* to_string(MsgType type) {
     case MsgType::kInterpretResult: return "interpret_result";
     case MsgType::kCancelJob: return "cancel_job";
     case MsgType::kCancelResult: return "cancel_result";
+    case MsgType::kListTrees: return "list_trees";
+    case MsgType::kTreeList: return "tree_list";
   }
   return "unknown";
 }
@@ -48,7 +50,7 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 
 // The last type value; anything above is not a MsgType.
 constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kCancelResult);
+    static_cast<std::uint8_t>(MsgType::kTreeList);
 
 }  // namespace
 
@@ -503,6 +505,41 @@ CancelResultReply CancelResultReply::decode(const Frame& frame) {
   CancelResultReply m;
   m.job = r.u64();
   m.delivered = r.u8() != 0;
+  r.expect_end();
+  return m;
+}
+
+Frame ListTreesRequest::encode() const { return {MsgType::kListTrees, {}}; }
+
+ListTreesRequest ListTreesRequest::decode(const Frame& frame) {
+  PayloadReader r = reader_for(frame, MsgType::kListTrees);
+  r.expect_end();
+  return {};
+}
+
+Frame TreeListReply::encode() const {
+  if (names.size() != versions.size()) {
+    throw WireError("ragged tree-list columns");
+  }
+  PayloadWriter w;
+  w.u32(static_cast<std::uint32_t>(names.size()));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    w.str(names[i]);
+    w.u64(versions[i]);
+  }
+  return {MsgType::kTreeList, w.take()};
+}
+
+TreeListReply TreeListReply::decode(const Frame& frame) {
+  PayloadReader r = reader_for(frame, MsgType::kTreeList);
+  TreeListReply m;
+  const std::uint32_t n = r.u32();
+  m.names.reserve(n);
+  m.versions.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.names.push_back(r.str());
+    m.versions.push_back(r.u64());
+  }
   r.expect_end();
   return m;
 }

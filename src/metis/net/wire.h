@@ -57,6 +57,8 @@ enum class MsgType : std::uint8_t {
   kInterpretResult = 13,// InterpretResultReply
   kCancelJob = 14,      // CancelJobRequest -> kCancelResult | kError
   kCancelResult = 15,   // CancelResultReply
+  kListTrees = 16,      // ListTreesRequest -> kTreeList | kError
+  kTreeList = 17,       // TreeListReply
 };
 [[nodiscard]] const char* to_string(MsgType type);
 
@@ -264,6 +266,24 @@ struct CancelResultReply {
   bool delivered = false;
   [[nodiscard]] Frame encode() const;
   [[nodiscard]] static CancelResultReply decode(const Frame& frame);
+};
+
+// Asks the server what the query plane currently serves. Deliberately
+// payload-free: the reply is a snapshot of the deployed-tree table.
+struct ListTreesRequest {
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static ListTreesRequest decode(const Frame& frame);
+};
+
+// Deployed tree names with their snapshot-store versions, in the
+// server's deterministic (name-sorted) deployment order. `versions[i]`
+// is 0 for a tree deployed directly via add_tree without a store behind
+// it (no durable version exists).
+struct TreeListReply {
+  std::vector<std::string> names;
+  std::vector<std::uint64_t> versions;
+  [[nodiscard]] Frame encode() const;
+  [[nodiscard]] static TreeListReply decode(const Frame& frame);
 };
 
 // Interpret result summary: the Figure-6 diagnostics plus the top-ranked

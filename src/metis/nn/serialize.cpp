@@ -5,14 +5,11 @@
 #include <sstream>
 
 #include "metis/util/atomic_file.h"
+#include "metis/util/checksum.h"
 
 namespace metis::nn {
 
-bool save_parameters(const std::vector<Var>& params,
-                     const std::string& path) {
-  // Render to memory, then publish with write-temp + fsync + rename: a
-  // crash (or power cut) mid-save can never leave a half-written cache at
-  // `path` — readers see the old file or the new one, nothing in between.
+std::string render_parameters(const std::vector<Var>& params) {
   std::ostringstream out;
   out << "metis-params v1\n" << params.size() << "\n";
   out << std::setprecision(17);
@@ -23,17 +20,12 @@ bool save_parameters(const std::vector<Var>& params,
       out << t.data()[i] << (i + 1 == t.rows() * t.cols() ? "\n" : " ");
     }
   }
-  try {
-    return util::write_file_atomic(path, out.str());
-  } catch (const std::exception&) {
-    return false;
-  }
+  return out.str();
 }
 
-bool load_parameters(const std::vector<Var>& params,
-                     const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return false;
+bool parse_parameters(const std::vector<Var>& params,
+                      const std::string& payload) {
+  std::istringstream in(payload);
   std::string magic, version;
   in >> magic >> version;
   if (magic != "metis-params" || version != "v1") return false;
@@ -61,6 +53,42 @@ bool load_parameters(const std::vector<Var>& params,
     params[i]->value() = std::move(staged[i]);
   }
   return true;
+}
+
+bool save_parameters(const std::vector<Var>& params,
+                     const std::string& path) {
+  // Render to memory, then publish with write-temp + fsync + rename: a
+  // crash (or power cut) mid-save can never leave a half-written cache at
+  // `path` — readers see the old file or the new one, nothing in between.
+  // The CRC frame additionally catches bit rot and truncation at load.
+  try {
+    return util::write_file_atomic(
+        path, util::wrap_crc_frame("params", render_parameters(params)));
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool load_parameters(const std::vector<Var>& params,
+                     const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+
+  util::CrcFrame frame;
+  switch (util::parse_crc_frame(text.str(), &frame)) {
+    case util::FrameParse::kOk:
+      if (frame.header != "params") return false;
+      return parse_parameters(params, frame.payload);
+    case util::FrameParse::kNotFramed:
+      // A bare pre-frame payload from before the checksummed framing.
+      return parse_parameters(params, text.str());
+    case util::FrameParse::kCorrupt:
+      return false;
+  }
+  return false;
 }
 
 }  // namespace metis::nn

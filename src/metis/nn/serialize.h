@@ -2,8 +2,8 @@
 //
 // Persists the values of a parameter list (as returned by
 // Mlp::parameters() / PolicyNet::parameters()) so expensive teachers can
-// be trained once and reloaded by every bench/example. The format is a
-// human-inspectable text file:
+// be trained once and reloaded by every bench/example. The payload is a
+// human-inspectable text form:
 //
 //     metis-params v1
 //     <tensor count>
@@ -11,9 +11,17 @@
 //     <row-major doubles...>
 //     ...
 //
-// Loading validates shapes against the (already constructed) network, so
-// a stale cache for a different architecture fails loudly instead of
-// silently corrupting weights.
+// On disk the payload is wrapped in a CRC-32 frame (util/checksum.h) and
+// published via write-temp + fsync + rename, so a parameter cache is
+// complete and checksummed or it is rejected — load_parameters also
+// accepts bare pre-frame payloads from before the framing. Loading
+// validates shapes against the (already constructed) network, so a stale
+// cache for a different architecture fails loudly instead of silently
+// corrupting weights.
+//
+// render_parameters/parse_parameters expose the payload form directly —
+// the snapshot store (store/snapshot_store.h) uses them to version
+// parameter sets without touching the filesystem layer here.
 #pragma once
 
 #include <string>
@@ -23,13 +31,23 @@
 
 namespace metis::nn {
 
-// Writes the parameter values to `path`. Returns false (leaving a partial
-// file removed) on I/O failure.
+// The text payload for a parameter list (17 significant digits — doubles
+// round-trip exactly).
+[[nodiscard]] std::string render_parameters(const std::vector<Var>& params);
+
+// Parses a render_parameters payload into the given parameters. Returns
+// false if malformed or shape-mismatched; parameters are only mutated on
+// success.
+bool parse_parameters(const std::vector<Var>& params,
+                      const std::string& payload);
+
+// Writes the parameter values to `path` (CRC-framed, atomically
+// published). Returns false on I/O failure.
 bool save_parameters(const std::vector<Var>& params, const std::string& path);
 
 // Loads parameter values from `path` into the given parameters. Returns
-// false if the file is missing, malformed, or shape-mismatched; parameters
-// are only mutated on success.
+// false if the file is missing, corrupt (checksum mismatch), malformed,
+// or shape-mismatched; parameters are only mutated on success.
 bool load_parameters(const std::vector<Var>& params, const std::string& path);
 
 }  // namespace metis::nn

@@ -15,14 +15,22 @@
 namespace metis::serve {
 
 Server::Server(ServerConfig config)
-    : config_(std::move(config)), service_(config_.service) {}
+    : config_(std::move(config)), service_(config_.service) {
+  if (!config_.store_dir.empty()) {
+    // Constructing the store IS crash recovery: checksum scan, temp
+    // sweep, quarantine, manifest reconcile (store/snapshot_store.h).
+    store_.emplace(store::SnapshotStoreConfig{config_.store_dir,
+                                              config_.store_retain});
+  }
+}
 
 Server::~Server() { stop(); }
 
-void Server::add_tree(const std::string& name, tree::FlatTree tree) {
+void Server::add_tree(const std::string& name, tree::FlatTree tree,
+                      std::uint64_t version) {
   auto shared = std::make_shared<const tree::FlatTree>(std::move(tree));
   util::MutexLock lock(trees_mu_);
-  trees_[name] = std::move(shared);
+  trees_[name] = Deployed{std::move(shared), version};
 }
 
 bool Server::has_tree(const std::string& name) const {
@@ -32,6 +40,24 @@ bool Server::has_tree(const std::string& name) const {
 
 void Server::start() {
   if (started_) return;
+  // Warm boot BEFORE binding listeners: the first accepted connection
+  // must already see every tree the store recovered — a restart never
+  // exposes a window where previously served trees answer "unknown".
+  if (store_) {
+    for (const store::ArtifactInfo& info : store_->list()) {
+      if (info.kind != store::ArtifactKind::kTree) continue;
+      try {
+        std::uint64_t version = 0;
+        tree::DecisionTree recovered = store_->load_tree(info.key, &version);
+        add_tree(info.key, tree::FlatTree::compile(recovered), version);
+        stats_.trees_warm_booted.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+        // Every version of this key failed its checksum between list()
+        // and load (quarantined): serve the rest of the store rather
+        // than refusing to boot.
+      }
+    }
+  }
   if (!config_.unix_path.empty()) {
     unix_listener_.emplace(net::Listener::unix_domain(config_.unix_path));
     const net::Listener& l = *unix_listener_;
@@ -161,7 +187,25 @@ void Server::housekeeping() {
         // distill_run() returns without blocking (status is kDone) unless
         // a caller already took the result — then skip, don't crash.
         const api::DistillRun& run = job.distill_run();
-        add_tree(job.scenario(), tree::FlatTree::compile(run.result.tree));
+        std::uint64_t version = 0;
+        if (store_) {
+          // Durable before visible: the artifact must be fsync'd into
+          // the store BEFORE the query plane can answer with it. A
+          // publish the disk rejected (ENOSPC, I/O error) defers the
+          // deploy to the next housekeeping tick — un-marking the job so
+          // it is retried — rather than serving an artifact that would
+          // not survive a restart.
+          try {
+            version = store_->publish_tree(job.scenario(), run.result.tree);
+          } catch (const std::runtime_error&) {
+            deployed_jobs_.erase(job.id());
+            stats_.store_publish_failures.fetch_add(
+                1, std::memory_order_relaxed);
+            continue;
+          }
+        }
+        add_tree(job.scenario(), tree::FlatTree::compile(run.result.tree),
+                 version);
         stats_.trees_auto_deployed.fetch_add(1, std::memory_order_relaxed);
       } catch (const std::logic_error&) {
         // Result taken out from under us; the job stays marked deployed.
@@ -181,6 +225,8 @@ Server::Stats Server::stats() const {
   s.connections_dropped = stats_.connections_dropped.load();
   s.connections_reaped = stats_.connections_reaped.load();
   s.trees_auto_deployed = stats_.trees_auto_deployed.load();
+  s.trees_warm_booted = stats_.trees_warm_booted.load();
+  s.store_publish_failures = stats_.store_publish_failures.load();
   return s;
 }
 
@@ -275,7 +321,7 @@ void Server::handle_frame(Connection& conn, const net::Frame& frame) {
         {
           util::MutexLock lock(trees_mu_);
           auto it = trees_.find(req.tree);
-          if (it != trees_.end()) tree = it->second;
+          if (it != trees_.end()) tree = it->second.tree;
         }
         if (!tree) {
           stats_.error_replies.fetch_add(1, std::memory_order_relaxed);
@@ -341,6 +387,22 @@ void Server::handle_frame(Connection& conn, const net::Frame& frame) {
       case MsgType::kResult:
         handle_result(conn, frame);
         return;
+      case MsgType::kListTrees: {
+        (void)net::ListTreesRequest::decode(frame);  // validates empty payload
+        net::TreeListReply r;
+        {
+          // std::map iteration: deterministic name-sorted order.
+          util::MutexLock lock(trees_mu_);
+          r.names.reserve(trees_.size());
+          r.versions.reserve(trees_.size());
+          for (const auto& [name, deployed] : trees_) {
+            r.names.push_back(name);
+            r.versions.push_back(deployed.version);
+          }
+        }
+        reply(conn, r.encode());
+        return;
+      }
       case MsgType::kCancelJob: {
         const auto req = net::CancelJobRequest::decode(frame);
         const JobHandle job = service_.find(req.job);

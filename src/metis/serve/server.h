@@ -41,6 +41,7 @@
 #include "metis/net/listener.h"
 #include "metis/net/wire.h"
 #include "metis/serve/service.h"
+#include "metis/store/snapshot_store.h"
 #include "metis/tree/flat_tree.h"
 #include "metis/util/mutex.h"
 
@@ -78,8 +79,21 @@ struct ServerConfig {
   // Hot-swap every completed distill job's tree into the query plane
   // under its scenario key (via add_tree), so clients can open sessions
   // against what the control plane just trained without any caller-side
-  // wiring. Jobs whose result was already taken are skipped.
+  // wiring. Jobs whose result was already taken are skipped. With a
+  // store configured, the tree is published durably FIRST — a deploy the
+  // store rejected (disk full) is retried at the next housekeeping tick
+  // and never becomes visible undurable.
   bool auto_deploy_distilled = false;
+
+  // --- durability (empty = no store) ----------------------------------------
+  // Directory of the versioned snapshot store (store::SnapshotStore).
+  // start() warm-boots the query plane from it BEFORE binding listeners:
+  // every tree artifact that survives the recovery scan is deployed, so
+  // a restarted server answers queries for everything it served before
+  // the crash without re-distilling.
+  std::string store_dir;
+  // Complete versions retained per artifact key (see SnapshotStoreConfig).
+  std::size_t store_retain = 2;
 
   // The owned control-plane service (workers, registry, cache bound...).
   ServiceConfig service;
@@ -95,7 +109,10 @@ class Server {
 
   // Registers/replaces a deployable tree under `name`. Thread-safe; may be
   // called while serving (existing sessions keep the tree they opened).
-  void add_tree(const std::string& name, tree::FlatTree tree);
+  // `version` is the snapshot-store version backing this deployment (0 =
+  // not store-backed), reported by kListTrees.
+  void add_tree(const std::string& name, tree::FlatTree tree,
+                std::uint64_t version = 0);
   // True once a tree is deployed under `name` (thread-safe; the poll
   // clients use to wait for auto_deploy_distilled to land).
   [[nodiscard]] bool has_tree(const std::string& name) const;
@@ -109,6 +126,12 @@ class Server {
   void stop();
 
   [[nodiscard]] Service& service() { return service_; }
+  // The durable store behind the query plane; nullptr when store_dir is
+  // empty. Valid for the Server's lifetime (constructed eagerly so
+  // callers can publish before start()).
+  [[nodiscard]] store::SnapshotStore* snapshot_store() {
+    return store_ ? &*store_ : nullptr;
+  }
   // Resolved TCP port, valid after start() when config.tcp is set.
   [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
   [[nodiscard]] const std::string& unix_path() const {
@@ -125,6 +148,8 @@ class Server {
     std::uint64_t connections_dropped = 0;  // protocol/overflow closes
     std::uint64_t connections_reaped = 0;   // idle/write-stall timeouts
     std::uint64_t trees_auto_deployed = 0;  // auto_deploy_distilled swaps
+    std::uint64_t trees_warm_booted = 0;    // store recoveries deployed
+    std::uint64_t store_publish_failures = 0;  // deploys deferred by the store
   };
   [[nodiscard]] Stats stats() const;
 
@@ -179,10 +204,19 @@ class Server {
   bool started_ = false;
 
   // Deployed trees; the only cross-thread state the query plane touches,
-  // and only at open-session time (queries use the session's shared_ptr).
+  // and only at open-session/list time (queries use the session's
+  // shared_ptr). `version` is the snapshot-store version the deployment
+  // came from (0 = not store-backed).
+  struct Deployed {
+    std::shared_ptr<const tree::FlatTree> tree;
+    std::uint64_t version = 0;
+  };
   mutable util::Mutex trees_mu_;
-  std::map<std::string, std::shared_ptr<const tree::FlatTree>> trees_
-      GUARDED_BY(trees_mu_);
+  std::map<std::string, Deployed> trees_ GUARDED_BY(trees_mu_);
+  // The durable store (engaged when config_.store_dir is non-empty).
+  // Constructed (and crash-recovered) in the Server constructor; the
+  // query plane is warm-booted from it in start() before listeners bind.
+  std::optional<store::SnapshotStore> store_;
 
   // "Loop thread only" as a compile-time capability: a zero-cost
   // util::ThreadRole acquired by the loop callbacks (and by stop()'s
@@ -216,6 +250,8 @@ class Server {
     std::atomic<std::uint64_t> connections_dropped{0};
     std::atomic<std::uint64_t> connections_reaped{0};
     std::atomic<std::uint64_t> trees_auto_deployed{0};
+    std::atomic<std::uint64_t> trees_warm_booted{0};
+    std::atomic<std::uint64_t> store_publish_failures{0};
   };
   AtomicStats stats_;
 };

@@ -1,0 +1,454 @@
+#include "metis/store/snapshot_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "metis/tree/tree_io.h"
+#include "metis/util/atomic_file.h"
+#include "metis/util/checksum.h"
+#include "metis/util/fs_io.h"
+
+namespace metis::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "manifest";
+constexpr char kManifestMagic[] = "metis-manifest-v1";
+
+bool key_char_plain(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+// Filesystem-safe key encoding: anything outside [A-Za-z0-9_-] becomes
+// %XX, so keys can never collide with the '.'-separated filename fields
+// or escape the objects/ directory.
+std::string encode_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char ch : key) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (key_char_plain(c)) {
+      out.push_back(ch);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+bool decode_key(const std::string& enc, std::string* out) {
+  std::string decoded;
+  decoded.reserve(enc.size());
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    const char ch = enc[i];
+    if (ch != '%') {
+      if (!key_char_plain(static_cast<unsigned char>(ch))) return false;
+      decoded.push_back(ch);
+      continue;
+    }
+    if (i + 2 >= enc.size()) return false;
+    unsigned value = 0;
+    for (int k = 1; k <= 2; ++k) {
+      const char h = enc[i + static_cast<std::size_t>(k)];
+      value <<= 4;
+      if (h >= '0' && h <= '9') {
+        value |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'A' && h <= 'F') {
+        value |= static_cast<unsigned>(h - 'A') + 10;
+      } else {
+        return false;
+      }
+    }
+    decoded.push_back(static_cast<char>(value));
+    i += 2;
+  }
+  *out = std::move(decoded);
+  return true;
+}
+
+ArtifactKind kind_from_string(const std::string& s, bool* ok) {
+  *ok = true;
+  if (s == "tree") return ArtifactKind::kTree;
+  if (s == "params") return ArtifactKind::kParams;
+  *ok = false;
+  return ArtifactKind::kTree;
+}
+
+std::string version_string(std::uint64_t version) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(version));
+  return buf;
+}
+
+// "<enc_key>.<kind>.v<20 digits>" -> fields. Rejects anything else
+// (including enc_keys that would not re-encode to themselves).
+bool parse_object_name(const std::string& name, std::string* enc_key,
+                       ArtifactKind* kind, std::uint64_t* version) {
+  const std::size_t vdot = name.find_last_of('.');
+  if (vdot == std::string::npos || vdot + 2 >= name.size() ||
+      name[vdot + 1] != 'v') {
+    return false;
+  }
+  const std::string vdigits = name.substr(vdot + 2);
+  if (vdigits.size() != 20) return false;
+  std::uint64_t v = 0;
+  for (const char c : vdigits) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - 9) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  const std::size_t kdot = name.find_last_of('.', vdot - 1);
+  if (kdot == std::string::npos || kdot == 0) return false;
+  bool kind_ok = false;
+  const ArtifactKind k =
+      kind_from_string(name.substr(kdot + 1, vdot - kdot - 1), &kind_ok);
+  if (!kind_ok) return false;
+  const std::string ek = name.substr(0, kdot);
+  std::string decoded;
+  if (!decode_key(ek, &decoded)) return false;
+  *enc_key = ek;
+  *kind = k;
+  *version = v;
+  return true;
+}
+
+std::string slurp(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  *ok = in.good() || in.eof();
+  return text.str();
+}
+
+// EINTR-retrying wrappers over the fsio shim (mirrors atomic_file.cpp's
+// discipline — every site here is also a chaos/kill-point site).
+bool unlink_retry(const std::string& path) {
+  for (;;) {
+    if (util::fsio::unlink(path.c_str()) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool rename_retry(const std::string& from, const std::string& to) {
+  for (;;) {
+    if (util::fsio::rename(from.c_str(), to.c_str()) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+// Sorted names of the regular files directly inside `dir` —
+// directory_iterator order is unspecified, and recovery must be
+// deterministic for a given on-disk state.
+std::vector<std::string> sorted_file_names(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code type_ec;
+    if (it->is_regular_file(type_ec)) {
+      names.push_back(it->path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+const char* to_string(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kTree: return "tree";
+    case ArtifactKind::kParams: return "params";
+  }
+  return "unknown";
+}
+
+SnapshotStore::SnapshotStore(SnapshotStoreConfig config)
+    : config_(std::move(config)) {
+  if (config_.dir.empty()) {
+    throw std::invalid_argument("SnapshotStore: empty directory");
+  }
+  if (config_.retain == 0) config_.retain = 1;
+  objects_dir_ = config_.dir + "/objects";
+  quarantine_dir_ = config_.dir + "/quarantine";
+  // The only fatal condition: no directory layout means no store at all.
+  fs::create_directories(objects_dir_);
+  fs::create_directories(quarantine_dir_);
+  util::MutexLock lock(mu_);
+  recover();
+}
+
+std::string SnapshotStore::object_path(const EntryKey& ek,
+                                       std::uint64_t version) const {
+  return objects_dir_ + "/" + ek.second + "." +
+         to_string(static_cast<ArtifactKind>(ek.first)) + ".v" +
+         version_string(version);
+}
+
+bool SnapshotStore::quarantine_file(const std::string& path) {
+  const std::string name = fs::path(path).filename().string();
+  std::string dest = quarantine_dir_ + "/" + name;
+  std::error_code ec;
+  for (int suffix = 1; fs::exists(dest, ec); ++suffix) {
+    dest = quarantine_dir_ + "/" + name + "." + std::to_string(suffix);
+  }
+  return rename_retry(path, dest);
+}
+
+void SnapshotStore::recover() {
+  RecoveryReport report;
+
+  // 1. Sweep *.tmp.* crash residue (kill mid-write_file_atomic leaves
+  // the staged temp behind, beside the destination — so look both at the
+  // store root, where MANIFEST stages, and in objects/).
+  for (const std::string* dir : {&config_.dir, &objects_dir_}) {
+    for (const std::string& name : sorted_file_names(*dir)) {
+      if (name.find(".tmp.") == std::string::npos) continue;
+      if (unlink_retry(*dir + "/" + name)) ++report.temps_removed;
+    }
+  }
+
+  // 2. Authoritative objects scan: checksum + header validation per
+  // file; anything not provably complete is quarantined, never deleted,
+  // and never aborts the scan.
+  for (const std::string& name : sorted_file_names(objects_dir_)) {
+    const std::string path = objects_dir_ + "/" + name;
+    std::string enc_key;
+    ArtifactKind kind = ArtifactKind::kTree;
+    std::uint64_t version = 0;
+    if (!parse_object_name(name, &enc_key, &kind, &version)) {
+      if (quarantine_file(path)) ++report.quarantined;
+      continue;
+    }
+    const EntryKey ek{static_cast<std::uint8_t>(kind), enc_key};
+    Entry& entry = entries_[ek];
+    entry.max_seen = std::max(entry.max_seen, version);
+    bool read_ok = false;
+    const std::string text = slurp(path, &read_ok);
+    util::CrcFrame frame;
+    const bool complete =
+        read_ok &&
+        util::parse_crc_frame(text, &frame) == util::FrameParse::kOk &&
+        frame.header == std::string(to_string(kind)) + " " + enc_key + " " +
+                            std::to_string(version);
+    if (!complete) {
+      if (quarantine_file(path)) ++report.quarantined;
+      continue;
+    }
+    entry.versions.push_back(version);
+    ++report.versions_seen;
+  }
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    std::sort(it->second.versions.begin(), it->second.versions.end());
+    if (it->second.versions.empty()) {
+      // Every version of this key was damaged; keep nothing in memory
+      // (max_seen is recomputed from quarantine-safe publishes anyway —
+      // a fresh publish under this key restarts at version 1, and the
+      // quarantined evidence keeps its original numbered name).
+      it = entries_.erase(it);
+    } else {
+      ++report.keys_recovered;
+      ++it;
+    }
+  }
+
+  // 3. Retention GC over the *complete* versions.
+  for (auto& [ek, entry] : entries_) {
+    gc_locked(ek, entry, &report);
+  }
+
+  // 4. Reconcile MANIFEST with what the scan proved. The manifest is a
+  // cache — scan wins; a corrupt manifest is quarantined like any other
+  // damaged file.
+  const std::string manifest_path = config_.dir + "/" + kManifestName;
+  const std::string expected = render_manifest_locked();
+  bool read_ok = false;
+  const std::string actual = slurp(manifest_path, &read_ok);
+  bool manifest_good = false;
+  if (read_ok) {
+    util::CrcFrame frame;
+    const util::FrameParse parse = util::parse_crc_frame(actual, &frame);
+    manifest_good = parse == util::FrameParse::kOk &&
+                    frame.header == kManifestHeader &&
+                    frame.payload == expected;
+    if (parse != util::FrameParse::kOk || frame.header != kManifestHeader) {
+      if (quarantine_file(manifest_path)) ++report.quarantined;
+    }
+  }
+  if (!manifest_good) {
+    report.manifest_rebuilt = true;
+    write_manifest_locked();
+  }
+
+  recovery_ = report;
+}
+
+void SnapshotStore::gc_locked(const EntryKey& ek, Entry& entry,
+                              RecoveryReport* report) {
+  while (entry.versions.size() > config_.retain) {
+    // Oldest first; if the unlink fails (chaos fault, permissions) the
+    // file stays for the next recovery pass — retention is advisory,
+    // the latest complete version is what matters.
+    if (!unlink_retry(object_path(ek, entry.versions.front()))) break;
+    entry.versions.erase(entry.versions.begin());
+    if (report != nullptr) ++report->stale_versions_removed;
+  }
+}
+
+std::string SnapshotStore::render_manifest_locked() const {
+  std::ostringstream out;
+  std::size_t live = 0;
+  for (const auto& [ek, entry] : entries_) {
+    if (!entry.versions.empty()) ++live;
+  }
+  out << kManifestMagic << "\n" << live << "\n";
+  for (const auto& [ek, entry] : entries_) {
+    if (entry.versions.empty()) continue;  // all versions quarantined
+    out << to_string(static_cast<ArtifactKind>(ek.first)) << ' ' << ek.second
+        << ' ' << entry.versions.back() << ' ' << entry.max_seen << '\n';
+  }
+  return out.str();
+}
+
+void SnapshotStore::write_manifest_locked() {
+  try {
+    util::write_file_atomic(
+        config_.dir + "/" + kManifestName,
+        util::wrap_crc_frame(kManifestHeader, render_manifest_locked()));
+  } catch (const std::exception&) {
+    // Best effort: the objects scan is authoritative at the next boot; a
+    // missing/stale manifest costs recovery time, not artifacts.
+  }
+}
+
+std::uint64_t SnapshotStore::publish(ArtifactKind kind, const std::string& key,
+                                     const std::string& payload) {
+  if (key.empty()) {
+    throw std::invalid_argument("SnapshotStore::publish: empty key");
+  }
+  util::MutexLock lock(mu_);
+  const EntryKey ek{static_cast<std::uint8_t>(kind), encode_key(key)};
+  Entry& entry = entries_[ek];
+  const std::uint64_t version = entry.max_seen + 1;
+  const std::string header = std::string(to_string(kind)) + " " + ek.second +
+                             " " + std::to_string(version);
+  try {
+    if (!util::write_file_atomic(object_path(ek, version),
+                                 util::wrap_crc_frame(header, payload))) {
+      throw std::runtime_error(
+          "SnapshotStore::publish: simulated crash before publish");
+    }
+  } catch (...) {
+    // Nothing became visible; drop the entry if this key never had a
+    // complete version (so a failed first publish leaves no ghost key).
+    if (entry.versions.empty() && entry.max_seen == 0) entries_.erase(ek);
+    throw;
+  }
+  // The artifact is durable — from here the publish has happened even if
+  // the manifest/GC bookkeeping below degrades.
+  entry.versions.push_back(version);
+  entry.max_seen = version;
+  write_manifest_locked();
+  gc_locked(ek, entry, nullptr);
+  return version;
+}
+
+std::uint64_t SnapshotStore::publish_tree(const std::string& key,
+                                          const tree::DecisionTree& tree) {
+  return publish(ArtifactKind::kTree, key, tree::serialize(tree));
+}
+
+std::uint64_t SnapshotStore::publish_params(const std::string& key,
+                                            const std::vector<nn::Var>& params) {
+  return publish(ArtifactKind::kParams, key, nn::render_parameters(params));
+}
+
+std::string SnapshotStore::load_payload(ArtifactKind kind,
+                                        const std::string& key,
+                                        std::uint64_t* version) {
+  util::MutexLock lock(mu_);
+  const EntryKey ek{static_cast<std::uint8_t>(kind), encode_key(key)};
+  const auto it = entries_.find(ek);
+  bool dropped_any = false;
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    while (!entry.versions.empty()) {
+      const std::uint64_t v = entry.versions.back();
+      const std::string path = object_path(ek, v);
+      bool read_ok = false;
+      const std::string text = slurp(path, &read_ok);
+      util::CrcFrame frame;
+      if (read_ok &&
+          util::parse_crc_frame(text, &frame) == util::FrameParse::kOk &&
+          frame.header == std::string(to_string(kind)) + " " + ek.second +
+                              " " + std::to_string(v)) {
+        if (dropped_any) write_manifest_locked();
+        if (version != nullptr) *version = v;
+        return frame.payload;
+      }
+      // Damaged underneath a running store (bit rot, external
+      // truncation): preserve the evidence, fall back a version.
+      if (read_ok) quarantine_file(path);
+      entry.versions.pop_back();
+      dropped_any = true;
+    }
+  }
+  if (dropped_any) write_manifest_locked();
+  throw std::runtime_error(std::string("SnapshotStore: no complete ") +
+                           to_string(kind) + " artifact for key \"" + key +
+                           "\"");
+}
+
+tree::DecisionTree SnapshotStore::load_tree(const std::string& key,
+                                            std::uint64_t* version) {
+  return tree::deserialize(load_payload(ArtifactKind::kTree, key, version));
+}
+
+bool SnapshotStore::load_params(const std::string& key,
+                                const std::vector<nn::Var>& params,
+                                std::uint64_t* version) {
+  return nn::parse_parameters(
+      params, load_payload(ArtifactKind::kParams, key, version));
+}
+
+std::vector<ArtifactInfo> SnapshotStore::list() const {
+  util::MutexLock lock(mu_);
+  std::vector<ArtifactInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [ek, entry] : entries_) {
+    if (entry.versions.empty()) continue;  // all versions quarantined
+    ArtifactInfo info;
+    info.kind = static_cast<ArtifactKind>(ek.first);
+    if (!decode_key(ek.second, &info.key)) continue;  // unreachable: scanned
+    info.version = entry.versions.back();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::uint64_t SnapshotStore::latest_version(ArtifactKind kind,
+                                            const std::string& key) const {
+  util::MutexLock lock(mu_);
+  const auto it =
+      entries_.find(EntryKey{static_cast<std::uint8_t>(kind), encode_key(key)});
+  if (it == entries_.end() || it->second.versions.empty()) return 0;
+  return it->second.versions.back();
+}
+
+}  // namespace metis::store

@@ -1,0 +1,167 @@
+// SnapshotStore — the durable, versioned artifact store behind serving.
+//
+// Distilled FlatTree text and nn parameter sets are long-lived artifacts
+// (the paper's deployment story: trees are distilled offline, then
+// redeployed and ad-hoc-adjusted for months), so they must survive
+// crashes of the process that produced them. The store gives every
+// publish three properties:
+//
+//  * Atomic: artifacts go through util::write_file_atomic (write-temp +
+//    fsync + rename + dir-fsync) — a reader never observes a torn file
+//    at a published path.
+//  * Checksummed: every artifact is wrapped in a CRC-32 frame
+//    (util/checksum.h) whose header names the kind, key, and version the
+//    *filename* claims — truncation, bit rot, and mislabeling are all
+//    detected before a byte is trusted.
+//  * Versioned: per (kind, key) versions are monotonic; a publish never
+//    overwrites, it adds version latest+1 and garbage-collects complete
+//    versions beyond the retention limit. The newest *complete* version
+//    is what load returns.
+//
+// Layout under the store directory:
+//
+//     MANIFEST                      boot-time cache of latest versions
+//     objects/<key>.<kind>.v<NNN>   the artifacts (key percent-encoded)
+//     quarantine/                   damaged files, preserved as evidence
+//
+// Crash recovery is the constructor: it sweeps `*.tmp.*` residue left by
+// kills mid-publish, validates every object's checksum and header,
+// QUARANTINES (never deletes) anything torn/truncated/corrupt/mislabeled,
+// resolves the latest complete version per key, reconciles the MANIFEST
+// (the objects scan is authoritative; a corrupt manifest is quarantined
+// and rebuilt), and GCs versions beyond retention. Damaged artifacts
+// never abort boot — the store opens with whatever is provably intact.
+//
+// Every mutating filesystem call routes through util::fsio (metis-lint
+// check 8), so the seeded fault plan can inject ENOSPC/EIO/EINTR/short
+// writes and deterministic kill-points at each site; the crash-recovery
+// tests fork a child per kill-point, let it die mid-publish, and assert
+// reboot lands on a complete version bitwise identical to what was
+// published.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metis/nn/serialize.h"
+#include "metis/tree/cart.h"
+#include "metis/util/mutex.h"
+
+namespace metis::store {
+
+enum class ArtifactKind : std::uint8_t {
+  kTree = 0,   // tree::serialize() text of a distilled DecisionTree
+  kParams,     // nn::render_parameters() text of a parameter list
+};
+[[nodiscard]] const char* to_string(ArtifactKind kind);
+
+struct SnapshotStoreConfig {
+  // Root directory; created (with objects/ and quarantine/) if missing.
+  std::string dir;
+  // Complete versions kept per (kind, key); older ones are GC'd after a
+  // successful publish and at boot. Clamped to >= 1 — the latest
+  // complete version is never collected.
+  std::size_t retain = 2;
+};
+
+// What the boot-time recovery scan found and did.
+struct RecoveryReport {
+  std::size_t keys_recovered = 0;          // keys with >= 1 complete version
+  std::size_t versions_seen = 0;           // complete versioned files scanned
+  std::size_t quarantined = 0;             // damaged files moved to quarantine/
+  std::size_t temps_removed = 0;           // *.tmp.* crash residue swept
+  std::size_t stale_versions_removed = 0;  // complete versions beyond retain
+  bool manifest_rebuilt = false;           // MANIFEST was missing/corrupt/stale
+};
+
+struct ArtifactInfo {
+  ArtifactKind kind = ArtifactKind::kTree;
+  std::string key;
+  std::uint64_t version = 0;  // latest complete version
+};
+
+class SnapshotStore {
+ public:
+  // Opens (and recovers) the store. Throws only when the directory
+  // layout itself cannot be created — damaged artifacts are quarantined,
+  // not fatal.
+  explicit SnapshotStore(SnapshotStoreConfig config);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  // Durably publishes `payload` as the next version of (kind, key) and
+  // returns that version. The artifact is fsync'd and renamed into place
+  // before this returns — on any failure (disk full, I/O error) it
+  // throws and the store's visible state is unchanged. Version numbers
+  // are never reused, even across quarantines.
+  std::uint64_t publish(ArtifactKind kind, const std::string& key,
+                        const std::string& payload);
+  std::uint64_t publish_tree(const std::string& key,
+                             const tree::DecisionTree& tree);
+  std::uint64_t publish_params(const std::string& key,
+                               const std::vector<nn::Var>& params);
+
+  // Returns the newest complete payload for (kind, key), verifying its
+  // checksum. A version found damaged at load time (bit rot underneath a
+  // running server) is quarantined and the next-older complete version
+  // is returned instead. Throws when no complete version exists. Fills
+  // `*version` (if non-null) with the version actually served.
+  [[nodiscard]] std::string load_payload(ArtifactKind kind,
+                                         const std::string& key,
+                                         std::uint64_t* version = nullptr);
+  [[nodiscard]] tree::DecisionTree load_tree(const std::string& key,
+                                             std::uint64_t* version = nullptr);
+  // Loads the newest complete parameter set into `params` (shapes
+  // validated; only mutated on success). Returns false when the payload
+  // does not match the network.
+  bool load_params(const std::string& key, const std::vector<nn::Var>& params,
+                   std::uint64_t* version = nullptr);
+
+  // Latest complete version per key, deterministic (key-sorted) order.
+  [[nodiscard]] std::vector<ArtifactInfo> list() const;
+  // 0 when no complete version exists for (kind, key).
+  [[nodiscard]] std::uint64_t latest_version(ArtifactKind kind,
+                                             const std::string& key) const;
+
+  [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
+  [[nodiscard]] const std::string& dir() const { return config_.dir; }
+
+ private:
+  // (kind, percent-encoded key) -> bookkeeping. max_seen is the highest
+  // version ever observed (including quarantined ones), so republishing
+  // after a quarantine never reuses a version number.
+  struct Entry {
+    std::vector<std::uint64_t> versions;  // complete, sorted ascending
+    std::uint64_t max_seen = 0;
+  };
+  using EntryKey = std::pair<std::uint8_t, std::string>;
+
+  void recover() REQUIRES(mu_);
+  void gc_locked(const EntryKey& ek, Entry& entry, RecoveryReport* report)
+      REQUIRES(mu_);
+  // Moves a damaged file into quarantine/ (suffixing on name collision).
+  // Best-effort: on failure the file stays where it is but is no longer
+  // referenced. Returns true when the move happened.
+  bool quarantine_file(const std::string& path);
+  [[nodiscard]] std::string render_manifest_locked() const REQUIRES(mu_);
+  // Rewrites MANIFEST from in-memory state. Best-effort: the objects
+  // scan is authoritative at boot, so a failed manifest write degrades
+  // recovery speed, not correctness.
+  void write_manifest_locked() REQUIRES(mu_);
+  [[nodiscard]] std::string object_path(const EntryKey& ek,
+                                        std::uint64_t version) const;
+
+  SnapshotStoreConfig config_;
+  std::string objects_dir_;
+  std::string quarantine_dir_;
+  RecoveryReport recovery_;
+
+  mutable util::Mutex mu_;
+  std::map<EntryKey, Entry> entries_ GUARDED_BY(mu_);
+};
+
+}  // namespace metis::store

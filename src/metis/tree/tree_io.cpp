@@ -8,6 +8,7 @@
 
 #include "metis/util/atomic_file.h"
 #include "metis/util/check.h"
+#include "metis/util/checksum.h"
 
 namespace metis::tree {
 namespace {
@@ -222,7 +223,11 @@ std::string emit_c_source(const DecisionTree& tree,
 }
 
 void save(const DecisionTree& tree, const std::string& path) {
-  if (!util::write_file_atomic(path, serialize(tree))) {
+  // Published artifacts carry a CRC-32 frame so a reader can prove the
+  // file is complete before trusting a single byte of it.
+  if (!util::write_file_atomic(path,
+                               util::wrap_crc_frame("tree",
+                                                    serialize(tree)))) {
     // Only the test-hook crash simulation makes write_file_atomic return
     // false; a production save() never takes this branch.
     throw std::runtime_error("tree::save: simulated crash before publish");
@@ -239,7 +244,24 @@ DecisionTree load(const std::string& path) {
   if (!in.good() && !in.eof()) {
     throw std::runtime_error("tree::load: read error on " + path);
   }
-  return deserialize(text.str());
+  // Framed (checksummed) artifacts are verified end to end; bare
+  // "metis-tree-v1" text from before the framing is still accepted.
+  util::CrcFrame frame;
+  switch (util::parse_crc_frame(text.str(), &frame)) {
+    case util::FrameParse::kOk:
+      if (frame.header != "tree") {
+        throw std::runtime_error("tree::load: " + path +
+                                 " is not a tree artifact (header \"" +
+                                 frame.header + "\")");
+      }
+      return deserialize(frame.payload);
+    case util::FrameParse::kNotFramed:
+      return deserialize(text.str());
+    case util::FrameParse::kCorrupt:
+      break;
+  }
+  throw std::runtime_error(
+      "tree::load: checksum mismatch or torn artifact at " + path);
 }
 
 }  // namespace metis::tree

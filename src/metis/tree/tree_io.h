@@ -38,11 +38,14 @@ void print_tree(const DecisionTree& tree, std::ostream& os,
 [[nodiscard]] DecisionTree deserialize(const std::string& text);
 
 // Crash-safe file persistence of the serialize()/deserialize() text form.
-// save() publishes via write-temp + fsync + atomic rename, so `path`
-// always holds either the previous tree or the complete new one — a tree
-// artifact on disk is loadable or absent, never torn. load() throws
-// std::runtime_error when the file is missing/unreadable and the
-// deserializer's error on malformed content.
+// save() publishes via write-temp + fsync + atomic rename and wraps the
+// text in a CRC-32 frame (util/checksum.h), so `path` always holds
+// either the previous tree or the complete new one — a tree artifact on
+// disk is loadable or absent, never torn, and bit rot is detected at
+// load. load() verifies the checksum (accepting pre-frame bare text for
+// old artifacts) and throws std::runtime_error when the file is
+// missing/unreadable/corrupt and the deserializer's error on malformed
+// content.
 void save(const DecisionTree& tree, const std::string& path);
 [[nodiscard]] DecisionTree load(const std::string& path);
 

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "metis/util/fs_io.h"
+
 namespace metis::util {
 
 namespace {
@@ -16,15 +18,49 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
+// EINTR-retrying wrappers over the fsio shim: with a chaos plan
+// installed every one of these sites can report EINTR, and the retry
+// discipline here is exactly what the "EINTR at every fs site" test
+// certifies.
+int open_retry(const char* path, int flags, mode_t mode) {
+  for (;;) {
+    const int fd = fsio::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int fsync_retry(int fd) {
+  for (;;) {
+    const int rc = fsio::fsync(fd);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
+int rename_retry(const char* oldpath, const char* newpath) {
+  for (;;) {
+    const int rc = fsio::rename(oldpath, newpath);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
+void unlink_retry(const char* path) {
+  // Best effort: failure-path cleanup must not mask the original error.
+  for (;;) {
+    const int rc = fsio::unlink(path);
+    if (rc == 0 || errno != EINTR) return;
+  }
+}
+
 // fsync the directory containing `path` so the rename is durable.
 void sync_parent_dir(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  const int dfd =
+      open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
   if (dfd < 0) return;  // best effort: some filesystems refuse dir opens
-  ::fsync(dfd);
+  fsync_retry(dfd);
   ::close(dfd);
 }
 
@@ -34,8 +70,8 @@ bool write_file_atomic(const std::string& path, const std::string& data,
                        const AtomicWriteOptions& options) {
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                        0644);
+  const int fd = open_retry(tmp.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) throw_errno("open(" + tmp + ")");
 
   std::size_t off = 0;
@@ -43,11 +79,11 @@ bool write_file_atomic(const std::string& path, const std::string& data,
       options.fail_after_bytes < data.size() ? options.fail_after_bytes
                                              : data.size();
   while (off < limit) {
-    const ssize_t n = ::write(fd, data.data() + off, limit - off);
+    const ssize_t n = fsio::write(fd, data.data() + off, limit - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
-      ::unlink(tmp.c_str());
+      unlink_retry(tmp.c_str());
       throw_errno("write(" + tmp + ")");
     }
     off += static_cast<std::size_t>(n);
@@ -55,22 +91,23 @@ bool write_file_atomic(const std::string& path, const std::string& data,
 
   if (limit < data.size()) {
     // Simulated kill mid-write: leave the torn temp file behind (as a
-    // real crash would) and never touch the destination.
+    // real crash would) and never touch the destination. The snapshot
+    // store's recovery scan removes such residue at the next boot.
     ::close(fd);
     return false;
   }
 
-  if (::fsync(fd) != 0) {
+  if (fsync_retry(fd) != 0) {
     ::close(fd);
-    ::unlink(tmp.c_str());
+    unlink_retry(tmp.c_str());
     throw_errno("fsync(" + tmp + ")");
   }
   if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
+    unlink_retry(tmp.c_str());
     throw_errno("close(" + tmp + ")");
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
+  if (rename_retry(tmp.c_str(), path.c_str()) != 0) {
+    unlink_retry(tmp.c_str());
     throw_errno("rename(" + tmp + " -> " + path + ")");
   }
   sync_parent_dir(path);

@@ -10,6 +10,11 @@
 // AtomicWriteOptions::fail_after_bytes is a test hook simulating a crash
 // mid-write: the write stops (temp file left behind, like a real kill
 // would) and the function reports failure without touching `path`.
+//
+// Every mutating syscall (open/write/fsync/rename/unlink) routes through
+// the util::fsio shim, so an installed util::FaultPlan can inject EINTR,
+// short writes, ENOSPC, EIO, and deterministic kill-points at each site;
+// orphaned temps from a kill are swept by SnapshotStore recovery.
 #pragma once
 
 #include <cstddef>

@@ -1,21 +1,47 @@
 #include "metis/util/fault.h"
 
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
 #include "metis/util/rng.h"
 
 namespace metis::util {
+
+namespace {
+
+bool is_stream_site(FaultSite site) {
+  return site == FaultSite::kRead || site == FaultSite::kWrite ||
+         site == FaultSite::kRecv || site == FaultSite::kSend;
+}
+
+}  // namespace
 
 bool fault_applicable(FaultSite site, FaultAction action) {
   switch (action) {
     case FaultAction::kNone:
     case FaultAction::kEIntr:
     case FaultAction::kDelay:
+    case FaultAction::kKill:
       return true;
     case FaultAction::kShortOp:
+      // Byte-stream ops only — a short accept/epoll_wait/fsync is
+      // meaningless; a short fs write is exactly how a torn artifact
+      // happens.
+      return is_stream_site(site) || site == FaultSite::kFsWrite;
     case FaultAction::kReset:
-      // Stream ops only: a short accept/epoll_wait is meaningless and a
-      // reset there would mask listener liveness.
-      return site == FaultSite::kRead || site == FaultSite::kWrite ||
-             site == FaultSite::kRecv || site == FaultSite::kSend;
+      // Network streams only: a reset on a disk write would mask the
+      // distinct ENOSPC/EIO disk failure modes.
+      return is_stream_site(site);
+    case FaultAction::kENoSpc:
+      // The space-consuming fs calls (rename allocates directory
+      // entries, so real kernels do return ENOSPC from it).
+      return site == FaultSite::kFsWrite || site == FaultSite::kFsync ||
+             site == FaultSite::kRename;
+    case FaultAction::kEIo:
+      // Media errors surface where dirty pages hit the device.
+      return site == FaultSite::kFsWrite || site == FaultSite::kFsync;
   }
   return false;
 }
@@ -32,12 +58,19 @@ FaultAction FaultPlan::action_at(std::uint64_t index) const {
   if (u < spec_.reset) return FaultAction::kReset;
   u -= spec_.reset;
   if (u < spec_.delay) return FaultAction::kDelay;
+  u -= spec_.delay;
+  if (u < spec_.enospc) return FaultAction::kENoSpc;
+  u -= spec_.enospc;
+  if (u < spec_.eio) return FaultAction::kEIo;
   return FaultAction::kNone;
 }
 
 FaultAction FaultPlan::next(FaultSite site) {
   const std::uint64_t index =
       counter_.fetch_add(1, std::memory_order_relaxed);
+  // The kill-point is positional, not probabilistic, and ignores the
+  // fault budget: a crash schedule must fire exactly where it says.
+  if (index == spec_.kill_at) return FaultAction::kKill;
   FaultAction action = action_at(index);
   if (action == FaultAction::kNone) return action;
   if (!fault_applicable(site, action)) return FaultAction::kNone;
@@ -64,6 +97,38 @@ std::vector<FaultAction> FaultPlan::schedule_prefix(std::size_t n) const {
     out.push_back(action_at(static_cast<std::uint64_t>(i)));
   }
   return out;
+}
+
+namespace {
+
+std::atomic<FaultPlan*> g_plan{nullptr};
+
+}  // namespace
+
+void set_fault_plan(FaultPlan* plan) {
+  g_plan.store(plan, std::memory_order_release);
+}
+
+FaultPlan* fault_plan() {
+  return g_plan.load(std::memory_order_acquire);
+}
+
+FaultAction next_fault(FaultSite site) {
+  FaultPlan* plan = g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return FaultAction::kNone;
+  const FaultAction action = plan->next(site);
+  if (action == FaultAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan->delay_us()));
+    return FaultAction::kNone;  // delayed, then proceed normally
+  }
+  if (action == FaultAction::kKill) {
+    // The deterministic kill-point: die exactly like a SIGKILL mid-call
+    // would — no atexit handlers, no buffered-stream flush, no stack
+    // unwinding. 42 lets the crash tests' waitpid distinguish a planned
+    // kill from a real crash.
+    ::_exit(42);
+  }
+  return action;
 }
 
 }  // namespace metis::util

@@ -1,18 +1,27 @@
-// Deterministic fault injection for the net/ syscall shim.
+// Deterministic fault injection for the net/ and fs syscall shims.
 //
 // A FaultPlan is a *replayable schedule*: the action taken at the i-th
 // intercepted syscall is a pure function of (seed, i) via Rng::derive, so
 // the same seed replays the identical fault sequence no matter how
 // threads interleave — only the global call counter is shared state, and
 // it is a single fetch_add. Chaos tests install a plan through
-// net::io::set_fault_plan, hammer the server/client, and assert graceful
-// degradation; a determinism test asserts schedule_prefix(seed, n) is
-// reproducible.
+// set_fault_plan (net::io::set_fault_plan forwards here), hammer the
+// server/client/store, and assert graceful degradation; a determinism
+// test asserts schedule_prefix(seed, n) is reproducible.
 //
 // Actions are filtered per call *site*: readiness/accept-style calls
 // (accept4, epoll_wait, poll, connect) can only see EINTR or a delay —
 // a "short accept" is meaningless — while stream ops (read/write/recv/
-// send) additionally get short ops and ECONNRESET.
+// send) additionally get short ops and ECONNRESET. The filesystem sites
+// (open/write/fsync/rename/unlink, routed through util::fsio by the
+// snapshot store and write_file_atomic) get the disk failure modes:
+// short writes, ENOSPC on the space-consuming calls, and EIO where the
+// kernel reports media errors (write/fsync).
+//
+// `kill_at` is the crash-schedule hook: when the intercepted-call index
+// reaches it, the process _exit(42)s *instead of* performing the call —
+// a deterministic kill-point. The crash-recovery tests fork a child per
+// index, let it die mid-publish, and assert the store recovers.
 //
 // `max_faults` bounds the total number of injected faults so that tests
 // like "EINTR at every site" (eintr = 1.0) still terminate: once the
@@ -31,9 +40,13 @@ enum class FaultAction : std::uint8_t {
   kShortOp,   // clamp a stream read/write to 1 byte (real syscall runs)
   kReset,     // fail the call with errno = ECONNRESET (no I/O performed)
   kDelay,     // sleep delay_us, then perform the call normally
+  kENoSpc,    // fail the call with errno = ENOSPC (disk full)
+  kEIo,       // fail the call with errno = EIO (media error)
+  kKill,      // _exit(42) instead of the call (kill_at only, never random)
 };
 
 enum class FaultSite : std::uint8_t {
+  // Network sites (net::io).
   kRead = 0,
   kWrite,
   kRecv,
@@ -42,19 +55,31 @@ enum class FaultSite : std::uint8_t {
   kEpollWait,
   kPoll,
   kConnect,
+  // Filesystem sites (util::fsio).
+  kOpen,
+  kFsWrite,
+  kFsync,
+  kRename,
+  kUnlink,
 };
 
-// Probabilities are evaluated in order: eintr, short_op, reset, delay;
-// the remainder is kNone. Sum must be <= 1.
+// Probabilities are evaluated in order: eintr, short_op, reset, delay,
+// enospc, eio; the remainder is kNone. Sum must be <= 1.
 struct FaultSpec {
   std::uint64_t seed = 1;
   double eintr = 0.0;
   double short_op = 0.0;
   double reset = 0.0;
   double delay = 0.0;
+  double enospc = 0.0;
+  double eio = 0.0;
   std::uint32_t delay_us = 100;
   // Total injected-fault budget (kNone decisions are free). 0 = unlimited.
   std::uint64_t max_faults = 0;
+  // Deterministic kill-point: _exit(42) when the call counter reaches
+  // this index (checked before the probability draw, exempt from the
+  // fault budget). UINT64_MAX = never.
+  std::uint64_t kill_at = static_cast<std::uint64_t>(-1);
 };
 
 class FaultPlan {
@@ -90,7 +115,21 @@ class FaultPlan {
 };
 
 // True when `action` may be injected at `site` (readiness sites only
-// tolerate EINTR/delay).
+// tolerate EINTR/delay; disk failure modes only at filesystem sites).
 bool fault_applicable(FaultSite site, FaultAction action);
+
+// Process-wide plan registry shared by every shim (net::io and
+// util::fsio draw from ONE schedule, so a chaos seed covers socket and
+// disk sites in a single interleaved sequence). The plan must outlive
+// its installation; tests install before starting traffic and clear
+// (nullptr) after joining everything.
+void set_fault_plan(FaultPlan* plan);
+FaultPlan* fault_plan();
+
+// One intercepted call at `site` against the installed plan: the no-plan
+// fast path is a single relaxed atomic load. Handles kDelay (sleeps,
+// then reports kNone — the call proceeds normally) and kKill (_exit(42),
+// never returns) internally, so shims only ever see fail/clamp actions.
+FaultAction next_fault(FaultSite site);
 
 }  // namespace metis::util

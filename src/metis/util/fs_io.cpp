@@ -1,0 +1,69 @@
+#include "metis/util/fs_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "metis/util/fault.h"
+
+// metis-lint: allow-raw-syscalls — this file IS the shim.
+
+namespace metis::util::fsio {
+
+namespace {
+
+// Applies a fail-style action by setting errno; returns true when the
+// caller should bail with -1 instead of touching the filesystem.
+// kDelay/kKill never reach here (next_fault handles them), and kReset is
+// not applicable at fs sites.
+bool fail_now(FaultAction action) {
+  switch (action) {
+    case FaultAction::kEIntr:
+      errno = EINTR;
+      return true;
+    case FaultAction::kENoSpc:
+      errno = ENOSPC;
+      return true;
+    case FaultAction::kEIo:
+      errno = EIO;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int open(const char* path, int flags, mode_t mode) {
+  if (fail_now(next_fault(FaultSite::kOpen))) return -1;
+  return ::open(path, flags, mode);
+}
+
+ssize_t write(int fd, const void* buf, std::size_t count) {
+  const FaultAction action = next_fault(FaultSite::kFsWrite);
+  if (fail_now(action)) return -1;
+  // A genuine short write: the real syscall runs, just over 1 byte, so
+  // the kernel-visible behavior (partial progress, torn temp on a
+  // follow-up kill) is authentic.
+  const std::size_t len =
+      action == FaultAction::kShortOp && count > 1 ? 1 : count;
+  return ::write(fd, buf, len);
+}
+
+int fsync(int fd) {
+  if (fail_now(next_fault(FaultSite::kFsync))) return -1;
+  return ::fsync(fd);
+}
+
+int rename(const char* oldpath, const char* newpath) {
+  if (fail_now(next_fault(FaultSite::kRename))) return -1;
+  return ::rename(oldpath, newpath);
+}
+
+int unlink(const char* path) {
+  if (fail_now(next_fault(FaultSite::kUnlink))) return -1;
+  return ::unlink(path);
+}
+
+}  // namespace metis::util::fsio

@@ -1,0 +1,34 @@
+// The filesystem syscall gateway for the durable-artifact write path.
+//
+// Every open/write/fsync/rename/unlink issued by util::write_file_atomic
+// and src/metis/store/ goes through these wrappers — metis-lint check 8
+// enforces that no raw mutating fs syscall appears in the store outside
+// this shim — so a util::FaultPlan installed via util::set_fault_plan can
+// deterministically inject EINTR, short writes, ENOSPC, EIO, and a
+// kill-point (_exit mid-publish) at *every* site of a publish. With no
+// plan installed each wrapper is a direct passthrough (one relaxed
+// atomic load).
+//
+// Like net::io, the wrappers do NOT retry or loop: they fail exactly
+// like the raw syscalls (return -1 + errno) so callers keep their
+// explicit EINTR discipline and the chaos tests exercise those loops for
+// real. Read-side calls are not shimmed: torn *reads* cannot corrupt the
+// store (the CRC frame catches damaged bytes however they got there),
+// and the crash/fault sweep targets the mutation path.
+//
+// metis-lint: allow-raw-syscalls — these declarations ARE the shim.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace metis::util::fsio {
+
+int open(const char* path, int flags, mode_t mode = 0);
+ssize_t write(int fd, const void* buf, std::size_t count);
+int fsync(int fd);
+int rename(const char* oldpath, const char* newpath);
+int unlink(const char* path);
+
+}  // namespace metis::util::fsio

@@ -1,0 +1,19 @@
+// Seeded violations for metis-lint --selftest: raw fs syscalls in a
+// store/ source outside the fs shim. Never compiled.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace metis::store {
+
+void publish_badly(const char* path, const char* tmp) {
+  int fd = ::open(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);  // qualified
+  ::write(fd, "payload", 7);        // qualified raw syscall
+  fsync(fd);                        // unqualified raw syscall
+  ::close(fd);
+  rename(tmp, path);                // unqualified raw syscall
+  unlink(tmp);                      // unqualified raw syscall
+}
+
+}  // namespace metis::store

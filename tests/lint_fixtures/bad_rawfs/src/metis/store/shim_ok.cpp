@@ -1,0 +1,12 @@
+// A file carrying the shim marker is exempt wholesale — it IS the shim.
+// metis-lint: allow-raw-syscalls (fixture stand-in for util/fs_io.cpp)
+// Never compiled.
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace metis::store {
+
+int shim_open(const char* path, int flags) { return ::open(path, flags); }
+int shim_unlink(const char* path) { return ::unlink(path); }
+
+}  // namespace metis::store

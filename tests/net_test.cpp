@@ -367,6 +367,32 @@ TEST(Wire, JobStatusAndResultsRoundTrip) {
   EXPECT_THROW((void)ir.encode(), net::WireError);
 }
 
+TEST(Wire, TreeListRoundTrip) {
+  // The request carries no payload, and trailing bytes are rejected.
+  const net::Frame req = net::ListTreesRequest{}.encode();
+  EXPECT_EQ(req.type, net::MsgType::kListTrees);
+  EXPECT_TRUE(req.payload.empty());
+  (void)net::ListTreesRequest::decode(req);
+  net::Frame trailing = req;
+  trailing.payload.push_back(0);
+  EXPECT_THROW((void)net::ListTreesRequest::decode(trailing), net::WireError);
+
+  net::TreeListReply reply;
+  reply.names = {"abr", "congestion", "weird/key"};
+  reply.versions = {7, 0, 12};
+  const auto back = net::TreeListReply::decode(reply.encode());
+  EXPECT_EQ(back.names, reply.names);
+  EXPECT_EQ(back.versions, reply.versions);
+
+  const auto empty = net::TreeListReply::decode(net::TreeListReply{}.encode());
+  EXPECT_TRUE(empty.names.empty());
+  EXPECT_TRUE(empty.versions.empty());
+
+  // Ragged name/version columns must not encode.
+  reply.versions.pop_back();
+  EXPECT_THROW((void)reply.encode(), net::WireError);
+}
+
 // ---- server: query plane ----------------------------------------------------
 
 TEST(Server, ServedDecisionsBitwiseIdenticalToInProcess) {

@@ -21,6 +21,7 @@
 #include "metis/util/atomic_file.h"
 #include "metis/util/cancel.h"
 #include "metis/util/check.h"
+#include "metis/util/checksum.h"
 #include "metis/util/exception_slot.h"
 #include "metis/util/fault.h"
 #include "metis/util/lock_graph.h"
@@ -631,6 +632,64 @@ TEST(AtomicFile, KillMidWriteNeverLeavesTornDestination) {
   EXPECT_TRUE(util::write_file_atomic(path, "replacement that lands"));
   EXPECT_EQ(slurp(path), "replacement that lands");
   std::remove(path.c_str());
+}
+
+// ---- CRC-32 artifact framing ------------------------------------------------
+
+TEST(Checksum, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 reflected CRC-32 check value.
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(""), 0u);
+}
+
+TEST(Checksum, FrameRoundTripsArbitraryPayload) {
+  const std::string payload = std::string("binary\0bytes\xff\n", 14);
+  const std::string framed = util::wrap_crc_frame("tree k 7", payload);
+  util::CrcFrame frame;
+  ASSERT_EQ(util::parse_crc_frame(framed, &frame), util::FrameParse::kOk);
+  EXPECT_EQ(frame.header, "tree k 7");
+  EXPECT_EQ(frame.payload, payload);
+
+  const std::string empty = util::wrap_crc_frame("params p 1", "");
+  ASSERT_EQ(util::parse_crc_frame(empty, &frame), util::FrameParse::kOk);
+  EXPECT_EQ(frame.payload, "");
+}
+
+TEST(Checksum, DamageIsDetectedNotTrusted) {
+  const std::string framed = util::wrap_crc_frame("tree k 1", "the payload");
+  util::CrcFrame frame;
+
+  // Single flipped byte anywhere in the frame.
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    std::string bad = framed;
+    bad[i] ^= 0x01;
+    EXPECT_NE(util::parse_crc_frame(bad, &frame), util::FrameParse::kOk)
+        << "flip at byte " << i;
+  }
+  // Truncation at every length.
+  for (std::size_t n = 0; n < framed.size(); ++n) {
+    EXPECT_NE(util::parse_crc_frame(framed.substr(0, n), &frame),
+              util::FrameParse::kOk)
+        << "truncated to " << n;
+  }
+  // Trailing garbage after a valid footer.
+  EXPECT_EQ(util::parse_crc_frame(framed + "x", &frame),
+            util::FrameParse::kCorrupt);
+}
+
+TEST(Checksum, PreFramingFilesReportNotFramed) {
+  util::CrcFrame frame;
+  EXPECT_EQ(util::parse_crc_frame("metis-tree v1\nlegacy body\n", &frame),
+            util::FrameParse::kNotFramed);
+  EXPECT_EQ(util::parse_crc_frame("", &frame), util::FrameParse::kNotFramed);
+}
+
+TEST(Checksum, HeaderConstraintsEnforced) {
+  EXPECT_THROW((void)util::wrap_crc_frame("", "x"), std::invalid_argument);
+  EXPECT_THROW((void)util::wrap_crc_frame("two\nlines", "x"),
+               std::invalid_argument);
+  EXPECT_THROW((void)util::wrap_crc_frame("trailing ", "x"),
+               std::invalid_argument);
 }
 
 }  // namespace
